@@ -1,0 +1,30 @@
+"""Table 1 — benchmark-suite overview (exact reproduction).
+
+Table 1 is static registry metadata; this bench regenerates it and checks
+the used/skipped accounting cell-for-cell against the paper.
+"""
+
+from repro.sctbench import SUITE_OVERVIEW, total_skipped, total_used
+from repro.study import table1
+
+PAPER_TABLE1 = {
+    "CB": (3, 17),
+    "CHESS": (4, 0),
+    "CS": (29, 24),
+    "Inspect": (1, 28),
+    "Misc": (2, 0),
+    "PARSEC": (4, 29),
+    "RADBench": (6, 5),
+    "SPLASH-2": (3, 9),
+}
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(table1)
+    assert "52" in text
+    for suite, (used, skipped) in PAPER_TABLE1.items():
+        row = next(r for r in SUITE_OVERVIEW if r[0] == suite)
+        assert row[2] == used, suite
+        assert row[3] == skipped, suite
+    assert total_used() == 52
+    assert total_skipped() == 112

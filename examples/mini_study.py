@@ -1,0 +1,51 @@
+"""A miniature of the paper's empirical study over one benchmark suite.
+
+Runs the full methodology (race phase + IPB/IDB/DFS/Rand/MapleAlg) over
+the CS suite at a reduced schedule limit and prints the same artifacts the
+paper reports: the Table 3 grid for the subset, the Figure 2 Venn regions,
+and the Figure 3 scatter (IDB vs IPB schedules-to-first-bug).
+
+The full 52-benchmark study at the paper's 10,000-schedule limit is
+``python -m repro.study --limit 10000 --out results/``.
+
+Run:  python examples/mini_study.py
+"""
+
+from repro.sctbench import suite_of
+from repro.study import (
+    figure3_series,
+    quick_config,
+    render_scatter,
+    render_venn,
+    run_study,
+    table3,
+    venn_systematic,
+    venn_vs_random,
+)
+
+LIMIT = 1_000
+
+
+def main() -> None:
+    config = quick_config(limit=LIMIT)
+    config.benchmarks = [b.name for b in suite_of("CS")]
+    print(f"Running the CS suite ({len(config.benchmarks)} benchmarks), "
+          f"limit {LIMIT:,} schedules per technique...\n")
+    study = run_study(config, progress=lambda m: None)
+
+    print(table3(study))
+    print()
+    print(render_venn(venn_systematic(study), ("IPB", "IDB", "DFS")))
+    print()
+    print(render_venn(venn_vs_random(study), ("IDB", "Rand", "MapleAlg")))
+    print()
+    points = figure3_series(study)
+    print(render_scatter(
+        points, LIMIT,
+        title="Figure 3 (CS suite): schedules to first bug — x=IDB, y=IPB; "
+              "points above the diagonal favour IDB",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The data-race-detection phase, demonstrated on a message-passing idiom.
+
+Shows why the study promotes racy instructions to visible operations:
+without the promotion, systematic search never interleaves plain memory
+accesses, so a racy-flag bug is invisible; with it, the same search finds
+the bug in a handful of schedules.  Also contrasts a correctly
+synchronised variant (atomic flag) that FastTrack proves race-free.
+
+Run:  python examples/race_detection_demo.py
+"""
+
+from types import SimpleNamespace
+
+from repro import Atomic, DFSExplorer, Program, SharedVar
+from repro.racedetect import detect_races
+
+
+def make_program(buggy: bool) -> Program:
+    """Producer fills a two-field record and raises a ready flag; consumer
+    busy-waits on the flag and asserts both fields arrived.
+
+    The buggy variant publishes too early — the flag goes up between the
+    two field writes, and the flag is a plain racy variable.  The fixed
+    variant writes both fields first and uses a C++11 atomic flag, which
+    FastTrack proves race-free."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.flag = SharedVar(0, "flag") if buggy else Atomic(0, "flag")
+        s.lo = SharedVar(0, "lo")
+        s.hi = SharedVar(0, "hi")
+        return s
+
+    def producer(ctx, sh):
+        yield ctx.store(sh.lo, 42, site="producer:lo")
+        if buggy:
+            # BUG: the record is published before it is complete.
+            yield ctx.store(sh.flag, 1, site="producer:flag")
+            yield ctx.store(sh.hi, 43, site="producer:hi")
+        else:
+            yield ctx.store(sh.hi, 43, site="producer:hi")
+            yield ctx.atomic_store(sh.flag, 1, site="producer:flag")
+
+    def consumer(ctx, sh):
+        yield ctx.await_equal(sh.flag, 1, site="consumer:spin")
+        lo = yield ctx.load(sh.lo, site="consumer:lo")
+        hi = yield ctx.load(sh.hi, site="consumer:hi")
+        ctx.check((lo, hi) == (42, 43), f"torn record ({lo}, {hi})")
+
+    def main(ctx, sh):
+        p = yield ctx.spawn(producer)
+        c = yield ctx.spawn(consumer)
+        yield ctx.join(p)
+        yield ctx.join(c)
+
+    return Program("mp_buggy" if buggy else "mp_fixed", setup, main)
+
+
+def main() -> None:
+    for buggy in (True, False):
+        program = make_program(buggy)
+        kind = (
+            "publishes early through a plain racy flag"
+            if buggy
+            else "complete record behind a C++11 atomic flag"
+        )
+        print(f"\n=== {program.name}: {kind} ===")
+
+        report = detect_races(program, runs=10, seed=0)
+        print(f"race detection: {len(report.races)} races")
+        for race in report.races:
+            print(f"  {race}")
+
+        # SCT with only sync ops visible (no promotion):
+        blind = DFSExplorer(visible_filter=lambda op: False).explore(
+            program, 10_000
+        )
+        print(
+            f"DFS without promotion: {blind.schedules} schedules, "
+            f"bug {'FOUND' if blind.found_bug else 'missed'}"
+        )
+
+        # SCT with racy sites promoted to visible operations:
+        filt = report.visible_filter() if report.has_races else (lambda op: False)
+        informed = DFSExplorer(visible_filter=filt).explore(program, 10_000)
+        print(
+            f"DFS with promotion:    {informed.schedules} schedules, "
+            f"bug {'FOUND' if informed.found_bug else 'missed'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

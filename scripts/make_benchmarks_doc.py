@@ -1,0 +1,102 @@
+"""Generate docs/BENCHMARKS.md — the SCTBench port catalog.
+
+Composes, for each of the 52 benchmarks: the suite and Table 3 identity,
+the port's docstring (bug mechanism and shape targets), the paper's row,
+and the measured results from a committed study run (results/raw.json).
+
+Usage:
+    python scripts/make_benchmarks_doc.py [results/raw.json] > docs/BENCHMARKS.md
+"""
+
+import functools
+import inspect
+import json
+import sys
+import textwrap
+
+from repro.sctbench import BENCHMARKS
+
+TECHS = ("IPB", "IDB", "DFS", "Rand", "MapleAlg")
+
+
+def load_measured(path):
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError:
+        return {}
+    return {row["name"]: row for row in data.get("benchmarks", [])}
+
+
+def fmt_found(row):
+    cells = []
+    for t in TECHS:
+        st = row["techniques"].get(t)
+        if not st:
+            cells.append("?")
+        elif st["found_bug"]:
+            bound = st.get("bound")
+            first = st.get("schedules_to_first_bug")
+            cells.append(
+                f"{t}@b{bound}/{first}" if bound is not None else f"{t}@{first}"
+            )
+    return ", ".join(cells) if cells else "missed by all"
+
+
+def paper_pattern(paper):
+    marks = paper.found_by()
+    return "".join("Y" if marks[t] else "." for t in TECHS)
+
+
+def main():
+    measured_path = sys.argv[1] if len(sys.argv) > 1 else "results/raw.json"
+    measured = load_measured(measured_path)
+
+    print("# SCTBench port catalog")
+    print()
+    print(
+        "One entry per benchmark, in Table 3 order.  `paper` is the "
+        "found-pattern transcribed from the paper (columns "
+        f"{'/'.join(TECHS)}); `measured` is the committed full-limit "
+        "study run.  The *port* paragraphs are the factory docstrings — "
+        "the authoritative description of each bug's mechanism and the "
+        "shape targets the port was tuned to."
+    )
+    current_suite = None
+    for info in BENCHMARKS:
+        if info.suite != current_suite:
+            current_suite = info.suite
+            print(f"\n## {current_suite}\n")
+        print(f"### {info.bench_id}. `{info.name}`\n")
+        program = info.make()
+        print(f"- **bug**: {program.expected_bug}")
+        print(f"- **paper**: `{paper_pattern(info.paper)}`", end="")
+        bounds = []
+        if info.paper.ipb_found:
+            bounds.append(f"IPB bound {info.paper.ipb_bound}")
+        if info.paper.idb_found:
+            bounds.append(f"IDB bound {info.paper.idb_bound}")
+        if bounds:
+            print(f" ({', '.join(bounds)})", end="")
+        print()
+        row = measured.get(info.name)
+        if row:
+            print(f"- **measured**: {fmt_found(row)}")
+            print(
+                f"- **races**: {row['races']} reports over "
+                f"{row['racy_sites']} sites"
+            )
+        if info.notes:
+            print(f"- **note**: {info.notes}")
+        factory = info.factory
+        if isinstance(factory, functools.partial):
+            factory = factory.func
+        doc = inspect.getdoc(factory) or ""
+        if doc:
+            print()
+            print(textwrap.indent(doc, ""))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Developer smoke/tuning harness for the SCTBench port.
+
+Usage:
+    python scripts/smoke_bench.py                 # smoke every benchmark
+    python scripts/smoke_bench.py CS.account_bad  # tune one benchmark
+
+For each benchmark: run the race phase, then each technique with a small
+limit, and print found/bound/schedules — the raw material for tuning the
+ports against Table 3.
+"""
+
+import sys
+import time
+
+from repro.core import DFSExplorer, MapleAlgExplorer, RandomExplorer, make_idb, make_ipb
+from repro.racedetect import detect_races
+from repro.sctbench import BENCHMARKS, get
+
+LIMIT = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+
+def run_one(info):
+    program = info.make()
+    t0 = time.time()
+    report = detect_races(program, runs=10, seed=0)
+    filt = report.visible_filter() if report.has_races else (lambda op: False)
+    out = [f"[{info.bench_id:2d}] {info.name:28s} races={len(report.races):3d}"]
+    results = {}
+    for label, explorer in [
+        ("IPB", make_ipb(visible_filter=filt)),
+        ("IDB", make_idb(visible_filter=filt)),
+        ("DFS", DFSExplorer(visible_filter=filt)),
+        ("Rand", RandomExplorer(seed=42, visible_filter=filt)),
+        ("Maple", MapleAlgExplorer(seed=42)),
+    ]:
+        stats = explorer.explore(program, LIMIT)
+        results[label] = stats
+        mark = "Y" if stats.found_bug else "."
+        bound = stats.bound if stats.bound is not None else "-"
+        first = stats.schedules_to_first_bug or "-"
+        out.append(f"{label}={mark}/b{bound}@{first}({stats.schedules})")
+    paper = info.paper.found_by()
+    mismatches = [
+        k
+        for k, v in paper.items()
+        if v != results[{"IPB": "IPB", "IDB": "IDB", "DFS": "DFS", "Rand": "Rand", "MapleAlg": "Maple"}[k]].found_bug
+    ]
+    out.append(f"t={time.time() - t0:.1f}s")
+    if mismatches:
+        out.append("MISMATCH:" + ",".join(mismatches))
+    print("  ".join(out), flush=True)
+
+
+def main():
+    if len(sys.argv) > 1 and not sys.argv[1].isdigit():
+        run_one(get(sys.argv[1]))
+        return
+    for info in BENCHMARKS:
+        try:
+            run_one(info)
+        except Exception as exc:
+            print(f"[{info.bench_id:2d}] {info.name:28s} ERROR: {exc!r}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs require, so ``pip install -e .`` falls back to this legacy path
+(``setup.py develop``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of "Concurrency Testing Using Schedule Bounding:
+an Empirical Study" (Thomson, Donaldson, Betts; PPoPP 2014).
+
+The package provides:
+
+- :mod:`repro.runtime` — a pthread-like programming model whose threads are
+  generator functions yielding visible operations;
+- :mod:`repro.engine` — a deterministic controlled-execution engine (the
+  Maple/PIN substitute);
+- :mod:`repro.core` — the techniques under study: bounded DFS, iterative
+  preemption bounding (IPB), iterative delay bounding (IDB), the naive
+  random scheduler (Rand), a simplified MapleAlg, and PCT;
+- :mod:`repro.racedetect` — the FastTrack-style data-race-detection phase
+  that promotes racy sites to visible operations;
+- :mod:`repro.sctbench` — a Python port of all 52 SCTBench benchmarks;
+- :mod:`repro.study` — the experiment harness regenerating Tables 1-3 and
+  Figures 2-4 of the paper.
+
+Quickstart::
+
+    from repro import Program, Mutex, SharedVar, make_idb
+
+    # ... define setup() and main() (see examples/quickstart.py) ...
+    stats = make_idb().explore(Program("demo", setup, main), limit=10_000)
+    print(stats.first_bug)
+"""
+
+from .core import (
+    BoundedDFS,
+    BugReport,
+    DFSExplorer,
+    ExplorationStats,
+    MapleAlgExplorer,
+    PCTExplorer,
+    RandomExplorer,
+    Schedule,
+    delay_count,
+    make_idb,
+    make_ipb,
+    preemption_count,
+)
+from .engine import (
+    ExecutionResult,
+    Outcome,
+    RandomStrategy,
+    ReplayStrategy,
+    RoundRobinStrategy,
+    execute,
+    replay,
+)
+from .runtime import (
+    AssertionFailureBug,
+    Atomic,
+    Barrier,
+    CondVar,
+    DeadlockBug,
+    GuardMode,
+    Mutex,
+    Program,
+    RWLock,
+    Semaphore,
+    SharedArray,
+    SharedVar,
+    ThreadContext,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # runtime
+    "Program",
+    "ThreadContext",
+    "Mutex",
+    "CondVar",
+    "Semaphore",
+    "Barrier",
+    "RWLock",
+    "SharedVar",
+    "SharedArray",
+    "Atomic",
+    "GuardMode",
+    "AssertionFailureBug",
+    "DeadlockBug",
+    # engine
+    "execute",
+    "replay",
+    "ExecutionResult",
+    "Outcome",
+    "RoundRobinStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    # core techniques
+    "BoundedDFS",
+    "DFSExplorer",
+    "make_ipb",
+    "make_idb",
+    "RandomExplorer",
+    "MapleAlgExplorer",
+    "PCTExplorer",
+    "ExplorationStats",
+    "BugReport",
+    "Schedule",
+    "preemption_count",
+    "delay_count",
+]

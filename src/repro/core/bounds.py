@@ -1,0 +1,92 @@
+"""Schedule-bound predicates used by the bounded DFS explorer.
+
+A bound object answers one incremental question at each scheduling point:
+*what does choosing thread ``t`` here cost?* — so the explorer can prune
+successors whose cumulative cost would exceed the current bound ``c``.
+
+``DelayBoundCost`` and ``PreemptionBoundCost`` implement the section-2
+definitions via :mod:`repro.core.schedule`; ``NoBoundCost`` is unbounded
+DFS's free-for-all.  The class-level invariant (tested with hypothesis)
+is the paper's containment result: for any step the delay cost dominates
+the preemption cost, hence ``{α : DC(α) ≤ c} ⊆ {α : PC(α) ≤ c}``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .schedule import delay_increment, preemption_increment
+
+
+class BoundCost:
+    """Incremental cost model for one bounding discipline."""
+
+    name = "none"
+
+    def increment(
+        self,
+        step_index: int,
+        last_tid: int,
+        chosen: int,
+        enabled: Tuple[int, ...],
+        num_created: int,
+    ) -> int:
+        raise NotImplementedError
+
+
+class NoBoundCost(BoundCost):
+    """Unbounded search: every choice is free."""
+
+    name = "none"
+
+    def increment(
+        self,
+        step_index: int,
+        last_tid: int,
+        chosen: int,
+        enabled: Tuple[int, ...],
+        num_created: int,
+    ) -> int:
+        return 0
+
+
+class PreemptionBoundCost(BoundCost):
+    """Preemption bounding (Musuvathi & Qadeer, PLDI'07)."""
+
+    name = "preemption"
+
+    def increment(
+        self,
+        step_index: int,
+        last_tid: int,
+        chosen: int,
+        enabled: Tuple[int, ...],
+        num_created: int,
+    ) -> int:
+        if step_index == 0:
+            return 0  # a schedule of length <= 1 has no preemptions
+        return preemption_increment(last_tid, chosen, enabled)
+
+
+class DelayBoundCost(BoundCost):
+    """Delay bounding (Emmi, Qadeer, Rakamarić, POPL'11) against the
+    non-preemptive round-robin deterministic scheduler."""
+
+    name = "delay"
+
+    def increment(
+        self,
+        step_index: int,
+        last_tid: int,
+        chosen: int,
+        enabled: Tuple[int, ...],
+        num_created: int,
+    ) -> int:
+        if step_index == 0:
+            return 0  # a schedule of length <= 1 has no delays
+        return delay_increment(last_tid, chosen, enabled, num_created)
+
+
+NO_BOUND = NoBoundCost()
+PREEMPTION = PreemptionBoundCost()
+DELAY = DelayBoundCost()

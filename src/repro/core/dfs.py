@@ -1,0 +1,188 @@
+"""Stateless bounded depth-first search over schedules.
+
+This is the CHESS-style search Maple's *systematic* mode reimplements
+(section 3 of the paper): repeatedly execute the program from the start,
+maintain a stack of scheduling choice points, and on each new execution
+replay the prefix up to the deepest choice point with an untried
+alternative, then extend with the default policy.
+
+Properties the tests rely on:
+
+- the first execution follows the non-preemptive round-robin schedule —
+  "the initial terminal schedule explored by iterative preemption bounding,
+  iterative delay bounding and unbounded depth-first search is the same for
+  all techniques" (section 3);
+- every terminal schedule within the bound is enumerated exactly once;
+- a candidate is pruned iff its cumulative bound cost would exceed the
+  bound, so the enumerated set is exactly ``{α terminal : cost(α) ≤ c}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..engine.executor import DEFAULT_MAX_STEPS, execute
+from ..engine.state import Kernel, VisibleFilter
+from ..engine.strategies import SchedulerStrategy, round_robin_choice
+from ..engine.trace import ExecutionResult
+from ..runtime.program import Program
+from .bounds import BoundCost, NoBoundCost
+
+
+class _ChoicePoint:
+    """One scheduling point on the current DFS path."""
+
+    __slots__ = ("candidates", "increments", "idx", "cost_before")
+
+    def __init__(
+        self,
+        candidates: List[int],
+        increments: List[int],
+        idx: int,
+        cost_before: int,
+    ) -> None:
+        self.candidates = candidates
+        self.increments = increments
+        self.idx = idx
+        self.cost_before = cost_before
+
+    @property
+    def chosen(self) -> int:
+        return self.candidates[self.idx]
+
+    @property
+    def cost_after(self) -> int:
+        return self.cost_before + self.increments[self.idx]
+
+    def has_untried(self) -> bool:
+        return self.idx + 1 < len(self.candidates)
+
+
+class RunRecord:
+    """One DFS execution plus its bound accounting."""
+
+    __slots__ = ("result", "cost", "pruned_any")
+
+    def __init__(self, result: ExecutionResult, cost: int, pruned_any: bool) -> None:
+        self.result = result
+        #: Final cumulative bound cost of this schedule (equals PC or DC of
+        #: the schedule under the respective cost model).
+        self.cost = cost
+        #: Whether any enabled successor was pruned by the bound anywhere
+        #: on this execution's path (bound-coverage signal).
+        self.pruned_any = bool(pruned_any)
+
+
+class _DFSStrategy(SchedulerStrategy):
+    """Replays the stack prefix, then extends with the default policy,
+    pushing new choice points as it goes."""
+
+    __slots__ = ("dfs", "replay_len")
+
+    def __init__(self, dfs: "BoundedDFS", replay_len: int) -> None:
+        self.dfs = dfs
+        self.replay_len = replay_len
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        dfs = self.dfs
+        stack = dfs._stack
+        if step_index < self.replay_len:
+            return stack[step_index].chosen
+        # New frontier: enumerate candidates (default policy first), prune
+        # by bound, push a fresh choice point.
+        cost_before = stack[step_index - 1].cost_after if step_index > 0 else 0
+        n = kernel.num_created
+        default = round_robin_choice(enabled, last_tid, n)
+        ordered = [default]
+        # Remaining candidates in round-robin order from last_tid, a fixed
+        # deterministic order (the specific order only affects which
+        # schedule is found first, not the enumerated set).
+        enabled_set = set(enabled)
+        for off in range(n):
+            tid = (last_tid + off) % n
+            if tid in enabled_set and tid != default:
+                ordered.append(tid)
+        candidates: List[int] = []
+        increments: List[int] = []
+        cost = dfs.cost_model
+        bound = dfs.bound
+        for tid in ordered:
+            inc = cost.increment(step_index, last_tid, tid, enabled, n)
+            if bound is not None and cost_before + inc > bound:
+                dfs._pruned_this_run = True
+                continue
+            candidates.append(tid)
+            increments.append(inc)
+        if not candidates:
+            # The default round-robin continuation always has cost 0, so
+            # this cannot happen; guard for future cost models.
+            raise AssertionError("bound pruned every enabled successor")
+        stack.append(_ChoicePoint(candidates, increments, 0, cost_before))
+        return candidates[0]
+
+
+class BoundedDFS:
+    """Enumerate all terminal schedules of ``program`` with cost ≤ ``bound``.
+
+    ``bound=None`` (with :class:`~repro.core.bounds.NoBoundCost`) is the
+    paper's unbounded DFS.  Iterate :meth:`runs`; the caller decides when
+    to stop (schedule limits live in the explorer wrappers).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: Optional[BoundCost] = None,
+        bound: Optional[int] = None,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        spurious_wakeups: bool = False,
+    ) -> None:
+        self.program = program
+        self.cost_model = cost_model or NoBoundCost()
+        self.bound = bound
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.spurious_wakeups = spurious_wakeups
+        self._stack: List[_ChoicePoint] = []
+        self._pruned_this_run = False
+        self._exhausted = False
+
+    def runs(self) -> Iterator[RunRecord]:
+        """Yield one :class:`RunRecord` per execution until the bounded
+        schedule space is exhausted."""
+        replay_len = 0
+        while not self._exhausted:
+            self._pruned_this_run = False
+            strategy = _DFSStrategy(self, replay_len)
+            result = execute(
+                self.program,
+                strategy,
+                max_steps=self.max_steps,
+                visible_filter=self.visible_filter,
+                record_enabled=True,
+                spurious_wakeups=self.spurious_wakeups,
+            )
+            final_cost = self._stack[-1].cost_after if self._stack else 0
+            yield RunRecord(result, final_cost, self._pruned_this_run)
+            replay_len = self._backtrack()
+            if replay_len is None:
+                self._exhausted = True
+
+    def _backtrack(self) -> Optional[int]:
+        """Advance the deepest choice point with an untried candidate.
+
+        Returns the new replay length, or ``None`` when exploration is
+        complete.
+        """
+        stack = self._stack
+        while stack:
+            top = stack[-1]
+            if top.has_untried():
+                top.idx += 1
+                return len(stack)
+            stack.pop()
+        return None

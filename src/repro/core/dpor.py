@@ -1,0 +1,563 @@
+"""Dynamic partial-order reduction with sleep sets (Flanagan & Godefroid).
+
+The paper's future work (section 8) names "various partial-order reduction
+techniques that reduce the number of schedules explored during systematic
+testing"; its related-work section traces them to persistent sets, sleep
+sets, and DPOR (POPL'05).  This module implements the classic algorithm on
+top of our stateless, replay-based engine:
+
+- **Dependency**: two operations are *dependent* iff they touch the same
+  shared object (same array cell) and do not obviously commute — at least
+  one writes, or both are lock-like operations on the same object.
+  Independent operations may be swapped without changing the outcome.
+- **Backtrack sets** (DPOR): when executing an operation, find the most
+  recent earlier operation it is dependent on and not already causally
+  ordered after (via vector clocks); schedule the current thread for
+  exploration at that earlier point.
+- **Sleep sets**: a sibling choice already explored at a point is put to
+  sleep; a sleeping thread is skipped until an executed operation is
+  dependent with the sleeper's pending operation.
+
+Guarantee (tested with hypothesis against full DFS): DPOR explores a
+subset of the terminal schedules, at least one per Mazurkiewicz trace —
+so it finds a deadlock/assertion violation iff full DFS finds one, while
+typically exploring far fewer schedules.
+
+Scope note: the classic algorithm assumes dependencies are the only
+inter-thread interaction.  Our ``AWAIT`` (value-gated busy-wait) op reads
+a shared cell, and we treat it as a read for dependency purposes; this is
+conservative and preserved by the property tests, which generate programs
+over the full op vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..engine.executor import DEFAULT_MAX_STEPS, execute
+from ..engine.state import Kernel, VisibleFilter
+from ..engine.strategies import SchedulerStrategy, round_robin_choice
+from ..runtime.objects import SharedArray
+from ..runtime.ops import Op, OpKind
+from ..runtime.program import Program
+from .explorer import BugReport, ExplorationStats, Explorer
+
+# ---------------------------------------------------------------------------
+# Dependency relation
+# ---------------------------------------------------------------------------
+
+_READS = frozenset({OpKind.LOAD, OpKind.AWAIT})
+_WRITES = frozenset({OpKind.STORE, OpKind.RMW, OpKind.CAS})
+_LOCKLIKE = frozenset(
+    {
+        OpKind.LOCK,
+        OpKind.REACQUIRE,
+        OpKind.UNLOCK,
+        OpKind.TRYLOCK,
+        OpKind.COND_WAIT,
+        OpKind.COND_SIGNAL,
+        OpKind.COND_BROADCAST,
+        OpKind.BARRIER_WAIT,
+        OpKind.SEM_WAIT,
+        OpKind.SEM_POST,
+        OpKind.RW_RDLOCK,
+        OpKind.RW_WRLOCK,
+        OpKind.RW_UNLOCK,
+    }
+)
+_LOCAL = frozenset(
+    {OpKind.YIELD, OpKind.NOOP, OpKind.THREAD_START, OpKind.SPAWN, OpKind.SPAWN_MANY,
+     OpKind.JOIN}
+)
+
+
+def _target_key(op: Op) -> Optional[Tuple[int, Any]]:
+    """Identity of the shared object an op touches (None = thread-local)."""
+    if op.kind in _LOCAL:
+        return None
+    target = op.target
+    if op.kind is OpKind.COND_WAIT:
+        # Interacts with both the condvar and the mutex; key on the condvar
+        # (the mutex interaction is covered by the implicit release, which
+        # we conservatively include by treating cond ops as lock-like on
+        # the mutex too via `extra_key`).
+        return (id(target), None)
+    if isinstance(target, SharedArray) and op.kind in (OpKind.LOAD, OpKind.STORE):
+        return (id(target), op.arg)
+    return (id(target), None)
+
+
+def _extra_key(op: Op) -> Optional[Tuple[int, Any]]:
+    if op.kind is OpKind.COND_WAIT:
+        return (id(op.arg), None)  # the mutex released/reacquired
+    return None
+
+
+def dependent(a: Op, b: Op) -> bool:
+    """Whether two operations may not commute."""
+    ka, kb = a.kind, b.kind
+    if ka in _LOCAL or kb in _LOCAL:
+        return False
+    keys_a = {_target_key(a), _extra_key(a)} - {None}
+    keys_b = {_target_key(b), _extra_key(b)} - {None}
+    if not (keys_a & keys_b):
+        return False
+    # Same object: reads commute with reads; everything else conflicts.
+    a_reads = ka in _READS
+    b_reads = kb in _READS
+    if a_reads and b_reads:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Vector clocks (local lightweight variant keyed by tid)
+# ---------------------------------------------------------------------------
+
+Clock = Dict[int, int]
+
+
+def _join(a: Clock, b: Clock) -> Clock:
+    out = dict(a)
+    for k, v in b.items():
+        if v > out.get(k, 0):
+            out[k] = v
+    return out
+
+
+def _leq(a: Clock, b: Clock) -> bool:
+    return all(v <= b.get(k, 0) for k, v in a.items())
+
+
+# ---------------------------------------------------------------------------
+# The explorer
+# ---------------------------------------------------------------------------
+
+
+class _Point:
+    """One scheduling point on the current DFS path.
+
+    A *step* is the visible operation chosen here plus the invisible data
+    accesses that execute with it (under racy-site filtering, most memory
+    traffic is invisible and piggybacks on the preceding visible op) — so
+    the dependency analysis works on the step's full footprint, not just
+    the visible op.
+    """
+
+    __slots__ = (
+        "chosen",
+        "enabled",
+        "backtrack",
+        "done",
+        "sleep",
+        "op",
+        "reads",
+        "writes",
+        "suffix_clean",
+        "clock",
+        "tid",
+        "increments",
+        "cost_before",
+    )
+
+    def __init__(self, enabled: Tuple[int, ...], sleep: Set[int]) -> None:
+        self.enabled = enabled
+        self.backtrack: Set[int] = set()
+        self.done: Set[int] = set()
+        #: Threads asleep at this point (sleep-set reduction).
+        self.sleep: Set[int] = set(sleep)
+        self.chosen: Optional[int] = None
+        self.op: Optional[Op] = None          # visible op executed here
+        self.reads: Set[Tuple[int, Any]] = set()
+        self.writes: Set[Tuple[int, Any]] = set()
+        #: True when the step carried no invisible data accesses, i.e. the
+        #: visible op alone determines its dependencies.
+        self.suffix_clean = True
+        self.clock: Clock = {}                # vector clock of that step
+        self.tid: Optional[int] = None
+        #: Preemption cost of scheduling each enabled thread here (0/1) and
+        #: the cumulative path cost before this point — fixed once the
+        #: point is created (they depend only on the prefix), used by the
+        #: bounded variant (Coons et al.'s BPOR combination).
+        self.increments: Dict[int, int] = {}
+        self.cost_before = 0
+
+    def reset_run_state(self) -> None:
+        self.op = None
+        self.reads = set()
+        self.writes = set()
+        self.suffix_clean = True
+        self.clock = {}
+        self.tid = None
+
+    def candidates(self, bound: Optional[int] = None) -> Set[int]:
+        """Unexplored backtrack candidates.
+
+        Unbounded: sleep-set filtering applies (a sleeping sibling's
+        subtree was fully explored, so re-running it is redundant).
+        Bounded: the bound may have truncated the sibling's subtree, so
+        the sleep-set argument no longer holds — sleeping candidates are
+        only skipped when an awake one exists, and every candidate must be
+        affordable within the bound."""
+        base = self.backtrack - self.done
+        if bound is not None:
+            base = {
+                t for t in base if self.cost_before + self.increments.get(t, 1) <= bound
+            }
+            awake = base - self.sleep
+            return awake if awake else base
+        return base - self.sleep
+
+
+def _steps_dependent(a: "_Point", b: "_Point") -> bool:
+    """Do two completed steps conflict (visible ops or data footprints)?"""
+    if a.op is None or b.op is None:
+        return False
+    if dependent(a.op, b.op):
+        return True
+    if a.writes & (b.reads | b.writes):
+        return True
+    if b.writes & a.reads:
+        return True
+    return False
+
+
+class _RedundantBranch(Exception):
+    """Raised mid-execution when every enabled thread is asleep: the rest
+    of this branch is covered by an already-explored sibling."""
+
+
+class _DPORStrategy(SchedulerStrategy):
+    """Replays stack decisions, extends with a default policy, collects
+    per-step footprints (as an ExecutionObserver), and runs the DPOR
+    analysis for each step once its footprint is complete."""
+
+    def __init__(self, dpor: "DPORExplorer") -> None:
+        self.dpor = dpor
+        self._current: Optional[_Point] = None
+
+    # -- ExecutionObserver side --------------------------------------------
+
+    def on_start(self, shared: Any) -> None:
+        pass
+
+    def on_wake(self, waker: int, woken: int, obj: Any) -> None:
+        pass
+
+    def on_finish(self, result: Any) -> None:
+        pass
+
+    def on_step(self, tid: int, op: Op, result: Any, visible: bool) -> None:
+        point = self._current
+        if point is None:
+            return
+        if visible:
+            return  # the visible op was captured in choose()
+        # Invisible data access: extend the current step's footprint.
+        key = _target_key(op)
+        if key is None:
+            return
+        point.suffix_clean = False
+        if op.kind in _WRITES:
+            point.writes.add(key)
+        else:
+            point.reads.add(key)
+
+    # -- SchedulerStrategy side ---------------------------------------------
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        dpor = self.dpor
+        stack = dpor._stack
+        # The previous step's footprint is now complete: analyse it.
+        if step_index > 0:
+            dpor._analyse(step_index - 1)
+        if step_index < len(stack):
+            point = stack[step_index]
+            tid = point.chosen
+            assert tid is not None and tid in enabled
+            point.reads = set()
+            point.writes = set()
+            point.suffix_clean = True
+        else:
+            # New frontier point: inherit the sleep set from the parent.  A
+            # sleeper stays asleep only when the parent step provably
+            # commutes with its pending op; a step that carried invisible
+            # data accesses might conflict with the sleeper's (unknown)
+            # future footprint, so it wakes everyone — conservative but
+            # sound.
+            sleep: Set[int] = set()
+            if stack:
+                parent = stack[-1]
+                if parent.suffix_clean and parent.op is not None:
+                    for s in parent.sleep:
+                        pending = (
+                            kernel.threads[s].pending
+                            if s < len(kernel.threads)
+                            else None
+                        )
+                        if pending is not None and not dependent(parent.op, pending):
+                            sleep.add(s)
+            point = _Point(enabled, sleep)
+            point.increments = {
+                t: (1 if t != last_tid and last_tid in enabled else 0)
+                for t in enabled
+            }
+            if stack:
+                parent = stack[-1]
+                point.cost_before = parent.cost_before + parent.increments.get(
+                    parent.chosen, 0
+                )
+            bound = dpor.preemption_bound
+            if bound is None:
+                selectable = [t for t in enabled if t not in sleep]
+                if not selectable:
+                    raise _RedundantBranch()
+            else:
+                affordable = [
+                    t
+                    for t in enabled
+                    if point.cost_before + point.increments[t] <= bound
+                ]
+                if len(affordable) < len(enabled):
+                    dpor.bound_pruned = True
+                selectable = [t for t in affordable if t not in sleep] or affordable
+                if not selectable:
+                    raise _RedundantBranch()
+            tid = round_robin_choice(tuple(selectable), last_tid, kernel.num_created)
+            point.backtrack.add(tid)
+            stack.append(point)
+        point.chosen = tid
+        # Record the visible op and seed the footprint with it.
+        op = kernel.threads[tid].pending
+        point.op = op
+        point.tid = tid
+        if op is not None:
+            key = _target_key(op)
+            if key is not None and op.kind in (OpKind.LOAD, OpKind.STORE):
+                (point.writes if op.kind in _WRITES else point.reads).add(key)
+        self._current = point
+        return tid
+
+
+class DPORExplorer(Explorer):
+    """Depth-first search with dynamic partial-order reduction + sleep sets."""
+
+    technique = "DPOR"
+
+    def __init__(
+        self,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        stop_at_first_bug: bool = False,
+        preemption_bound: Optional[int] = None,
+    ) -> None:
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.stop_at_first_bug = stop_at_first_bug
+        #: When set, explore only schedules with at most this many
+        #: preemptions, with Coons-style conservative backtrack points
+        #: preserving bounded coverage (BPOR).
+        self.preemption_bound = preemption_bound
+        if preemption_bound is not None:
+            self.technique = f"BPOR({preemption_bound})"
+        #: Set during explore() when the bound cut off any candidate —
+        #: i.e. raising the bound could reach more schedules.
+        self.bound_pruned = False
+        self._stack: List[_Point] = []
+        self._thread_clock: Dict[int, Clock] = {}
+
+    def _analyse(self, j: int) -> None:
+        """Clock + backtrack analysis for the completed step ``j``.
+
+        Runs every execution (backtrack-set union is idempotent).  Walks
+        every dependent, non-happens-before predecessor from the most
+        recent backwards; at the first point where the stepping thread was
+        enabled, scheduling it there reverses the race — record it and
+        stop.  At points where it was blocked (e.g. the predecessor is the
+        mutex release that re-enabled it) the add-all-enabled fallback is
+        a no-op, so keep walking: this is what makes lock-order deadlocks
+        reachable (the acquire/acquire race registers at the earlier
+        acquire, not at the release)."""
+        stack = self._stack
+        point = stack[j]
+        if point.clock:
+            return  # already analysed this run
+        q = point.tid
+        if q is None or point.op is None:
+            return
+        base = self._thread_clock.get(q, {})
+        clock = dict(base)
+        registered = False
+        for i in range(j - 1, -1, -1):
+            prev = stack[i]
+            if prev.op is None or prev.tid == q:
+                continue
+            if not _steps_dependent(prev, point):
+                continue
+            clock = _join(clock, prev.clock)
+            if not registered and not _leq(prev.clock, base):
+                if q in prev.enabled:
+                    prev.backtrack.add(q)
+                    registered = True
+                else:
+                    prev.backtrack.update(prev.enabled)
+                if self.preemption_bound is not None:
+                    # Conservative backtrack point (BPOR): scheduling q at
+                    # i may blow the budget there; also schedule it at the
+                    # most recent earlier point where running q is *free*
+                    # (a non-preemptive switch), so the reversal stays
+                    # reachable within the bound.
+                    for k in range(i, -1, -1):
+                        earlier = stack[k]
+                        if (
+                            q in earlier.enabled
+                            and earlier.increments.get(q, 1) == 0
+                        ):
+                            earlier.backtrack.add(q)
+                            break
+        clock[q] = clock.get(q, 0) + 1
+        point.clock = clock
+        self._thread_clock[q] = clock
+
+    def explore(self, program: Program, limit: int) -> ExplorationStats:
+        stats = ExplorationStats(self.technique, program.name, limit)
+        self._stack = []
+        self.bound_pruned = False
+        while True:
+            self._thread_clock = {}
+            for p in self._stack:
+                p.reset_run_state()
+            strategy = _DPORStrategy(self)
+            try:
+                result = execute(
+                    program,
+                    strategy,
+                    max_steps=self.max_steps,
+                    visible_filter=self.visible_filter,
+                    observers=(strategy,),
+                    record_enabled=True,
+                )
+            except _RedundantBranch:
+                result = None  # branch covered by an explored sibling
+            else:
+                if self._stack:
+                    self._analyse(len(result.schedule) - 1)
+            stats.executions += 1
+            if result is not None:
+                stats.observe_run(result)
+                if result.outcome.is_terminal_schedule:
+                    stats.schedules += 1
+                    if result.is_buggy:
+                        stats.buggy_schedules += 1
+                        if stats.first_bug is None:
+                            stats.first_bug = BugReport(
+                                program.name,
+                                result.outcome,
+                                str(result.bug),
+                                result.schedule,
+                                None,
+                                stats.schedules,
+                            )
+                            if self.stop_at_first_bug:
+                                return stats
+                    if stats.schedules >= limit:
+                        return stats
+            if not self._backtrack():
+                stats.completed = True
+                return stats
+
+    def _backtrack(self) -> bool:
+        """Advance to the deepest point with an unexplored backtrack
+        candidate; returns False when the search is complete."""
+        stack = self._stack
+        while stack:
+            point = stack[-1]
+            if point.chosen is not None:
+                point.done.add(point.chosen)
+                point.sleep.add(point.chosen)
+                point.chosen = None
+            bound = self.preemption_bound
+            if bound is not None:
+                base = point.backtrack - point.done
+                affordable = {
+                    t
+                    for t in base
+                    if point.cost_before + point.increments.get(t, 1) <= bound
+                }
+                if affordable != base:
+                    self.bound_pruned = True
+            candidates = point.candidates(self.preemption_bound)
+            if candidates:
+                point.chosen = min(candidates)
+                point.reset_run_state()
+                return True
+            stack.pop()
+        return False
+
+
+class IterativeBPORExplorer(Explorer):
+    """Iterative bounded partial-order reduction (IBPOR).
+
+    The POR analogue of the study's IPB: explore all partial-order
+    representatives reachable within preemption bound 0, then 1, etc.
+    Unlike :class:`~repro.core.iterative.IterativeBoundingExplorer`, the
+    per-bound searches cannot share distinct-schedule accounting (each
+    bound induces different Mazurkiewicz representatives), so
+    ``schedules`` counts every execution across iterations; the per-bound
+    explorer's ``bound_pruned`` flag decides when raising the bound can no
+    longer reach anything new.
+    """
+
+    technique = "IBPOR"
+
+    def __init__(
+        self,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_bound: int = 64,
+    ) -> None:
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.max_bound = max_bound
+
+    def explore(self, program: Program, limit: int) -> ExplorationStats:
+        stats = ExplorationStats(self.technique, program.name, limit)
+        for bound in range(self.max_bound + 1):
+            stats.bound = bound
+            inner = DPORExplorer(
+                visible_filter=self.visible_filter,
+                max_steps=self.max_steps,
+                preemption_bound=bound,
+                stop_at_first_bug=True,
+            )
+            sub = inner.explore(program, max(1, limit - stats.schedules))
+            stats.executions += sub.executions
+            stats.schedules += sub.schedules
+            stats.new_schedules_at_bound = sub.schedules
+            stats.buggy_schedules += sub.buggy_schedules
+            stats.step_limit_hits += sub.step_limit_hits
+            stats.max_enabled = max(stats.max_enabled, sub.max_enabled)
+            stats.max_choice_points = max(
+                stats.max_choice_points, sub.max_choice_points
+            )
+            stats.threads_created = max(stats.threads_created, sub.threads_created)
+            if sub.first_bug is not None and stats.first_bug is None:
+                stats.first_bug = BugReport(
+                    sub.first_bug.program_name,
+                    sub.first_bug.outcome,
+                    sub.first_bug.message,
+                    sub.first_bug.schedule,
+                    bound,
+                    stats.schedules,
+                )
+                return stats
+            if stats.schedules >= limit:
+                return stats
+            if sub.completed and not inner.bound_pruned:
+                stats.completed = True
+                return stats
+        return stats

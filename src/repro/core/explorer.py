@@ -1,0 +1,176 @@
+"""Explorer base types: bug reports and exploration statistics.
+
+An *exploration* is a sequence of controlled executions of one program.
+:class:`ExplorationStats` carries exactly the quantities Table 3 of the
+paper reports per benchmark and technique: the bound at which the bug was
+found, the number of terminal schedules to the first bug, the total number
+of (distinct) terminal schedules explored, how many of those are "new" at
+the final bound, and how many were buggy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..engine.trace import ExecutionResult, Outcome
+
+
+class BugReport:
+    """A reproducible bug: outcome + the schedule that triggers it."""
+
+    __slots__ = ("program_name", "outcome", "message", "schedule", "bound", "index")
+
+    def __init__(
+        self,
+        program_name: str,
+        outcome: Outcome,
+        message: str,
+        schedule: List[int],
+        bound: Optional[int],
+        index: int,
+    ) -> None:
+        self.program_name = program_name
+        self.outcome = outcome
+        self.message = message
+        #: Replayable with :func:`repro.engine.replay` (same visible filter).
+        self.schedule = schedule
+        #: Preemption/delay bound at which the bug surfaced (None for
+        #: unbounded/random techniques).
+        self.bound = bound
+        #: 1-based count of terminal schedules up to and including this one.
+        self.index = index
+
+    def __repr__(self) -> str:
+        where = f" at bound {self.bound}" if self.bound is not None else ""
+        return (
+            f"BugReport({self.program_name}: {self.outcome.value}{where}, "
+            f"schedule #{self.index})"
+        )
+
+
+class ExplorationStats:
+    """Aggregate statistics of one technique applied to one program."""
+
+    __slots__ = (
+        "technique",
+        "program_name",
+        "schedules",
+        "buggy_schedules",
+        "first_bug",
+        "bound",
+        "new_schedules_at_bound",
+        "completed",
+        "executions",
+        "step_limit_hits",
+        "max_enabled",
+        "max_choice_points",
+        "threads_created",
+        "limit",
+    )
+
+    def __init__(self, technique: str, program_name: str, limit: int) -> None:
+        self.technique = technique
+        self.program_name = program_name
+        #: Terminal schedules explored (distinct for systematic techniques;
+        #: possibly repeating for Rand, as in the paper).
+        self.schedules = 0
+        self.buggy_schedules = 0
+        #: First bug found, if any.
+        self.first_bug: Optional[BugReport] = None
+        #: For iterative bounding: the smallest bound exposing the bug, or
+        #: the bound reached (not fully explored) when the limit was hit.
+        self.bound: Optional[int] = None
+        #: Table 3 "# new schedules": schedules with exactly ``bound``
+        #: preemptions/delays.
+        self.new_schedules_at_bound = 0
+        #: Whether the whole schedule space was exhausted below the limit.
+        self.completed = False
+        #: Raw executions, counting bounded-DFS re-exploration of
+        #: lower-bound prefixes (implementation cost, not a paper metric).
+        self.executions = 0
+        self.step_limit_hits = 0
+        self.max_enabled = 0
+        self.max_choice_points = 0
+        self.threads_created = 0
+        self.limit = limit
+
+    @property
+    def found_bug(self) -> bool:
+        return self.first_bug is not None
+
+    @property
+    def schedules_to_first_bug(self) -> Optional[int]:
+        return self.first_bug.index if self.first_bug else None
+
+    @property
+    def coverage_guarantee(self) -> Optional[int]:
+        """The paper's bounded coverage guarantee (section 1).
+
+        For iterative bounding explorers: the largest bound ``k`` such
+        that *every* schedule with at most ``k`` preemptions/delays has
+        been explored — so any undiscovered bug needs at least ``k + 1``.
+        ``None`` when no full bound was completed (or the technique is
+        not a bounding one).  When the whole space was exhausted
+        (``completed``), the guarantee is unbounded and reported as the
+        final bound reached.
+        """
+        if self.bound is None:
+            return None
+        if self.completed:
+            return self.bound
+        if self.found_bug and self.first_bug.bound == self.bound:
+            # The paper finishes the exposing bound after a find, so the
+            # guarantee covers it; a limit hit mid-bound covers bound-1.
+            return self.bound if self.schedules < self.limit else self.bound - 1
+        # Limit hit while exploring `bound`: only bound-1 fully covered.
+        guarantee = self.bound - 1 if self.schedules >= self.limit else self.bound
+        return guarantee if guarantee >= 0 else None
+
+    def observe_run(self, result: ExecutionResult) -> None:
+        """Fold per-execution extremes into the stats."""
+        if result.max_enabled > self.max_enabled:
+            self.max_enabled = result.max_enabled
+        if result.choice_points > self.max_choice_points:
+            self.max_choice_points = result.choice_points
+        if result.threads_created > self.threads_created:
+            self.threads_created = result.threads_created
+        if result.outcome is Outcome.STEP_LIMIT:
+            self.step_limit_hits += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "program": self.program_name,
+            "schedules": self.schedules,
+            "buggy_schedules": self.buggy_schedules,
+            "schedules_to_first_bug": self.schedules_to_first_bug,
+            "bound": self.bound,
+            "new_schedules_at_bound": self.new_schedules_at_bound,
+            "completed": self.completed,
+            "found_bug": self.found_bug,
+            "max_enabled": self.max_enabled,
+            "max_choice_points": self.max_choice_points,
+            "threads_created": self.threads_created,
+        }
+
+    def __repr__(self) -> str:
+        found = (
+            f"bug@{self.schedules_to_first_bug}" if self.found_bug else "no-bug"
+        )
+        return (
+            f"ExplorationStats({self.technique} on {self.program_name}: "
+            f"{self.schedules} schedules, {found})"
+        )
+
+
+class Explorer:
+    """Base class for bug-finding techniques.
+
+    Subclasses implement :meth:`explore`; ``technique`` is the short name
+    used in tables ("IPB", "IDB", "DFS", "Rand", "MapleAlg", "PCT").
+    """
+
+    technique = "?"
+
+    def explore(self, program: Any, limit: int) -> ExplorationStats:
+        raise NotImplementedError

@@ -1,0 +1,71 @@
+"""The naive random scheduler (Rand).
+
+At every scheduling point one enabled thread is chosen uniformly at random.
+No information is saved between runs, so the same schedule may be explored
+repeatedly and the search never "completes" (section 3 of the paper) —
+``ExplorationStats.completed`` stays ``False`` by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine.executor import DEFAULT_MAX_STEPS, execute
+from ..engine.state import VisibleFilter
+from ..engine.strategies import RandomStrategy
+from ..runtime.program import Program
+from .explorer import BugReport, ExplorationStats, Explorer
+
+
+class RandomExplorer(Explorer):
+    technique = "Rand"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        stop_at_first_bug: bool = False,
+        spurious_wakeups: bool = False,
+    ) -> None:
+        self.seed = seed
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.stop_at_first_bug = stop_at_first_bug
+        self.spurious_wakeups = spurious_wakeups
+
+    def explore(self, program: Program, limit: int) -> ExplorationStats:
+        """Run ``limit`` random-schedule executions (the paper runs 10,000)."""
+        stats = ExplorationStats(self.technique, program.name, limit)
+        rng = random.Random(self.seed)
+        strategy = RandomStrategy(rng)
+        for _ in range(limit):
+            result = execute(
+                program,
+                strategy,
+                max_steps=self.max_steps,
+                visible_filter=self.visible_filter,
+                record_enabled=False,
+                spurious_wakeups=self.spurious_wakeups,
+            )
+            stats.executions += 1
+            stats.observe_run(result)
+            if not result.outcome.is_terminal_schedule:
+                continue
+            stats.schedules += 1
+            if result.is_buggy:
+                stats.buggy_schedules += 1
+                if stats.first_bug is None:
+                    stats.first_bug = BugReport(
+                        program.name,
+                        result.outcome,
+                        str(result.bug),
+                        result.schedule,
+                        None,
+                        stats.schedules,
+                    )
+                    if self.stop_at_first_bug:
+                        return stats
+        return stats

@@ -1,0 +1,168 @@
+"""Schedule representation and the paper's section-2 bound mathematics.
+
+A schedule ``α = ⟨α(1), ..., α(n)⟩`` is a list of thread identifiers; the
+element ``α(i)`` is the thread executing at step *i*.  To classify context
+switches and count preemptions/delays we additionally need, for each step,
+the *enabled set at the scheduling point of that step* and (for delays) the
+number of threads created so far, ``N``.  :class:`repro.engine.ExecutionResult`
+records both.
+
+Definitions implemented verbatim from the paper:
+
+Preemption count (PC)
+    ``PC(α·t) = PC(α) + 1`` iff ``last(α) ≠ t ∧ last(α) ∈ enabled(α)``;
+    a schedule of length zero or one has no preemptions.
+
+Delay count (DC), against the deterministic non-preemptive round-robin
+scheduler:
+    ``delays(α, t) = |{x : 0 ≤ x < distance(last(α), t) ∧
+    (last(α)+x) mod N ∈ enabled(α)}|`` — the number of enabled threads
+    skipped when moving round-robin from ``last(α)`` to ``t``.
+    ``DC(α·t) = DC(α) + delays(α, t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.trace import ExecutionResult
+
+EnabledSets = Sequence[Tuple[int, ...]]
+
+
+def distance(x: int, y: int, n: int) -> int:
+    """Round-robin distance: the unique ``d ∈ {0..n-1}`` with ``(x+d) % n == y``."""
+    if n <= 0:
+        raise ValueError("thread count must be positive")
+    return (y - x) % n
+
+
+def preemption_increment(last_tid: int, chosen: int, enabled: Tuple[int, ...]) -> int:
+    """PC contribution of choosing ``chosen`` after ``last_tid``.
+
+    1 iff this is a *preemptive* context switch: we switch away from a
+    thread that could have continued.
+    """
+    return 1 if chosen != last_tid and last_tid in enabled else 0
+
+
+def delay_increment(
+    last_tid: int, chosen: int, enabled: Tuple[int, ...], num_created: int
+) -> int:
+    """DC contribution: enabled threads skipped round-robin from
+    ``last_tid`` to ``chosen`` (``last_tid`` itself counts if enabled)."""
+    d = distance(last_tid, chosen, num_created)
+    if d == 0:
+        return 0
+    enabled_set = set(enabled)
+    count = 0
+    for x in range(d):
+        if (last_tid + x) % num_created in enabled_set:
+            count += 1
+    return count
+
+
+def preemption_count(
+    schedule: Sequence[int],
+    enabled_sets: EnabledSets,
+    initial_tid: int = 0,
+) -> int:
+    """PC of a full schedule.  ``enabled_sets[i]`` is the enabled set at the
+    scheduling point of step ``i``.
+
+    The first step is never a preemption (a schedule of length ≤ 1 has no
+    preemptions); in our engine the initial thread is 0 and is the only
+    thread at step 0, so using ``initial_tid=0`` is equivalent.
+    """
+    count = 0
+    last = initial_tid
+    for i, tid in enumerate(schedule):
+        if i > 0:
+            count += preemption_increment(last, tid, enabled_sets[i])
+        last = tid
+    return count
+
+
+def delay_count(
+    schedule: Sequence[int],
+    enabled_sets: EnabledSets,
+    created_counts: Sequence[int],
+    initial_tid: int = 0,
+) -> int:
+    """DC of a full schedule against the round-robin deterministic scheduler."""
+    count = 0
+    last = initial_tid
+    for i, tid in enumerate(schedule):
+        if i > 0:
+            count += delay_increment(last, tid, enabled_sets[i], created_counts[i])
+        last = tid
+    return count
+
+
+def context_switch_flags(
+    schedule: Sequence[int], enabled_sets: EnabledSets
+) -> List[Optional[bool]]:
+    """Per-step classification: ``None`` = no switch, ``True`` = preemptive
+    switch, ``False`` = non-preemptive switch (section 2)."""
+    flags: List[Optional[bool]] = []
+    last: Optional[int] = None
+    for i, tid in enumerate(schedule):
+        if last is None or tid == last:
+            flags.append(None)
+        else:
+            flags.append(last in enabled_sets[i])
+        last = tid
+    return flags
+
+
+class Schedule:
+    """A recorded schedule with enough context to compute its bounds."""
+
+    __slots__ = ("tids", "enabled_sets", "created_counts", "_pc", "_dc")
+
+    def __init__(
+        self,
+        tids: Sequence[int],
+        enabled_sets: EnabledSets,
+        created_counts: Sequence[int],
+    ) -> None:
+        if not (len(tids) == len(enabled_sets) == len(created_counts)):
+            raise ValueError("schedule components must have equal length")
+        self.tids = list(tids)
+        self.enabled_sets = list(enabled_sets)
+        self.created_counts = list(created_counts)
+        self._pc: Optional[int] = None
+        self._dc: Optional[int] = None
+
+    @classmethod
+    def from_result(cls, result: ExecutionResult) -> "Schedule":
+        if result.enabled_sets is None or result.created_counts is None:
+            raise ValueError(
+                "execution was run with record_enabled=False; bounds "
+                "cannot be computed"
+            )
+        return cls(result.schedule, result.enabled_sets, result.created_counts)
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(self.tids)
+
+    @property
+    def preemptions(self) -> int:
+        if self._pc is None:
+            self._pc = preemption_count(self.tids, self.enabled_sets)
+        return self._pc
+
+    @property
+    def delays(self) -> int:
+        if self._dc is None:
+            self._dc = delay_count(self.tids, self.enabled_sets, self.created_counts)
+        return self._dc
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(len={len(self.tids)}, pc={self.preemptions}, "
+            f"dc={self.delays})"
+        )

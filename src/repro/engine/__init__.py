@@ -1,0 +1,41 @@
+"""Controlled-execution engine: serialize a program under a chosen scheduler.
+
+The engine implements the paper's execution model (section 2): execution is
+serialised, concurrency is emulated by interleaving visible operations, and
+the scheduler strategy is the only source of nondeterminism.
+"""
+
+from .executor import DEFAULT_MAX_STEPS, execute, replay
+from .state import Kernel, ThreadState, ThreadStatus, VisibleFilter
+from .strategies import (
+    CallbackStrategy,
+    FixedChoiceStrategy,
+    RandomStrategy,
+    ReplayDivergence,
+    ReplayStrategy,
+    RoundRobinStrategy,
+    SchedulerStrategy,
+    round_robin_choice,
+)
+from .trace import ExecutionObserver, ExecutionResult, Outcome
+
+__all__ = [
+    "execute",
+    "replay",
+    "DEFAULT_MAX_STEPS",
+    "Kernel",
+    "ThreadState",
+    "ThreadStatus",
+    "VisibleFilter",
+    "SchedulerStrategy",
+    "RoundRobinStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "ReplayDivergence",
+    "FixedChoiceStrategy",
+    "CallbackStrategy",
+    "round_robin_choice",
+    "ExecutionObserver",
+    "ExecutionResult",
+    "Outcome",
+]

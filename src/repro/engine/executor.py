@@ -1,0 +1,142 @@
+"""Run one controlled execution of a program under a scheduler strategy."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..runtime.errors import DeadlockBug
+from ..runtime.program import Program
+from .state import Kernel, VisibleFilter
+from .strategies import SchedulerStrategy
+from .trace import ExecutionObserver, ExecutionResult, Outcome, outcome_for_bug
+
+#: Default per-execution visible-step budget.  Exceeding it classifies the
+#: execution as ``STEP_LIMIT`` (livelock guard; see DESIGN.md section 3).
+DEFAULT_MAX_STEPS = 50_000
+
+
+def execute(
+    program: Program,
+    strategy: SchedulerStrategy,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    visible_filter: Optional[VisibleFilter] = None,
+    observers: Sequence[ExecutionObserver] = (),
+    record_enabled: bool = True,
+    spurious_wakeups: int = 0,
+) -> ExecutionResult:
+    """Execute ``program`` once, fully controlling the schedule.
+
+    Parameters
+    ----------
+    strategy:
+        Chooses one enabled thread at every scheduling point.
+    visible_filter:
+        Predicate deciding whether a data access op is a scheduling point.
+        ``None`` = every access is visible (used by the race-detection
+        phase); explorers pass the racy-site filter produced by
+        :func:`repro.racedetect.phase.detect_races`.
+    record_enabled:
+        Record per-step enabled sets and thread counts (needed to compute
+        preemption/delay counts post-hoc).  Disable for cheap runs.
+    spurious_wakeups:
+        Per-execution budget of signal-less condvar wake-ups (POSIX
+        permits them; CHESS's ``/spuriouswakeups``).  ``True`` means one.
+        While budget remains, waiting threads join the enabled set, so
+        schedules recorded with a budget only replay with the same
+        budget.  The budget keeps correct wait/recheck loops' schedule
+        trees finite.
+
+    Returns
+    -------
+    ExecutionResult
+        Outcome, schedule, and recording data.  Never raises for bugs in
+        the program under test — those become buggy outcomes.
+    """
+    from ..runtime.objects import reset_anon_counter
+
+    reset_anon_counter()
+    shared = program.setup()
+    kernel = Kernel(shared, visible_filter, tuple(observers), spurious_wakeups)
+    kernel.spawn(program.main, (shared,))
+    strategy.on_execution_start()
+    for obs in observers:
+        obs.on_start(shared)
+
+    schedule: list = []
+    enabled_sets: Optional[list] = [] if record_enabled else None
+    created_counts: Optional[list] = [] if record_enabled else None
+    choice_points = 0
+    max_enabled = 0
+
+    outcome: Outcome
+    while True:
+        if kernel.bug is not None:
+            outcome = outcome_for_bug(kernel.bug)
+            break
+        enabled = kernel.enabled()
+        width = len(enabled)
+        if width == 0:
+            if kernel.all_finished:
+                outcome = Outcome.OK
+            else:
+                kernel.bug = DeadlockBug(
+                    "deadlock: " + kernel.blocked_description()
+                )
+                outcome = Outcome.DEADLOCK
+            break
+        if kernel.steps >= max_steps:
+            outcome = Outcome.STEP_LIMIT
+            break
+        if width > max_enabled:
+            max_enabled = width
+        if width > 1:
+            choice_points += 1
+        tid = strategy.choose(kernel.steps, enabled, kernel.last_tid, kernel)
+        if record_enabled:
+            enabled_sets.append(enabled)
+            created_counts.append(kernel.num_created)
+        schedule.append(tid)
+        kernel.step(tid)
+
+    result = ExecutionResult(
+        outcome=outcome,
+        bug=kernel.bug,
+        schedule=schedule,
+        enabled_sets=enabled_sets,
+        created_counts=created_counts,
+        steps=kernel.steps,
+        choice_points=choice_points,
+        max_enabled=max_enabled,
+        threads_created=kernel.num_created,
+        shared=shared,
+    )
+    for obs in observers:
+        obs.on_finish(result)
+    return result
+
+
+def replay(
+    program: Program,
+    schedule: Sequence[int],
+    *,
+    visible_filter: Optional[VisibleFilter] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    spurious_wakeups: int = 0,
+) -> ExecutionResult:
+    """Replay a recorded schedule (bug reproduction).
+
+    Raises :class:`repro.engine.strategies.ReplayDivergence` if the program
+    behaves differently than when the schedule was recorded — i.e. if the
+    determinism assumption is violated.  Pass the same ``visible_filter``
+    and ``spurious_wakeups`` the schedule was recorded with.
+    """
+    from .strategies import ReplayStrategy
+
+    return execute(
+        program,
+        ReplayStrategy(schedule, strict=True),
+        visible_filter=visible_filter,
+        max_steps=max_steps,
+        spurious_wakeups=spurious_wakeups,
+    )

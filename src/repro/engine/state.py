@@ -1,0 +1,478 @@
+"""Kernel state for one controlled execution.
+
+The :class:`Kernel` plays the role of the OS scheduler + pthread library
+that Maple (via PIN) interposes on: it owns every thread's generator,
+services operation requests, tracks blocking, and exposes the *enabled set*
+that scheduler strategies choose from.
+
+Semantics notes (mapping to the paper's model, section 2):
+
+- A thread is *poised* at its next visible op; the scheduling point is just
+  before that op.  ``enabled()`` returns poised threads whose op's
+  precondition holds (mutex free, join target finished, ...).
+- Executing a step = executing the poised visible op, then running the
+  thread's generator through any *invisible* operations (data accesses at
+  non-racy sites) until it is poised at the next visible op.  This matches
+  the paper's definition of a step as "a visible operation followed by a
+  finite sequence of invisible operations".
+- ``cond_wait`` and ``barrier_wait`` park the thread (status ``WAITING``)
+  *after* executing; waking re-poises it at an engine-generated
+  continuation op (mutex reacquire / no-op), which is itself a visible
+  step — the same behaviour a pthread SCT tool observes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..runtime.context import ThreadContext, ThreadHandle
+from ..runtime.errors import ConcurrencyBug, CrashBug, RuntimeUsageError
+from ..runtime.objects import (
+    Atomic,
+    Barrier,
+    CondVar,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SharedArray,
+)
+from ..runtime.ops import DATA_KINDS, Op, OpKind, noop_op, reacquire_op
+
+VisibleFilter = Callable[[Op], bool]
+
+#: Op kinds whose enabledness depends on shared state (everything else is
+#: always enabled — checked first on the hot path).
+_CONDITIONAL_KINDS = frozenset(
+    {
+        OpKind.LOCK,
+        OpKind.REACQUIRE,
+        OpKind.JOIN,
+        OpKind.SEM_WAIT,
+        OpKind.AWAIT,
+        OpKind.RW_RDLOCK,
+        OpKind.RW_WRLOCK,
+    }
+)
+
+
+class ThreadStatus(enum.IntEnum):
+    RUNNABLE = 0   # poised at a pending visible op
+    WAITING = 1    # parked (cond wait / barrier) until woken
+    FINISHED = 2
+
+
+class ThreadState:
+    """Book-keeping for one thread within one execution."""
+
+    __slots__ = ("tid", "handle", "gen", "ctx", "status", "pending", "wait_obj", "wait_data")
+
+    def __init__(self, tid: int, gen: Generator[Op, Any, Any]) -> None:
+        self.tid = tid
+        self.handle = ThreadHandle(tid)
+        self.gen = gen
+        self.ctx = ThreadContext(tid)
+        self.status = ThreadStatus.RUNNABLE
+        #: The visible op this thread is poised at (valid when RUNNABLE;
+        #: set by the kernel's spawn-time advance).
+        self.pending: Optional[Op] = None
+        #: The object this thread is parked on (valid when WAITING).
+        self.wait_obj: Any = None
+        #: Extra wake data (the mutex to reacquire after cond_wait).
+        self.wait_data: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadState(tid={self.tid}, {self.status.name})"
+
+
+class Kernel:
+    """All mutable state of one controlled execution."""
+
+    __slots__ = (
+        "threads",
+        "shared",
+        "bug",
+        "visible_filter",
+        "observers",
+        "last_tid",
+        "steps",
+        "spurious_wakeups",
+        "_finished_count",
+    )
+
+    def __init__(
+        self,
+        shared: Any,
+        visible_filter: Optional[VisibleFilter],
+        observers: Tuple[Any, ...],
+        spurious_wakeups: int = 0,
+    ) -> None:
+        self.threads: List[ThreadState] = []
+        self.shared = shared
+        self.bug: Optional[ConcurrencyBug] = None
+        #: ``None`` means "everything visible" (race-detection phase).
+        self.visible_filter = visible_filter
+        self.observers = observers
+        #: Remaining spurious-wakeup budget.  When positive, a thread
+        #: parked in ``cond_wait`` may be scheduled at any point — it wakes
+        #: without a signal (POSIX allows this; CHESS's
+        #: ``/spuriouswakeups`` tests the same thing).  Exposes
+        #: missing-``while``-recheck bugs.  The budget is per execution:
+        #: an unbounded allowance would make a correct wait/recheck loop's
+        #: schedule tree infinite (wake, recheck, re-wait, wake, ...).
+        #: ``True`` means a budget of one.
+        self.spurious_wakeups = int(spurious_wakeups)
+        #: id of the thread that executed the previous step (``last(α)``);
+        #: starts at 0, the main thread, matching the deterministic
+        #: round-robin scheduler's starting point.
+        self.last_tid = 0
+        self.steps = 0
+        self._finished_count = 0
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    def spawn(self, body: Callable[..., Any], args: Tuple[Any, ...]) -> ThreadHandle:
+        """Create a thread and poise it at its first visible operation.
+
+        The child's invisible prefix (if any) executes here, i.e. within
+        the spawner's step — matching the paper's model where a thread's
+        first *step* is its first visible operation.
+        """
+        tid = len(self.threads)
+        ts = ThreadState(tid, None)  # type: ignore[arg-type]
+        gen = body(ts.ctx, *args)
+        if not hasattr(gen, "send"):
+            raise RuntimeUsageError(
+                f"thread body {getattr(body, '__name__', body)!r} must be a "
+                "generator function (did you forget to yield?)"
+            )
+        ts.gen = gen
+        self.threads.append(ts)
+        self._advance(ts, None)
+        return ts.handle
+
+    @property
+    def num_created(self) -> int:
+        return len(self.threads)
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished_count == len(self.threads)
+
+    # -- enabledness ---------------------------------------------------------
+
+    def _op_enabled(self, op: Op) -> bool:
+        k = op.kind
+        if k not in _CONDITIONAL_KINDS:  # fast path: most ops never block
+            return True
+        if k is OpKind.LOCK or k is OpKind.REACQUIRE:
+            return op.target.owner is None
+        if k is OpKind.JOIN:
+            return op.target.finished
+        if k is OpKind.SEM_WAIT:
+            return op.target.count > 0
+        if k is OpKind.AWAIT:
+            return bool(op.arg(op.target.value))
+        if k is OpKind.RW_RDLOCK:
+            return op.target.writer is None
+        if k is OpKind.RW_WRLOCK:
+            return op.target.writer is None and not op.target.readers
+        return True
+
+    def enabled(self) -> Tuple[int, ...]:
+        """Sorted tuple of tids whose pending op can execute now."""
+        out = []
+        spurious = self.spurious_wakeups > 0
+        for ts in self.threads:
+            if (
+                ts.status is ThreadStatus.RUNNABLE
+                and ts.pending is not None
+                and self._op_enabled(ts.pending)
+            ):
+                out.append(ts.tid)
+            elif (
+                spurious
+                and ts.status is ThreadStatus.WAITING
+                and isinstance(ts.wait_obj, CondVar)
+            ):
+                # Scheduling a condvar waiter wakes it spuriously.
+                out.append(ts.tid)
+        return tuple(out)
+
+    def live_unfinished(self) -> List[ThreadState]:
+        return [t for t in self.threads if t.status is not ThreadStatus.FINISHED]
+
+    def blocked_description(self) -> str:
+        parts = []
+        for t in self.live_unfinished():
+            if t.status is ThreadStatus.WAITING:
+                parts.append(f"T{t.tid} parked on {t.wait_obj!r}")
+            elif t.pending is not None:
+                parts.append(
+                    f"T{t.tid} blocked at {t.pending.kind.name} "
+                    f"on {t.pending.target!r} ({t.pending.site})"
+                )
+        return "; ".join(parts)
+
+    # -- stepping -------------------------------------------------------------
+
+    def step(self, tid: int) -> None:
+        """Execute one step of thread ``tid`` (must be enabled).
+
+        Executes the pending visible op, then advances the generator through
+        invisible ops to the next visible boundary.  Sets ``self.bug`` if
+        the step surfaces a bug.
+        """
+        ts = self.threads[tid]
+        if (
+            self.spurious_wakeups > 0
+            and ts.status is ThreadStatus.WAITING
+            and isinstance(ts.wait_obj, CondVar)
+        ):
+            # Spurious wakeup: unpark without a signal.  This step either
+            # reacquires the mutex (if free) or leaves the thread poised
+            # at the reacquire, exactly like a signalled wake-up.
+            self.spurious_wakeups -= 1
+            cond: CondVar = ts.wait_obj
+            cond.waiters.remove(tid)
+            ts.status = ThreadStatus.RUNNABLE
+            ts.pending = reacquire_op(ts.wait_data, site=f"<spurious:{cond.name}>")
+            ts.wait_obj = None
+            if ts.pending.target.owner is not None:
+                # Mutex busy: the wake itself is the step (observers see a
+                # no-op, not an acquire); the thread now blocks at the
+                # reacquire like any other lock waiter.
+                self._notify_step(
+                    tid, noop_op(site=f"<spurious:{cond.name}>"), None, visible=True
+                )
+                self.last_tid = tid
+                self.steps += 1
+                return
+        op = ts.pending
+        assert op is not None and ts.status is ThreadStatus.RUNNABLE
+        ts.pending = None
+        try:
+            result, parked = self._execute(ts, op)
+        except ConcurrencyBug as bug:
+            self.bug = bug
+            self.last_tid = tid
+            self.steps += 1
+            return
+        self._notify_step(tid, op, result, visible=True)
+        self.last_tid = tid
+        self.steps += 1
+        if not parked:
+            self._advance(ts, result)
+
+    def _advance(self, ts: ThreadState, send_value: Any) -> None:
+        """Drive ``ts``'s generator to its next visible op (or to the end)."""
+        gen = ts.gen
+        while True:
+            try:
+                op = gen.send(send_value)
+            except StopIteration as stop:
+                self._finish_thread(ts, stop.value)
+                return
+            except ConcurrencyBug as bug:
+                self.bug = bug
+                return
+            except RuntimeUsageError:
+                raise
+            except Exception as exc:  # a crash in the program under test
+                self.bug = CrashBug(
+                    f"T{ts.tid} crashed: {type(exc).__name__}: {exc}", original=exc
+                )
+                return
+            if type(op) is not Op:
+                raise RuntimeUsageError(
+                    f"T{ts.tid} yielded {op!r}; thread bodies must yield Op "
+                    "records built via the ThreadContext API"
+                )
+            if self._is_visible(op):
+                ts.pending = op
+                return
+            # Invisible data access: service it within the current step.
+            try:
+                send_value = self._data_access(ts.tid, op)
+            except ConcurrencyBug as bug:
+                self.bug = bug
+                return
+            self._notify_step(ts.tid, op, send_value, visible=False)
+
+    def _finish_thread(self, ts: ThreadState, value: Any) -> None:
+        ts.status = ThreadStatus.FINISHED
+        ts.handle.finished = True
+        ts.handle.result = value
+        self._finished_count += 1
+
+    def _is_visible(self, op: Op) -> bool:
+        if op.kind not in DATA_KINDS:
+            return True
+        if self.visible_filter is None:
+            return True
+        return self.visible_filter(op)
+
+    # -- op execution ----------------------------------------------------------
+
+    def _execute(self, ts: ThreadState, op: Op) -> Tuple[Any, bool]:
+        """Execute a visible op.  Returns ``(result, parked)``."""
+        k = op.kind
+        tid = ts.tid
+        if k is OpKind.LOAD or k is OpKind.STORE:
+            return self._data_access(tid, op), False
+        if k is OpKind.THREAD_START or k is OpKind.NOOP or k is OpKind.YIELD:
+            return None, False
+        if k is OpKind.LOCK or k is OpKind.REACQUIRE:
+            m: Mutex = op.target
+            assert m.owner is None
+            m.owner = tid
+            return None, False
+        if k is OpKind.UNLOCK:
+            m = op.target
+            if m.owner != tid:
+                raise CrashBug(
+                    f"T{tid} unlocked {m.name} it does not own "
+                    f"(owner={m.owner}) at {op.site}",
+                    site=op.site,
+                )
+            m.owner = None
+            return None, False
+        if k is OpKind.TRYLOCK:
+            m = op.target
+            if m.owner is None:
+                m.owner = tid
+                return True, False
+            return False, False
+        if k is OpKind.SPAWN:
+            return self.spawn(op.arg, (self.shared,) + tuple(op.arg2)), False
+        if k is OpKind.SPAWN_MANY:
+            handles = []
+            for body, extra in op.arg:
+                handles.append(self.spawn(body, (self.shared,) + tuple(extra)))
+                if self.bug is not None:
+                    break
+            return tuple(handles), False
+        if k is OpKind.JOIN:
+            handle: ThreadHandle = op.target
+            assert handle.finished
+            return handle.result, False
+        if k is OpKind.COND_WAIT:
+            cond: CondVar = op.target
+            m = op.arg
+            if m.owner != tid:
+                raise CrashBug(
+                    f"T{tid} cond_wait on {cond.name} without holding "
+                    f"{m.name} at {op.site}",
+                    site=op.site,
+                )
+            m.owner = None
+            cond.waiters.append(tid)
+            ts.status = ThreadStatus.WAITING
+            ts.wait_obj = cond
+            ts.wait_data = m
+            return None, True
+        if k is OpKind.COND_SIGNAL:
+            self._wake_waiters(ts.tid, op.target, limit=1)
+            return None, False
+        if k is OpKind.COND_BROADCAST:
+            self._wake_waiters(ts.tid, op.target, limit=None)
+            return None, False
+        if k is OpKind.BARRIER_WAIT:
+            barrier: Barrier = op.target
+            barrier.waiting.append(tid)
+            if len(barrier.waiting) >= barrier.parties:
+                for wtid in barrier.waiting:
+                    if wtid == tid:
+                        continue
+                    w = self.threads[wtid]
+                    w.status = ThreadStatus.RUNNABLE
+                    w.pending = noop_op(site=f"<barrier:{barrier.name}>")
+                    w.wait_obj = None
+                    self._notify_wake(tid, wtid, barrier)
+                barrier.waiting = []
+                return True, False  # serial thread (last arriver)
+            ts.status = ThreadStatus.WAITING
+            ts.wait_obj = barrier
+            return False, True
+        if k is OpKind.SEM_WAIT:
+            sem: Semaphore = op.target
+            assert sem.count > 0
+            sem.count -= 1
+            return None, False
+        if k is OpKind.SEM_POST:
+            op.target.count += 1
+            return None, False
+        if k is OpKind.RW_RDLOCK:
+            rw: RWLock = op.target
+            assert rw.writer is None
+            rw.readers.append(tid)
+            return None, False
+        if k is OpKind.RW_WRLOCK:
+            rw = op.target
+            assert rw.writer is None and not rw.readers
+            rw.writer = tid
+            return None, False
+        if k is OpKind.RW_UNLOCK:
+            rw = op.target
+            if rw.writer == tid:
+                rw.writer = None
+            elif tid in rw.readers:
+                rw.readers.remove(tid)
+            else:
+                raise CrashBug(
+                    f"T{tid} rw_unlock on {rw.name} it does not hold at {op.site}",
+                    site=op.site,
+                )
+            return None, False
+        if k is OpKind.RMW:
+            cell: Atomic = op.target
+            old = cell.value
+            if op.arg is not None:
+                cell.value = op.arg(old)
+            return old, False
+        if k is OpKind.CAS:
+            cell = op.target
+            old = cell.value
+            if old == op.arg:
+                cell.value = op.arg2
+                return (True, old), False
+            return (False, old), False
+        if k is OpKind.AWAIT:
+            value = op.target.value
+            assert op.arg(value)
+            return value, False
+        raise RuntimeUsageError(f"unhandled op kind {k!r}")  # pragma: no cover
+
+    def _data_access(self, tid: int, op: Op) -> Any:
+        """Service a plain LOAD/STORE (visible or invisible)."""
+        target = op.target
+        if op.kind is OpKind.LOAD:
+            if isinstance(target, SharedArray):
+                return target.read(op.arg)
+            return target.value
+        # STORE
+        if isinstance(target, SharedArray):
+            target.write(op.arg, op.arg2)
+        else:
+            target.value = op.arg
+        return None
+
+    def _wake_waiters(self, waker: int, cond: CondVar, limit: Optional[int]) -> None:
+        n = len(cond.waiters) if limit is None else min(limit, len(cond.waiters))
+        for _ in range(n):
+            wtid = cond.waiters.pop(0)
+            w = self.threads[wtid]
+            w.status = ThreadStatus.RUNNABLE
+            w.pending = reacquire_op(w.wait_data, site=f"<reacquire:{cond.name}>")
+            w.wait_obj = None
+            self._notify_wake(waker, wtid, cond)
+
+    # -- observer plumbing -------------------------------------------------------
+
+    def _notify_step(self, tid: int, op: Op, result: Any, visible: bool) -> None:
+        for obs in self.observers:
+            obs.on_step(tid, op, result, visible)
+
+    def _notify_wake(self, waker: int, woken: int, obj: Any) -> None:
+        for obs in self.observers:
+            obs.on_wake(waker, woken, obj)

@@ -1,0 +1,154 @@
+"""Scheduler strategies: who runs next at each scheduling point.
+
+A strategy is consulted once per visible step with the sorted enabled set.
+The deterministic baseline is :class:`RoundRobinStrategy` — the
+*non-preemptive round-robin* scheduler the paper fixes as delay bounding's
+underlying deterministic scheduler (section 2) and as the shared initial
+schedule of IPB/IDB/DFS (section 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .state import Kernel
+
+
+class SchedulerStrategy:
+    """Base class.  ``choose`` must return a member of ``enabled``."""
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        raise NotImplementedError
+
+    def on_execution_start(self) -> None:
+        """Reset per-execution state (strategies may be reused across runs)."""
+
+
+def round_robin_choice(enabled: Tuple[int, ...], last_tid: int, num_created: int) -> int:
+    """The deterministic scheduler's choice: continue ``last_tid`` if it is
+    still enabled, otherwise the next enabled thread in creation order,
+    round-robin from ``last_tid``."""
+    if not enabled:
+        raise ValueError("no enabled threads")
+    for offset in range(num_created):
+        tid = (last_tid + offset) % num_created
+        if tid in enabled:
+            return tid
+    raise ValueError("enabled set inconsistent with thread count")
+
+
+class RoundRobinStrategy(SchedulerStrategy):
+    """Non-preemptive round-robin: zero preemptions, zero delays."""
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        return round_robin_choice(enabled, last_tid, kernel.num_created)
+
+
+class RandomStrategy(SchedulerStrategy):
+    """The paper's *naive random scheduler* (Rand): at every scheduling
+    point one enabled thread is chosen uniformly at random.  Because
+    scheduling nondeterminism is fully controlled this yields truly
+    pseudo-random schedules (unlike OS-level schedule fuzzing)."""
+
+    def __init__(self, rng: Optional[random.Random] = None, seed: Optional[int] = None):
+        if rng is None:
+            rng = random.Random(seed)
+        self.rng = rng
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        if len(enabled) == 1:
+            return enabled[0]
+        return enabled[self.rng.randrange(len(enabled))]
+
+
+class ReplayDivergence(Exception):
+    """A recorded schedule could not be replayed (nondeterminism leak)."""
+
+
+class ReplayStrategy(SchedulerStrategy):
+    """Replay a recorded schedule, then delegate to a fallback strategy.
+
+    Replaying a bug-inducing schedule is SCT's reproduction guarantee; the
+    determinism property tests drive this class.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[int],
+        fallback: Optional[SchedulerStrategy] = None,
+        strict: bool = True,
+    ) -> None:
+        self.schedule = list(schedule)
+        self.fallback = fallback or RoundRobinStrategy()
+        self.strict = strict
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        if step_index < len(self.schedule):
+            tid = self.schedule[step_index]
+            if tid not in enabled:
+                if self.strict:
+                    raise ReplayDivergence(
+                        f"step {step_index}: scheduled T{tid} not enabled "
+                        f"(enabled={enabled})"
+                    )
+                return self.fallback.choose(step_index, enabled, last_tid, kernel)
+            return tid
+        return self.fallback.choose(step_index, enabled, last_tid, kernel)
+
+
+class CallbackStrategy(SchedulerStrategy):
+    """Adapt a plain function ``(step, enabled, last, kernel) -> tid``."""
+
+    def __init__(
+        self, fn: Callable[[int, Tuple[int, ...], int, Kernel], int]
+    ) -> None:
+        self.fn = fn
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        return self.fn(step_index, enabled, last_tid, kernel)
+
+
+class FixedChoiceStrategy(SchedulerStrategy):
+    """Follow an explicit decision list; used heavily in unit tests.
+
+    Unlike :class:`ReplayStrategy`, decisions apply only at points with more
+    than one enabled thread when ``choice_points_only`` is set — convenient
+    for writing compact test scenarios.
+    """
+
+    def __init__(
+        self,
+        decisions: Sequence[int],
+        fallback: Optional[SchedulerStrategy] = None,
+        choice_points_only: bool = False,
+    ) -> None:
+        self.decisions: List[int] = list(decisions)
+        self.fallback = fallback or RoundRobinStrategy()
+        self.choice_points_only = choice_points_only
+        self._cursor = 0
+
+    def on_execution_start(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
+    ) -> int:
+        if self.choice_points_only and len(enabled) == 1:
+            return enabled[0]
+        if self._cursor < len(self.decisions):
+            tid = self.decisions[self._cursor]
+            self._cursor += 1
+            if tid in enabled:
+                return tid
+        return self.fallback.choose(step_index, enabled, last_tid, kernel)

@@ -1,0 +1,140 @@
+"""Execution outcomes, results, and observation hooks.
+
+An :class:`ExecutionResult` captures everything the explorers and the study
+harness need from one controlled execution: the outcome, the schedule (list
+of thread ids, one per visible step — the paper's ``α``), and the per-step
+enabled sets needed to compute preemption and delay counts after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, Tuple
+
+from ..runtime.errors import BugType, ConcurrencyBug
+from ..runtime.ops import Op
+
+
+class Outcome(enum.Enum):
+    """Terminal classification of one controlled execution."""
+
+    OK = "ok"                    # all threads finished, no bug
+    ASSERTION = "assertion"
+    DEADLOCK = "deadlock"
+    CRASH = "crash"
+    MEMORY = "memory"
+    STEP_LIMIT = "step-limit"    # abandoned: step budget exhausted (livelock)
+
+    @property
+    def is_bug(self) -> bool:
+        return self in _BUG_OUTCOMES
+
+    @property
+    def is_terminal_schedule(self) -> bool:
+        """Whether this execution counts as a *terminal schedule*.
+
+        The paper counts buggy executions as terminal (an assertion failure
+        is a terminal state, section 2); only step-budget abandonment is
+        excluded.
+        """
+        return self is not Outcome.STEP_LIMIT
+
+
+_BUG_OUTCOMES = frozenset(
+    {Outcome.ASSERTION, Outcome.DEADLOCK, Outcome.CRASH, Outcome.MEMORY}
+)
+
+_BUGTYPE_TO_OUTCOME = {
+    BugType.ASSERTION: Outcome.ASSERTION,
+    BugType.DEADLOCK: Outcome.DEADLOCK,
+    BugType.CRASH: Outcome.CRASH,
+    BugType.MEMORY: Outcome.MEMORY,
+}
+
+
+def outcome_for_bug(bug: ConcurrencyBug) -> Outcome:
+    return _BUGTYPE_TO_OUTCOME.get(bug.bug_type, Outcome.CRASH)
+
+
+class ExecutionResult:
+    """The observable result of one controlled execution."""
+
+    __slots__ = (
+        "outcome",
+        "bug",
+        "schedule",
+        "enabled_sets",
+        "created_counts",
+        "steps",
+        "choice_points",
+        "max_enabled",
+        "threads_created",
+        "shared",
+    )
+
+    def __init__(
+        self,
+        outcome: Outcome,
+        bug: Optional[ConcurrencyBug],
+        schedule: List[int],
+        enabled_sets: Optional[List[Tuple[int, ...]]],
+        created_counts: Optional[List[int]],
+        steps: int,
+        choice_points: int,
+        max_enabled: int,
+        threads_created: int,
+        shared: Any,
+    ) -> None:
+        self.outcome = outcome
+        self.bug = bug
+        #: α — thread id per visible step, in execution order.
+        self.schedule = schedule
+        #: enabled(α(1..i-1)) for each step i, as a sorted tuple of tids
+        #: (``None`` when recording was disabled for speed).
+        self.enabled_sets = enabled_sets
+        #: number of threads created *before* each step (the ``N`` of the
+        #: delay-count formula).
+        self.created_counts = created_counts
+        self.steps = steps
+        #: number of scheduling points where more than one thread was
+        #: enabled (Table 3's "# max scheduling points" tracks the maximum
+        #: of this over all runs).
+        self.choice_points = choice_points
+        self.max_enabled = max_enabled
+        self.threads_created = threads_created
+        #: the shared-state object of this execution (for output checking).
+        self.shared = shared
+
+    @property
+    def is_buggy(self) -> bool:
+        return self.outcome.is_bug
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult({self.outcome.value}, steps={self.steps}, "
+            f"threads={self.threads_created})"
+        )
+
+
+class ExecutionObserver:
+    """Hook interface for observing one execution (race detection, stats).
+
+    Subclass and override; default implementations are no-ops so observers
+    only pay for what they use.
+    """
+
+    def on_start(self, shared: Any) -> None:
+        """Called once before the first step."""
+
+    def on_step(self, tid: int, op: Op, result: Any, visible: bool) -> None:
+        """Called after each operation is executed.
+
+        ``visible=False`` for data accesses serviced inside another step
+        (not scheduling points under the current filter).
+        """
+
+    def on_wake(self, waker: int, woken: int, obj: Any) -> None:
+        """Called when ``waker`` unparks ``woken`` (cond signal, barrier)."""
+
+    def on_finish(self, result: "ExecutionResult") -> None:
+        """Called once with the final result."""

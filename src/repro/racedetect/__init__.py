@@ -1,0 +1,20 @@
+"""Dynamic data race detection (the study's first phase).
+
+FastTrack-style happens-before detection over controlled executions; the
+detected racy *sites* become visible operations for every SCT technique.
+"""
+
+from .fasttrack import FastTrackDetector, RaceReport, location_of
+from .phase import DEFAULT_DETECTION_RUNS, RaceDetectionReport, detect_races
+from .vectorclock import Epoch, VectorClock
+
+__all__ = [
+    "FastTrackDetector",
+    "RaceReport",
+    "location_of",
+    "RaceDetectionReport",
+    "detect_races",
+    "DEFAULT_DETECTION_RUNS",
+    "VectorClock",
+    "Epoch",
+]

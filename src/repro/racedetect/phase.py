@@ -1,0 +1,89 @@
+"""The data-race-detection phase of the study methodology.
+
+Section 5 of the paper: *"For each benchmark, we execute Maple in its data
+race detection mode ten times, without controlling the schedule.  Each racy
+instruction ... is treated as a visible operation in the IPB, IDB, DFS and
+Rand phases."*
+
+:func:`detect_races` mirrors this: ten executions under random schedules
+(our stand-in for "uncontrolled"), every data access visible to the
+detector, races accumulated across runs.  The resulting
+:class:`RaceDetectionReport` provides the visible-op filter shared by all
+techniques — the paper stresses that sharing this set is what makes the
+technique comparison fair ("the set of racy instructions could be
+considered as part of the benchmark").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..engine.executor import DEFAULT_MAX_STEPS, execute
+from ..engine.strategies import RandomStrategy
+from ..runtime.ops import Op
+from ..runtime.program import Program
+from .fasttrack import FastTrackDetector, RaceReport
+
+#: Number of detection runs the paper uses.
+DEFAULT_DETECTION_RUNS = 10
+
+
+class RaceDetectionReport:
+    """Races found across the detection runs, and the derived filter."""
+
+    __slots__ = ("program_name", "races", "racy_sites", "runs")
+
+    def __init__(
+        self, program_name: str, races: List[RaceReport], runs: int
+    ) -> None:
+        self.program_name = program_name
+        self.races = races
+        self.racy_sites = frozenset(
+            site for race in races for site in race.sites
+        )
+        self.runs = runs
+
+    @property
+    def has_races(self) -> bool:
+        return bool(self.races)
+
+    def visible_filter(self) -> Callable[[Op], bool]:
+        """Filter for :func:`repro.engine.execute`: a data access is a
+        scheduling point iff its site participated in a detected race.
+
+        ``await_value`` ops are synchronisation kinds (always visible), so
+        only LOAD/STORE reach this predicate.
+        """
+        racy = self.racy_sites
+
+        def is_visible(op: Op) -> bool:
+            return op.site in racy
+
+        return is_visible
+
+    def __repr__(self) -> str:
+        return (
+            f"RaceDetectionReport({self.program_name}: {len(self.races)} "
+            f"races over {len(self.racy_sites)} sites in {self.runs} runs)"
+        )
+
+
+def detect_races(
+    program: Program,
+    runs: int = DEFAULT_DETECTION_RUNS,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RaceDetectionReport:
+    """Run the detection phase: ``runs`` random-schedule executions with a
+    shared FastTrack detector; all data accesses are visible operations."""
+    detector = FastTrackDetector()
+    for i in range(runs):
+        execute(
+            program,
+            RandomStrategy(seed=seed + i),
+            max_steps=max_steps,
+            visible_filter=None,
+            observers=(detector,),
+            record_enabled=False,
+        )
+    return RaceDetectionReport(program.name, list(detector.races), runs)

@@ -1,0 +1,67 @@
+"""Vector clocks and epochs for happens-before race detection.
+
+Sparse dict-backed clocks: most SCTBench programs have few threads, and
+FastTrack's epoch optimisation keeps full clocks off the per-location fast
+path anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: An *epoch* c@t — the FastTrack scalar abstraction of a vector clock.
+Epoch = Tuple[int, int]  # (tid, clock)
+
+
+class VectorClock:
+    """A mutable vector clock over thread ids."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None) -> None:
+        self.clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def get(self, tid: int) -> int:
+        return self.clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Increment this thread's component."""
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum (the ⊔ of the FastTrack rules)."""
+        for tid, clk in other.clocks.items():
+            if clk > self.clocks.get(tid, 0):
+                self.clocks[tid] = clk
+
+    def epoch(self, tid: int) -> Epoch:
+        """This thread's current epoch ``c@t``."""
+        return (tid, self.clocks.get(tid, 0))
+
+    def covers_epoch(self, epoch: Epoch) -> bool:
+        """``c@t ≤ V`` iff ``c ≤ V(t)`` — the FastTrack fast-path check."""
+        tid, clk = epoch
+        return clk <= self.clocks.get(tid, 0)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ≤ (happens-before between fully-known clocks)."""
+        return all(clk <= other.clocks.get(tid, 0) for tid, clk in self.clocks.items())
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.clocks.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self.clocks) | set(other.clocks)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are mutable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"T{t}:{c}" for t, c in sorted(self.clocks.items()))
+        return f"VC({inner})"

@@ -1,0 +1,60 @@
+"""SCT runtime substrate: programs, thread contexts, shared objects, ops.
+
+This package is the Python stand-in for the pthread + PIN layer the paper's
+modified Maple operates on.  Programs are written against a pthread-like
+generator API and executed under full scheduler control by
+:mod:`repro.engine`.
+"""
+
+from .context import ThreadContext, ThreadHandle
+from .errors import (
+    AssertionFailureBug,
+    BugType,
+    ConcurrencyBug,
+    CrashBug,
+    DeadlockBug,
+    MemorySafetyBug,
+    RuntimeUsageError,
+)
+from .objects import (
+    Atomic,
+    Barrier,
+    CondVar,
+    GuardMode,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SharedArray,
+    SharedObject,
+    SharedVar,
+)
+from .ops import BLOCKING_KINDS, DATA_KINDS, SYNC_KINDS, Op, OpKind
+from .program import Program
+
+__all__ = [
+    "ThreadContext",
+    "ThreadHandle",
+    "AssertionFailureBug",
+    "BugType",
+    "ConcurrencyBug",
+    "CrashBug",
+    "DeadlockBug",
+    "MemorySafetyBug",
+    "RuntimeUsageError",
+    "Atomic",
+    "Barrier",
+    "CondVar",
+    "GuardMode",
+    "Mutex",
+    "RWLock",
+    "Semaphore",
+    "SharedArray",
+    "SharedObject",
+    "SharedVar",
+    "Op",
+    "OpKind",
+    "SYNC_KINDS",
+    "DATA_KINDS",
+    "BLOCKING_KINDS",
+    "Program",
+]

@@ -1,0 +1,239 @@
+"""The pthread-like API exposed to thread bodies.
+
+Thread bodies are *generator functions* ``def body(ctx, shared, ...)`` that
+``yield`` operation records built by the methods below::
+
+    def worker(ctx, sh):
+        yield ctx.lock(sh.m)
+        v = yield ctx.load(sh.x)
+        yield ctx.store(sh.x, v + 1)
+        yield ctx.unlock(sh.m)
+
+Every method returns an :class:`~repro.runtime.ops.Op`; the engine services
+the op and ``send``s the result back, so ``yield`` evaluates to the op's
+result (loaded value, spawned thread handle, CAS success flag, ...).
+Helper subroutines compose with ``yield from``.
+
+Sites
+-----
+Each op records a *site* — ``"<filename>:<lineno>"`` of the calling frame by
+default — identifying the static program location.  Sites are what the
+race-detection phase reports and what the visible-op filter matches on,
+mirroring the paper's use of binary instruction offsets.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import AssertionFailureBug, RuntimeUsageError
+from .objects import (
+    Atomic,
+    Barrier,
+    CondVar,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SharedArray,
+    SharedVar,
+)
+from .ops import Op, OpKind
+
+
+def _caller_site() -> str:
+    f = sys._getframe(2)
+    return f"{f.f_code.co_filename.rsplit('/', 1)[-1]}:{f.f_lineno}"
+
+
+class ThreadHandle:
+    """Engine-side handle for a spawned thread (returned by ``spawn``)."""
+
+    __slots__ = ("tid", "finished", "result")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.finished = False
+        self.result: Any = None
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "live"
+        return f"ThreadHandle(tid={self.tid}, {state})"
+
+
+class ThreadContext:
+    """Per-thread facade for building operation records.
+
+    One instance per (thread, execution); created by the engine.  The
+    methods are intentionally thin — all semantics live in the engine —
+    so a ``ThreadContext`` is also trivially usable in unit tests to build
+    op records directly.
+    """
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+
+    # -- thread management -------------------------------------------------
+
+    def spawn(self, body: Callable[..., Any], *args: Any, site: Optional[str] = None) -> Op:
+        """Create a new thread running ``body(ctx, *args)``.
+
+        Yields a :class:`ThreadHandle`.  Thread ids are assigned in creation
+        order (the order delay bounding's round-robin scheduler uses).
+        """
+        return Op(OpKind.SPAWN, arg=body, arg2=args, site=site or _caller_site())
+
+    def spawn_many(self, *bodies: Any, site: Optional[str] = None) -> Op:
+        """Create several threads in ONE visible action.
+
+        Each element of ``bodies`` is either a generator function (spawned
+        with no extra arguments) or a ``(body, arg1, arg2, ...)`` tuple.
+        Yields a tuple of :class:`ThreadHandle` in creation order.  This
+        models program points like Figure 1's ``a) create(T1,T2,T3)`` where
+        thread creation is a single action; use :meth:`spawn` when each
+        creation should be its own scheduling point.
+        """
+        specs = []
+        for b in bodies:
+            if isinstance(b, tuple):
+                specs.append((b[0], tuple(b[1:])))
+            else:
+                specs.append((b, ()))
+        return Op(OpKind.SPAWN_MANY, arg=specs, site=site or _caller_site())
+
+    def join(self, handle: ThreadHandle, site: Optional[str] = None) -> Op:
+        """Block until ``handle``'s thread finishes; yields its return value."""
+        return Op(OpKind.JOIN, target=handle, site=site or _caller_site())
+
+    def sched_yield(self, site: Optional[str] = None) -> Op:
+        """A pure scheduling point with no effect (``sched_yield``)."""
+        return Op(OpKind.YIELD, site=site or _caller_site())
+
+    # -- mutexes -----------------------------------------------------------
+
+    def lock(self, mutex: Mutex, site: Optional[str] = None) -> Op:
+        return Op(OpKind.LOCK, target=mutex, site=site or _caller_site())
+
+    def unlock(self, mutex: Mutex, site: Optional[str] = None) -> Op:
+        return Op(OpKind.UNLOCK, target=mutex, site=site or _caller_site())
+
+    def trylock(self, mutex: Mutex, site: Optional[str] = None) -> Op:
+        """Non-blocking acquire; yields ``True`` iff the lock was taken."""
+        return Op(OpKind.TRYLOCK, target=mutex, site=site or _caller_site())
+
+    # -- condition variables ----------------------------------------------
+
+    def cond_wait(self, cond: CondVar, mutex: Mutex, site: Optional[str] = None) -> Op:
+        """Atomically release ``mutex`` and wait on ``cond``; reacquires on wake."""
+        return Op(OpKind.COND_WAIT, target=cond, arg=mutex, site=site or _caller_site())
+
+    def cond_signal(self, cond: CondVar, site: Optional[str] = None) -> Op:
+        """Wake one waiter (FIFO); lost if there are no waiters."""
+        return Op(OpKind.COND_SIGNAL, target=cond, site=site or _caller_site())
+
+    def cond_broadcast(self, cond: CondVar, site: Optional[str] = None) -> Op:
+        return Op(OpKind.COND_BROADCAST, target=cond, site=site or _caller_site())
+
+    # -- semaphores, barriers, rwlocks --------------------------------------
+
+    def sem_wait(self, sem: Semaphore, site: Optional[str] = None) -> Op:
+        return Op(OpKind.SEM_WAIT, target=sem, site=site or _caller_site())
+
+    def sem_post(self, sem: Semaphore, site: Optional[str] = None) -> Op:
+        return Op(OpKind.SEM_POST, target=sem, site=site or _caller_site())
+
+    def barrier_wait(self, barrier: Barrier, site: Optional[str] = None) -> Op:
+        return Op(OpKind.BARRIER_WAIT, target=barrier, site=site or _caller_site())
+
+    def rd_lock(self, rw: RWLock, site: Optional[str] = None) -> Op:
+        return Op(OpKind.RW_RDLOCK, target=rw, site=site or _caller_site())
+
+    def wr_lock(self, rw: RWLock, site: Optional[str] = None) -> Op:
+        return Op(OpKind.RW_WRLOCK, target=rw, site=site or _caller_site())
+
+    def rw_unlock(self, rw: RWLock, site: Optional[str] = None) -> Op:
+        return Op(OpKind.RW_UNLOCK, target=rw, site=site or _caller_site())
+
+    # -- plain shared memory (subject to race detection) --------------------
+
+    def load(self, var: SharedVar, site: Optional[str] = None) -> Op:
+        """Read a shared variable; yields its value."""
+        return Op(OpKind.LOAD, target=var, site=site or _caller_site())
+
+    def store(self, var: SharedVar, value: Any, site: Optional[str] = None) -> Op:
+        return Op(OpKind.STORE, target=var, arg=value, site=site or _caller_site())
+
+    def load_elem(self, array: SharedArray, index: int, site: Optional[str] = None) -> Op:
+        return Op(OpKind.LOAD, target=array, arg=index, site=site or _caller_site())
+
+    def store_elem(
+        self, array: SharedArray, index: int, value: Any, site: Optional[str] = None
+    ) -> Op:
+        return Op(OpKind.STORE, target=array, arg=index, arg2=value, site=site or _caller_site())
+
+    # -- sequentially consistent atomics ------------------------------------
+
+    def atomic_load(self, cell: Atomic, site: Optional[str] = None) -> Op:
+        return Op(OpKind.RMW, target=cell, arg=None, site=site or _caller_site())
+
+    def atomic_store(self, cell: Atomic, value: Any, site: Optional[str] = None) -> Op:
+        return Op(OpKind.RMW, target=cell, arg=lambda _old, _v=value: _v, site=site or _caller_site())
+
+    def atomic_rmw(
+        self, cell: Atomic, fn: Callable[[Any], Any], site: Optional[str] = None
+    ) -> Op:
+        """Apply ``fn(old) -> new`` atomically; yields the *old* value."""
+        return Op(OpKind.RMW, target=cell, arg=fn, site=site or _caller_site())
+
+    def fetch_add(self, cell: Atomic, delta: Any = 1, site: Optional[str] = None) -> Op:
+        return Op(
+            OpKind.RMW,
+            target=cell,
+            arg=lambda old, _d=delta: old + _d,
+            site=site or _caller_site(),
+        )
+
+    def cas(
+        self, cell: Atomic, expected: Any, new: Any, site: Optional[str] = None
+    ) -> Op:
+        """Compare-and-swap; yields ``(success, observed)``."""
+        return Op(OpKind.CAS, target=cell, arg=expected, arg2=new, site=site or _caller_site())
+
+    # -- passive busy-wait -------------------------------------------------
+
+    def await_value(
+        self,
+        var: Any,
+        predicate: Callable[[Any], bool],
+        site: Optional[str] = None,
+    ) -> Op:
+        """Block until ``predicate(var.value)`` holds; yields the value.
+
+        This is the runtime's terminating stand-in for the ad-hoc busy-wait
+        loops the paper found throughout SCTBench (racy flag spinning,
+        section 4.2).  A true spin loop makes DFS diverge; ``await_value``
+        preserves the same ordering constraint (the waiter cannot proceed
+        until another thread sets the flag) while keeping every execution
+        finite.  ``var`` may be a :class:`SharedVar` or :class:`Atomic`.
+        """
+        if not hasattr(var, "value"):
+            raise RuntimeUsageError(
+                "await_value target must be a SharedVar or Atomic, got "
+                f"{type(var).__name__}"
+            )
+        return Op(OpKind.AWAIT, target=var, arg=predicate, site=site or _caller_site())
+
+    def await_equal(self, var: Any, value: Any, site: Optional[str] = None) -> Op:
+        return self.await_value(var, lambda v, _x=value: v == _x, site=site or _caller_site())
+
+    # -- assertions (not ops: raise immediately) -----------------------------
+
+    def check(self, condition: bool, message: str = "assertion failed") -> None:
+        """Assert a condition; failure is a terminal buggy state (section 2)."""
+        if not condition:
+            raise AssertionFailureBug(message, site=_caller_site())
+
+
+SpawnResult = Tuple[ThreadHandle, ...]

@@ -1,0 +1,82 @@
+"""Bug and error types raised/reported by the runtime and engine.
+
+The paper classifies bugs as *deadlocks, crashes or assertion failures
+(including those that identify incorrect output)* (section 5).  We mirror
+that taxonomy, plus the out-of-bounds memory class discussed in section 4.2
+(``MemorySafetyBug``), which their modified Maple detects for accesses to
+synchronisation objects and which they check via manually-added assertions
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class BugType(enum.Enum):
+    ASSERTION = "assertion"      # assertion failure / incorrect output check
+    DEADLOCK = "deadlock"        # no enabled threads, some unfinished
+    CRASH = "crash"              # uncaught exception in a thread body
+    MEMORY = "memory"            # detected out-of-bounds access
+    LIVELOCK = "livelock"        # step budget exhausted (reported, not a bug
+                                 # per the paper's counting; kept distinct)
+
+
+class ConcurrencyBug(Exception):
+    """Base class for bugs surfaced by controlled execution."""
+
+    bug_type: BugType = BugType.CRASH
+
+    def __init__(self, message: str = "", site: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.site = site
+
+
+class AssertionFailureBug(ConcurrencyBug):
+    """Raised by ``ctx.check``/output checkers; a terminal buggy state."""
+
+    bug_type = BugType.ASSERTION
+
+
+class DeadlockBug(ConcurrencyBug):
+    """Constructed by the engine when the enabled set empties early."""
+
+    bug_type = BugType.DEADLOCK
+
+
+class CrashBug(ConcurrencyBug):
+    """Wraps an uncaught exception escaping a thread body."""
+
+    bug_type = BugType.CRASH
+
+    def __init__(
+        self,
+        message: str = "",
+        site: Optional[str] = None,
+        original: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message, site)
+        self.original = original
+
+
+class MemorySafetyBug(ConcurrencyBug):
+    """Out-of-bounds access caught by the guard-zone detector."""
+
+    bug_type = BugType.MEMORY
+
+
+class RuntimeUsageError(Exception):
+    """Misuse of the runtime API (not a concurrency bug).
+
+    Examples: unlocking a mutex the thread does not own is a *crash class*
+    bug (pthreads undefined behaviour that our engine detects), but yielding
+    a non-``Op`` value, joining an unknown handle, or re-using a context
+    across executions is a programming error in the benchmark itself and is
+    reported eagerly as this exception.
+    """
+
+
+class StepBudgetExceeded(Exception):
+    """Internal signal: the per-execution step budget was exhausted."""

@@ -1,0 +1,248 @@
+"""Shared objects: synchronisation primitives and shared memory cells.
+
+Objects hold their own mutable state and are created fresh for every
+controlled execution (a :class:`repro.runtime.program.Program`'s ``setup``
+factory runs once per execution), which gives the engine determinism for
+free: replaying a schedule re-creates identical initial state.
+
+The primitives mirror the pthreads surface that SCTBench programs use:
+mutexes, condition variables, semaphores, barriers, reader-writer locks —
+plus sequentially-consistent atomics (for the CHESS work-stealing queue and
+``misc.safestack`` ports) and plain shared variables/arrays whose accesses
+participate in data-race detection.
+
+``SharedArray`` optionally models the paper's out-of-bounds discussion
+(section 4.2): with ``guard=GuardMode.DETECT`` an OOB access raises
+:class:`~repro.runtime.errors.MemorySafetyBug`; with ``GuardMode.CORRUPT``
+a small overrun silently lands in a guard zone (no crash), reproducing the
+observation that OOB bugs "do not always cause a crash" and may be missed
+without additional checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from .errors import MemorySafetyBug, RuntimeUsageError
+
+_anon_counter = itertools.count()
+
+
+def _auto_name(prefix: str) -> str:
+    return f"{prefix}#{next(_anon_counter)}"
+
+
+def reset_anon_counter() -> None:
+    """Reset auto-naming so object names are deterministic per execution.
+
+    The engine calls this before each ``setup()`` run: a program that
+    creates its shared objects in a fixed order then gets identical names
+    on every execution, which race detection and MapleAlg rely on to match
+    memory locations across runs.
+    """
+    global _anon_counter
+    _anon_counter = itertools.count()
+
+
+class SharedObject:
+    """Base for all shared objects; carries a debug name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Optional[str] = None, prefix: str = "obj") -> None:
+        self.name = name if name is not None else _auto_name(prefix)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Mutex(SharedObject):
+    """A non-recursive mutex.  ``owner`` is a thread id or ``None``."""
+
+    __slots__ = ("owner",)
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name, "mutex")
+        self.owner: Optional[int] = None
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+
+class CondVar(SharedObject):
+    """A condition variable with pthread semantics.
+
+    A signal with no waiters is lost (the classic lost-wakeup source that
+    several CS-suite bugs rely on).  ``waiters`` holds thread ids parked in
+    ``cond_wait`` that have not yet been signalled.
+    """
+
+    __slots__ = ("waiters",)
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name, "cond")
+        self.waiters: List[int] = []
+
+
+class Semaphore(SharedObject):
+    """Counting semaphore."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, initial: int = 0, name: Optional[str] = None) -> None:
+        super().__init__(name, "sem")
+        if initial < 0:
+            raise RuntimeUsageError("semaphore initial count must be >= 0")
+        self.count = initial
+
+
+class Barrier(SharedObject):
+    """A reusable barrier for ``parties`` threads (pthread_barrier)."""
+
+    __slots__ = ("parties", "waiting")
+
+    def __init__(self, parties: int, name: Optional[str] = None) -> None:
+        super().__init__(name, "barrier")
+        if parties < 1:
+            raise RuntimeUsageError("barrier needs at least one party")
+        self.parties = parties
+        self.waiting: List[int] = []
+
+
+class RWLock(SharedObject):
+    """Reader-writer lock: many readers or one writer."""
+
+    __slots__ = ("readers", "writer")
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name, "rwlock")
+        self.readers: List[int] = []
+        self.writer: Optional[int] = None
+
+
+class SharedVar(SharedObject):
+    """A shared memory cell accessed via ``ctx.load``/``ctx.store``.
+
+    Plain accesses are *data* operations: they participate in race detection
+    and are scheduling points only when their site was found racy (or when
+    the engine runs with ``all_visible=True``).
+    """
+
+    __slots__ = ("value", "initial")
+
+    def __init__(self, initial: Any = 0, name: Optional[str] = None) -> None:
+        super().__init__(name, "var")
+        self.initial = initial
+        self.value = initial
+
+
+class Atomic(SharedObject):
+    """A sequentially-consistent atomic cell (C++11 ``atomic``-like).
+
+    Accesses go through ``ctx.atomic_*`` and are always visible operations,
+    but never data races — matching how the CHESS benchmarks were ported to
+    C++11 atomics in the paper (section 4.1).
+    """
+
+    __slots__ = ("value", "initial")
+
+    def __init__(self, initial: Any = 0, name: Optional[str] = None) -> None:
+        super().__init__(name, "atomic")
+        self.initial = initial
+        self.value = initial
+
+
+class GuardMode(enum.Enum):
+    STRICT = "strict"    # OOB raises immediately (Python-native behaviour)
+    DETECT = "detect"    # OOB raises MemorySafetyBug (the paper's detector on)
+    CORRUPT = "corrupt"  # small OOB silently writes a guard zone (detector off)
+
+
+class SharedArray(SharedObject):
+    """A fixed-size shared array with configurable out-of-bounds semantics.
+
+    The guard zone is ``guard_slack`` cells on each side.  In ``CORRUPT``
+    mode an access within the slack is redirected to the guard zone and the
+    ``corrupted`` flag is set — the program keeps running, like the real
+    heap overruns in ``parsec.streamcluster3`` / ``CS.fsbench`` that only
+    manifest when an explicit check is added.
+    """
+
+    __slots__ = ("cells", "guard", "guard_slack", "guard_zone", "corrupted")
+
+    def __init__(
+        self,
+        size: int,
+        initial: Any = 0,
+        name: Optional[str] = None,
+        guard: GuardMode = GuardMode.STRICT,
+        guard_slack: int = 4,
+    ) -> None:
+        super().__init__(name, "array")
+        if size < 0:
+            raise RuntimeUsageError("array size must be >= 0")
+        if isinstance(initial, (list, tuple)):
+            if len(initial) != size:
+                raise RuntimeUsageError("initial sequence length != size")
+            self.cells: List[Any] = list(initial)
+        else:
+            self.cells = [initial] * size
+        self.guard = guard
+        self.guard_slack = guard_slack
+        self.guard_zone: Dict[int, Any] = {}
+        self.corrupted = False
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # The engine calls these when servicing LOAD/STORE ops whose target is
+    # (array, index); they centralise the OOB policy.
+
+    def _oob(self, index: int, writing: bool) -> Any:
+        kind = "write" if writing else "read"
+        n = len(self.cells)
+        if self.guard is GuardMode.DETECT:
+            raise MemorySafetyBug(
+                f"out-of-bounds {kind} at {self.name}[{index}] (size {n})"
+            )
+        if self.guard is GuardMode.CORRUPT and -self.guard_slack <= index < n + self.guard_slack:
+            self.corrupted = True
+            if writing:
+                return None  # value recorded by caller into guard_zone
+            return self.guard_zone.get(index, 0)
+        raise MemorySafetyBug(
+            f"wild out-of-bounds {kind} at {self.name}[{index}] (size {n})"
+        )
+
+    def read(self, index: int) -> Any:
+        if 0 <= index < len(self.cells):
+            return self.cells[index]
+        return self._oob(index, writing=False)
+
+    def write(self, index: int, value: Any) -> None:
+        if 0 <= index < len(self.cells):
+            self.cells[index] = value
+            return
+        self._oob(index, writing=True)
+        self.guard_zone[index] = value
+
+
+SharedCell = (SharedVar, Atomic)
+
+
+def snapshot(objects: Sequence[SharedObject]) -> Dict[str, Any]:
+    """Debug helper: capture the observable state of shared objects."""
+    out: Dict[str, Any] = {}
+    for obj in objects:
+        if isinstance(obj, (SharedVar, Atomic)):
+            out[obj.name] = obj.value
+        elif isinstance(obj, SharedArray):
+            out[obj.name] = list(obj.cells)
+        elif isinstance(obj, Mutex):
+            out[obj.name] = obj.owner
+        elif isinstance(obj, Semaphore):
+            out[obj.name] = obj.count
+    return out

@@ -1,0 +1,170 @@
+"""Visible-operation records.
+
+A *visible operation* (Godefroid's terminology, adopted by the paper in
+section 2) is an operation through which threads can interact: a
+synchronisation operation or a shared-memory access.  Thread bodies are
+generator functions that ``yield`` operation records built by
+:class:`repro.runtime.context.ThreadContext`; the execution engine services
+each record and sends the result back into the generator.
+
+Each record carries a ``site`` string identifying the static program
+location that issued it.  Sites are the unit of data-race reporting: the
+race-detection phase produces a set of racy *sites*, and only loads/stores
+whose site is in that set are treated as scheduling points during SCT
+(mirroring how the paper promotes racy instructions, stored as binary
+offsets, to visible operations).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, Tuple
+
+
+class OpKind(enum.IntEnum):
+    """Discriminator for operation records.
+
+    ``IntEnum`` so that engine dispatch can index a tuple of handlers.
+    """
+
+    THREAD_START = 0   # reserved (threads are poised at their first real op)
+    SPAWN = 1
+    SPAWN_MANY = 23    # create several threads in one visible action
+    JOIN = 2
+    LOCK = 3
+    UNLOCK = 4
+    TRYLOCK = 5
+    COND_WAIT = 6
+    COND_SIGNAL = 7
+    COND_BROADCAST = 8
+    BARRIER_WAIT = 9
+    SEM_WAIT = 10
+    SEM_POST = 11
+    RW_RDLOCK = 12
+    RW_WRLOCK = 13
+    RW_UNLOCK = 14
+    LOAD = 15
+    STORE = 16
+    RMW = 17           # atomic read-modify-write
+    CAS = 18           # atomic compare-and-swap
+    AWAIT = 19         # block until a predicate over a shared var holds
+    YIELD = 20         # pure scheduling point (sched_yield)
+    NOOP = 21          # engine-generated continuation (barrier wake, ...)
+    REACQUIRE = 22     # engine-generated: reacquire mutex after cond_wait
+
+
+#: Kinds that are *synchronisation* operations: always visible, and always
+#: scheduling points regardless of the race filter.
+SYNC_KINDS = frozenset(
+    {
+        OpKind.THREAD_START,
+        OpKind.SPAWN,
+        OpKind.SPAWN_MANY,
+        OpKind.JOIN,
+        OpKind.LOCK,
+        OpKind.UNLOCK,
+        OpKind.TRYLOCK,
+        OpKind.COND_WAIT,
+        OpKind.COND_SIGNAL,
+        OpKind.COND_BROADCAST,
+        OpKind.BARRIER_WAIT,
+        OpKind.SEM_WAIT,
+        OpKind.SEM_POST,
+        OpKind.RW_RDLOCK,
+        OpKind.RW_WRLOCK,
+        OpKind.RW_UNLOCK,
+        OpKind.RMW,
+        OpKind.CAS,
+        OpKind.AWAIT,
+        OpKind.YIELD,
+        OpKind.NOOP,
+        OpKind.REACQUIRE,
+    }
+)
+
+#: Kinds that are plain data accesses: visible only when their site is racy
+#: (or when the engine is configured with ``all_visible=True``).
+DATA_KINDS = frozenset({OpKind.LOAD, OpKind.STORE})
+
+#: Kinds that may *block* the issuing thread (the op itself is only enabled
+#: when its precondition holds, or executing it parks the thread).
+BLOCKING_KINDS = frozenset(
+    {
+        OpKind.LOCK,
+        OpKind.JOIN,
+        OpKind.COND_WAIT,
+        OpKind.BARRIER_WAIT,
+        OpKind.SEM_WAIT,
+        OpKind.RW_RDLOCK,
+        OpKind.RW_WRLOCK,
+        OpKind.AWAIT,
+        OpKind.REACQUIRE,
+    }
+)
+
+
+class Op:
+    """One operation request yielded by a thread body.
+
+    Deliberately a tiny ``__slots__`` record: the engine allocates one per
+    visible operation on the hot path.
+    """
+
+    __slots__ = ("kind", "target", "arg", "arg2", "site")
+
+    def __init__(
+        self,
+        kind: OpKind,
+        target: Any = None,
+        arg: Any = None,
+        arg2: Any = None,
+        site: str = "?",
+    ) -> None:
+        self.kind = kind
+        #: The object the operation acts on (Mutex, SharedVar, thread handle...).
+        self.target = target
+        #: Primary argument (value to store, thread body to spawn, ...).
+        self.arg = arg
+        #: Secondary argument (spawn args tuple, CAS expected value, ...).
+        self.arg2 = arg2
+        #: Static program location that issued the op.
+        self.site = site
+
+    @property
+    def is_sync(self) -> bool:
+        return self.kind not in DATA_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the op writes shared data (for race detection)."""
+        return self.kind in (OpKind.STORE, OpKind.RMW, OpKind.CAS)
+
+    @property
+    def is_data_access(self) -> bool:
+        return self.kind in DATA_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Op({self.kind.name}, target={self.target!r}, "
+            f"arg={self.arg!r}, site={self.site!r})"
+        )
+
+
+# Convenience constructors used by engine internals ------------------------
+
+def thread_start_op() -> Op:
+    return Op(OpKind.THREAD_START, site="<thread-start>")
+
+
+def noop_op(site: str = "<noop>") -> Op:
+    return Op(OpKind.NOOP, site=site)
+
+
+def reacquire_op(mutex: Any, site: str = "<reacquire>") -> Op:
+    return Op(OpKind.REACQUIRE, target=mutex, site=site)
+
+
+PredT = Callable[[Any], bool]
+SiteT = str
+SpawnArgsT = Tuple[Any, ...]
+OptStr = Optional[str]

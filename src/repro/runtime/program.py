@@ -1,0 +1,84 @@
+"""The :class:`Program` abstraction — a testable multi-threaded program.
+
+A program couples a *shared-state factory* with a *main thread body*.  The
+factory runs once per controlled execution and returns the shared state
+object handed to every thread, so each execution starts from identical
+initial state and the only nondeterminism is the scheduler — the core SCT
+assumption (section 2 of the paper).
+
+Example
+-------
+::
+
+    from repro.runtime import Program, Mutex, SharedVar
+
+    def setup():
+        class S: pass
+        s = S()
+        s.m = Mutex("m")
+        s.x = SharedVar(0, "x")
+        return s
+
+    def child(ctx, sh):
+        yield ctx.lock(sh.m)
+        v = yield ctx.load(sh.x)
+        yield ctx.store(sh.x, v + 1)
+        yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        t = yield ctx.spawn(child, sh)
+        yield ctx.join(t)
+        v = yield ctx.load(sh.x)
+        ctx.check(v == 1)
+
+    program = Program("increment", setup, main)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+MainBody = Callable[..., Any]
+SetupFn = Callable[[], Any]
+
+
+class Program:
+    """A multi-threaded program under test.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports and bug traces).
+    setup:
+        Zero-argument factory returning the shared state passed to thread
+        bodies.  Called once per execution.  Must be deterministic.
+    main:
+        Generator function ``main(ctx, shared)`` for the initial thread
+        (thread id 0, matching the paper's numbering where "the initial
+        thread has id 0").
+    expected_bug:
+        Optional free-form note about the bug the program contains
+        (documentation; used by the SCTBench registry).
+    """
+
+    __slots__ = ("name", "setup", "main", "expected_bug")
+
+    def __init__(
+        self,
+        name: str,
+        setup: SetupFn,
+        main: MainBody,
+        expected_bug: Optional[str] = None,
+    ) -> None:
+        if not callable(setup) or not callable(main):
+            raise TypeError("setup and main must be callables")
+        self.name = name
+        self.setup = setup
+        self.main = main
+        self.expected_bug = expected_bug
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r})"
+
+
+ProgramFactory = Callable[[], Program]

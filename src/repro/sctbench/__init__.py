@@ -1,0 +1,31 @@
+"""SCTBench — a Python port of the paper's 52-benchmark suite.
+
+Access the suite through :data:`BENCHMARKS` / :func:`get`; every entry's
+``factory`` builds a fresh :class:`~repro.runtime.program.Program` whose
+bug matches the original benchmark's class (deadlock / assertion / crash /
+incorrect output / out-of-bounds).
+"""
+
+from .registry import (
+    BENCHMARKS,
+    BY_NAME,
+    SUITE_OVERVIEW,
+    BenchmarkInfo,
+    PaperRow,
+    get,
+    suite_of,
+    total_skipped,
+    total_used,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BY_NAME",
+    "SUITE_OVERVIEW",
+    "BenchmarkInfo",
+    "PaperRow",
+    "get",
+    "suite_of",
+    "total_used",
+    "total_skipped",
+]

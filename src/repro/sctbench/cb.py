@@ -1,0 +1,196 @@
+"""The CB (Concurrency Bugs) suite — aget, pbzip2, stringbuffer.
+
+Ports of the three benchmarks the paper kept from Yu & Narayanasamy's
+concurrency-bug corpus (section 4.1).  The paper modified ``aget`` to model
+network functions from a file and to call its interrupt handler
+asynchronously; we model the same structure directly (downloader threads +
+an asynchronous interrupt thread + an output check, the paper's added
+"read the output file and trigger an assertion failure when incorrect").
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Mutex, Program, SharedArray, SharedVar
+from .workloads import join_all, spawn_all
+
+
+def make_aget_bug2() -> Program:
+    """aget-bug2: a segmented downloader with an asynchronous SIGINT
+    handler that snapshots progress for resume.
+
+    The handler reads each worker's progress counter racily; if it runs
+    before the workers finish, the "resume state" and the bytes actually
+    written disagree and the output check fails.  The interrupt thread is
+    created first, so the very first (round-robin) schedule is buggy —
+    Table 3: bound 0, first schedule, for IPB and IDB alike.
+    """
+
+    CHUNKS = 3  # per worker
+
+    def setup():
+        return SimpleNamespace(
+            file=SharedArray(2 * CHUNKS, 0, "aget.file"),
+            progress=[SharedVar(0, "aget.prog0"), SharedVar(0, "aget.prog1")],
+            interrupted=SharedVar(0, "aget.intr"),
+            saved=SharedVar(None, "aget.saved"),
+        )
+
+    def interrupt_handler(ctx, sh):
+        # Asynchronous SIGINT: snapshot progress for a resume file.
+        yield ctx.store(sh.interrupted, 1, site="aget:intr_set")
+        p0 = yield ctx.load(sh.progress[0], site="aget:intr_rd0")
+        p1 = yield ctx.load(sh.progress[1], site="aget:intr_rd1")
+        yield ctx.store(sh.saved, (p0, p1), site="aget:intr_save")
+
+    def downloader(ctx, sh, wid):
+        base = wid * CHUNKS
+        for i in range(CHUNKS):
+            stop = yield ctx.load(sh.interrupted, site=f"aget:dl{wid}_chk")
+            if stop:
+                return
+            yield ctx.store_elem(sh.file, base + i, 1, site=f"aget:dl{wid}_wr")
+            yield ctx.store(sh.progress[wid], i + 1, site=f"aget:dl{wid}_prog")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [interrupt_handler, (downloader, 0), (downloader, 1)]
+        )
+        yield from join_all(ctx, handles)
+        # Output check (the paper's separate checker program, inlined):
+        # every byte below the saved resume offset must have been written.
+        saved = yield ctx.load(sh.saved, site="aget:chk_saved")
+        written = []
+        for i in range(2 * CHUNKS):
+            written.append((yield ctx.load_elem(sh.file, i, site="aget:chk_rd")))
+        complete = all(written)
+        if saved is None:
+            ctx.check(complete, f"no resume state and incomplete file: {written}")
+        else:
+            ctx.check(
+                complete, f"interrupted download left file incomplete: {written}"
+            )
+
+    return Program(
+        "CB.aget-bug2", setup, main, expected_bug="assertion (incorrect output)"
+    )
+
+
+def make_pbzip2() -> Program:
+    """pbzip2-0.9.4: the consumer queue is torn down while decompressor
+    threads still use it.
+
+    The original bug is a use of a destroyed mutex/queue (the paper notes
+    their detector for out-of-bounds accesses to *synchronisation objects*
+    proved useful exactly here).  Our main thread frees the queue as soon
+    as the racy ``done`` counter looks complete, and a straggling consumer
+    then dereferences ``None`` — a crash (IPB bound 0, IDB bound 1)."""
+
+    ITEMS = 2
+
+    def setup():
+        return SimpleNamespace(
+            queue=SharedVar([], "pb.queue"),
+            produced=SharedVar(0, "pb.produced"),
+            consumed=SharedVar(0, "pb.consumed"),
+            m=Mutex("pb.m"),
+        )
+
+    def producer(ctx, sh):
+        for i in range(ITEMS):
+            q = yield ctx.load(sh.queue, site="pb:p_q")
+            q.append(i)  # invisible local mutation of the loaded object
+            n = yield ctx.load(sh.produced, site="pb:p_n")
+            yield ctx.store(sh.produced, n + 1, site="pb:p_nw")
+
+    def consumer(ctx, sh):
+        got = 0
+        while got < ITEMS:
+            yield ctx.await_value(
+                sh.produced, lambda n, _g=got: n > _g, site="pb:c_wait"
+            )
+            q = yield ctx.load(sh.queue, site="pb:c_q")
+            _item = q[got]  # crashes (TypeError) once main freed the queue
+            got += 1
+            n = yield ctx.load(sh.consumed, site="pb:c_n")
+            yield ctx.store(sh.consumed, n + 1, site="pb:c_nw")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [producer, consumer, producer])
+        yield ctx.join(handles[0])
+        # BUG: frees the queue once *production* looks finished, without
+        # joining the consumer (and the second producer still appends too).
+        yield ctx.await_value(
+            sh.produced, lambda n: n >= ITEMS, site="pb:m_wait"
+        )
+        yield ctx.store(sh.queue, None, site="pb:m_free")
+        yield ctx.join(handles[1])
+        yield ctx.join(handles[2])
+
+    return Program("CB.pbzip2-0.9.4", setup, main, expected_bug="crash (use after free)")
+
+
+def make_stringbuffer_jdk14() -> Program:
+    """stringbuffer-jdk1.4: ``StringBuffer.append(StringBuffer other)``
+    reads ``other.length()`` and ``other.getChars()`` under *separate*
+    monitor acquisitions; a ``delete`` on ``other`` between the two makes
+    ``getChars`` copy beyond the live region (the JDK's famous
+    ArrayIndexOutOfBoundsException).  Needs two preemptions (Table 3:
+    bound 2 for both IPB and IDB)."""
+
+    def setup():
+        return SimpleNamespace(
+            target_chars=SharedArray(8, "", "sb.target"),
+            target_len=SharedVar(0, "sb.target_len"),
+            src_chars=SharedArray(4, "x", "sb.src"),
+            src_len=SharedVar(4, "sb.src_len"),
+            m_src=Mutex("sb.src_lock"),
+            m_tgt=Mutex("sb.tgt_lock"),
+        )
+
+    def appender(ctx, sh):
+        # synchronized(src) { n = src.length() }
+        yield ctx.lock(sh.m_src, site="sb:a_lock1")
+        n = yield ctx.load(sh.src_len, site="sb:a_len")
+        yield ctx.unlock(sh.m_src, site="sb:a_unlock1")
+        # synchronized(src) { src.getChars(0, n, ...) }  -- n may be stale
+        yield ctx.lock(sh.m_src, site="sb:a_lock2")
+        copied = []
+        for i in range(n):
+            live = yield ctx.load(sh.src_len, site="sb:a_live")
+            ctx.check(i < live, f"getChars past live region: {i} >= {live}")
+            copied.append(
+                (yield ctx.load_elem(sh.src_chars, i, site="sb:a_get"))
+            )
+        yield ctx.unlock(sh.m_src, site="sb:a_unlock2")
+        yield ctx.lock(sh.m_tgt, site="sb:a_lock3")
+        for i, ch in enumerate(copied):
+            yield ctx.store_elem(sh.target_chars, i, ch, site="sb:a_put")
+        yield ctx.store(sh.target_len, len(copied), site="sb:a_setlen")
+        yield ctx.unlock(sh.m_tgt, site="sb:a_unlock3")
+
+    def deleter(ctx, sh):
+        # synchronized(src) { src.delete(1, end) } then more mutation, so
+        # the thread is still enabled when the appender resumes (this is
+        # what pushes the bug to two preemptions).
+        yield ctx.lock(sh.m_src, site="sb:d_lock")
+        yield ctx.store(sh.src_len, 1, site="sb:d_shrink")
+        yield ctx.unlock(sh.m_src, site="sb:d_unlock")
+        yield ctx.lock(sh.m_src, site="sb:d_lock2")
+        yield ctx.store_elem(sh.src_chars, 0, "y", site="sb:d_set")
+        yield ctx.unlock(sh.m_src, site="sb:d_unlock2")
+
+    def main(ctx, sh):
+        # The appender runs on the main thread (two threads total, as in
+        # the original test).
+        h = yield ctx.spawn(deleter)
+        yield from appender(ctx, sh)
+        yield ctx.join(h)
+
+    return Program(
+        "CB.stringbuffer-jdk1.4",
+        setup,
+        main,
+        expected_bug="assertion (getChars out of bounds)",
+    )

@@ -1,0 +1,215 @@
+"""The CHESS suite — four work-stealing-queue test cases.
+
+The original benchmarks test a Cilk-style work-stealing deque implemented
+for the CHESS tool (section 4.1 of the paper; the WSQ benchmark is the
+classic evaluation subject of preemption bounding, PLDI'07).  The paper's
+authors translated them to pthreads + C++11 atomics and, after fixing an
+always-firing heap corruption, kept a much rarer bug.
+
+Our port implements the THE-protocol deque with the same defect family:
+the owner's ``take`` fast path and the thief's ``steal`` race on the *last*
+element, so a specific interleaving hands the same task to both (duplicate
+execution) or loses one (never executed).  A ``done[task]`` tally checked
+at the end catches either outcome.
+
+The four variants vary the synchronisation flavour and workload size the
+way the suite does — ``WSQ`` is the base case; ``SWSQ`` drives more
+steal attempts; ``IWSQ``/``IWSQWS`` are the "interlocked" (lock-free
+take) versions, with ``IWSQWS`` adding work-stealing pressure from two
+thieves' worth of operations.  Shape targets from Table 3: IPB finds only
+``WSQ`` (bound 2); IDB finds all four (bounds 2/1/2/1); DFS finds none;
+Rand finds all four.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Atomic, Mutex, Program, SharedArray
+from .workloads import join_all, spawn_all
+
+
+def _make_wsq(
+    name: str,
+    tasks: int,
+    steal_attempts: int,
+    lockfree_take: bool,
+    prefill: int = 0,
+    interleaved: bool = False,
+    thieves: int = 1,
+    tail_ops: int = 0,
+) -> Program:
+    """Build one work-stealing-queue benchmark.
+
+    tasks:
+        number of tasks the owner pushes (and then drains with ``take``).
+    steal_attempts:
+        how many times the thief calls ``steal``.
+    lockfree_take:
+        the "interlocked" variants: ``take`` never takes the lock, relying
+        (incorrectly) on the head/tail protocol alone.
+    prefill:
+        tasks pushed before the thief starts (shifts where the racy window
+        sits in the schedule).
+    """
+
+    size = tasks + prefill + 2
+
+    def setup():
+        return SimpleNamespace(
+            items=SharedArray(size, -1, "wsq.items"),
+            head=Atomic(0, "wsq.head"),
+            tail=Atomic(0, "wsq.tail"),
+            lock=Mutex("wsq.lock"),
+            done=SharedArray(tasks + prefill, 0, "wsq.done"),
+            pads=[Atomic(0, f"wsq.pad{i}") for i in range(thieves + 1)],
+        )
+
+    def put(ctx, sh, value):
+        t = yield ctx.atomic_load(sh.tail, site="wsq:put_rd_tail")
+        yield ctx.store_elem(sh.items, t, value, site="wsq:put_store")
+        yield ctx.atomic_store(sh.tail, t + 1, site="wsq:put_wr_tail")
+
+    def mark_done(ctx, sh, v, who):
+        n = yield ctx.load_elem(sh.done, v, site=f"wsq:{who}_done_rd")
+        yield ctx.store_elem(sh.done, v, n + 1, site=f"wsq:{who}_done_wr")
+
+    def take(ctx, sh):
+        """Owner-side pop from the tail.  BUG: the fast path returns the
+        element without re-validating against a concurrent steal of the
+        same (last) slot."""
+        t = (yield ctx.atomic_load(sh.tail, site="wsq:take_rd_tail")) - 1
+        yield ctx.atomic_store(sh.tail, t, site="wsq:take_wr_tail")
+        h = yield ctx.atomic_load(sh.head, site="wsq:take_rd_head")
+        if h <= t:
+            v = yield ctx.load_elem(sh.items, t, site="wsq:take_read")
+            return v
+        # Deque looked empty: restore tail.
+        yield ctx.atomic_store(sh.tail, t + 1, site="wsq:take_restore")
+        if lockfree_take:
+            return None
+        # Locked slow path: retry once under the lock.
+        yield ctx.lock(sh.lock, site="wsq:take_lock")
+        h = yield ctx.atomic_load(sh.head, site="wsq:take_rd_head2")
+        t2 = (yield ctx.atomic_load(sh.tail, site="wsq:take_rd_tail2")) - 1
+        v = None
+        if h <= t2:
+            yield ctx.atomic_store(sh.tail, t2, site="wsq:take_wr_tail2")
+            v = yield ctx.load_elem(sh.items, t2, site="wsq:take_read2")
+        yield ctx.unlock(sh.lock, site="wsq:take_unlock")
+        return v
+
+    def steal(ctx, sh):
+        """Thief-side pop from the head.  The steal lock serialises
+        thieves, but the owner's fast-path ``take`` ignores it — so the
+        check-then-claim window below races with a concurrent take of the
+        *same last element* (the THE-protocol bug this suite exists for:
+        both sides pass their emptiness check and return the same task)."""
+        yield ctx.lock(sh.lock, site="wsq:steal_lock")
+        h = yield ctx.atomic_load(sh.head, site="wsq:steal_rd_head")
+        t = yield ctx.atomic_load(sh.tail, site="wsq:steal_rd_tail")
+        v = None
+        if h < t:
+            v = yield ctx.load_elem(sh.items, h, site="wsq:steal_read")
+            yield ctx.atomic_store(sh.head, h + 1, site="wsq:steal_wr_head")
+        yield ctx.unlock(sh.lock, site="wsq:steal_unlock")
+        return v
+
+    def owner(ctx, sh):
+        if interleaved:
+            # Nearly-empty deque the whole time: put one, take one.  The
+            # take/steal collision window recurs on every iteration.
+            for i in range(tasks):
+                yield from put(ctx, sh, prefill + i)
+                v = yield from take(ctx, sh)
+                if v is not None:
+                    yield from mark_done(ctx, sh, v, "own")
+        else:
+            # Batch: push everything, then drain.  take and steal only
+            # collide where the owner's LIFO front meets the thief's head.
+            for i in range(tasks):
+                yield from put(ctx, sh, prefill + i)
+            for _ in range(tasks):
+                v = yield from take(ctx, sh)
+                if v is not None:
+                    yield from mark_done(ctx, sh, v, "own")
+        # Wind-down work (result aggregation in the original harness);
+        # buries the racy crossing point deep above the depth-first
+        # frontier.
+        for _ in range(tail_ops):
+            yield ctx.fetch_add(sh.pads[0], 1, site="wsq:own_tail")
+
+    def thief(ctx, sh, idx=1):
+        for _ in range(steal_attempts):
+            v = yield from steal(ctx, sh)
+            if v is not None:
+                yield from mark_done(ctx, sh, v, "thf")
+        for _ in range(tail_ops):
+            yield ctx.fetch_add(sh.pads[idx], 1, site=f"wsq:thf{idx}_tail")
+
+    def main(ctx, sh):
+        for i in range(prefill):
+            yield from put(ctx, sh, i)
+        handles = yield from spawn_all(
+            ctx, [owner] + [(thief, i + 1) for i in range(thieves)]
+        )
+        yield from join_all(ctx, handles)
+        # Drain anything left in the deque.
+        while True:
+            v = yield from take(ctx, sh)
+            if v is None:
+                break
+            yield from mark_done(ctx, sh, v, "drain")
+        for i in range(tasks + prefill):
+            n = yield ctx.load_elem(sh.done, i, site="wsq:verify")
+            ctx.check(n == 1, f"task {i} executed {n} times")
+
+    return Program(
+        name, setup, main, expected_bug="assertion (task lost or duplicated)"
+    )
+
+
+def make_wsq() -> Program:
+    """chess.WSQ — the base locking deque (IPB bound 2, IDB bound 2)."""
+    return _make_wsq(
+        "chess.WSQ", tasks=4, steal_attempts=2, lockfree_take=False, tail_ops=6
+    )
+
+
+def make_swsq() -> Program:
+    """chess.SWSQ — two stealers over a bigger batch (only IDB/Rand find it)."""
+    return _make_wsq(
+        "chess.SWSQ",
+        tasks=7,
+        steal_attempts=3,
+        lockfree_take=False,
+        thieves=2,
+        tail_ops=10,
+    )
+
+
+def make_iwsq() -> Program:
+    """chess.IWSQ — lock-free take (found only by IDB at bound 2, and Rand)."""
+    return _make_wsq(
+        "chess.IWSQ",
+        tasks=8,
+        steal_attempts=3,
+        lockfree_take=True,
+        thieves=2,
+        tail_ops=10,
+    )
+
+
+def make_iwsqws() -> Program:
+    """chess.IWSQWS — lock-free take under constant steal pressure: the
+    deque stays nearly empty, so the racy window recurs every iteration
+    (random scheduling finds this one quickly, as in the paper)."""
+    return _make_wsq(
+        "chess.IWSQWS",
+        tasks=8,
+        steal_attempts=6,
+        lockfree_take=True,
+        interleaved=True,
+        thieves=2,
+        tail_ops=7,
+    )

@@ -1,0 +1,775 @@
+"""The CS (Concurrency Software) suite — 29 benchmarks.
+
+Python ports of the examples used to evaluate the ESBMC tool (Cordeiro &
+Fischer, ICSE'11), as gathered into SCTBench (section 4.1 of the paper):
+small multithreaded algorithm test cases — bank account transfer, circular
+buffer, dining philosophers, queue, stack — plus a file-system benchmark
+and a test case for a Bluetooth driver.  The paper selected concrete input
+values where the originals had unconstrained inputs; we do the same.
+
+Each factory's docstring notes the bug and the shape targets from Table 3
+(smallest exposing bound for IPB/IDB, which techniques find it).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Optional
+
+from ..runtime import Atomic, CondVar, Mutex, Program, SharedArray, SharedVar
+from .workloads import join_all, locked_add, spawn_all
+
+
+# ---------------------------------------------------------------------------
+# id 3: CS.account_bad
+# ---------------------------------------------------------------------------
+
+def make_account_bad() -> Program:
+    """Bank account with an unguarded overdraft.
+
+    Deposit and withdraw serialise on the account mutex, but withdraw never
+    checks funds, so orderings where the auditor observes the balance after
+    a withdraw-before-deposit see a negative balance.  The bug needs *zero*
+    preemptions (Table 3: IPB bound 0) — it is a block-ordering bug among
+    the three worker threads (4 threads, 3 max enabled).
+    """
+
+    def setup():
+        return SimpleNamespace(m=Mutex("account.m"), balance=SharedVar(0, "balance"))
+
+    def deposit(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.balance, +10, "deposit")
+
+    def withdraw(ctx, sh):
+        # BUG: no funds check before withdrawing.
+        yield from locked_add(ctx, sh.m, sh.balance, -10, "withdraw")
+
+    def audit(ctx, sh):
+        yield ctx.lock(sh.m, site="audit:lock")
+        b = yield ctx.load(sh.balance, site="audit:load")
+        yield ctx.unlock(sh.m, site="audit:unlock")
+        ctx.check(b >= 0, f"account overdrawn: balance={b}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [deposit, withdraw, audit])
+        yield from join_all(ctx, handles)
+
+    return Program("CS.account_bad", setup, main, expected_bug="assertion (overdraft)")
+
+
+# ---------------------------------------------------------------------------
+# id 4: CS.arithmetic_prog_bad
+# ---------------------------------------------------------------------------
+
+def make_arithmetic_prog_bad() -> Program:
+    """Arithmetic-progression sum with a wrong specification.
+
+    Two threads sum disjoint ranges under a mutex; the final assertion uses
+    an off-by-one closed form, so *every* schedule is buggy (Table 3: 100%
+    of DFS schedules buggy; found on the first schedule by everything).
+    """
+
+    N = 6
+
+    def setup():
+        return SimpleNamespace(m=Mutex("ap.m"), total=SharedVar(0, "total"))
+
+    def summer(ctx, sh, lo, hi):
+        for i in range(lo, hi):
+            yield from locked_add(ctx, sh.m, sh.total, i, f"sum{lo}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [(summer, 1, N // 2 + 1), (summer, N // 2 + 1, N + 1)]
+        )
+        yield from join_all(ctx, handles)
+        total = yield ctx.load(sh.total)
+        # BUG: the closed form is off by one (as in the original, the check
+        # itself is wrong, so the failure is schedule-independent).
+        ctx.check(total == N * (N + 1) // 2 + 1, f"sum {total} != expected")
+
+    return Program(
+        "CS.arithmetic_prog_bad", setup, main, expected_bug="assertion (wrong spec)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 5: CS.bluetooth_driver_bad
+# ---------------------------------------------------------------------------
+
+def make_bluetooth_driver_bad() -> Program:
+    """The Windows Bluetooth driver stopper/worker model (Qadeer & Wu).
+
+    The worker checks ``stopping_flag`` and then increments ``pending_io``
+    non-atomically; a preemption between the check and the increment lets
+    the stopper see ``pending_io == 0``, free the device, and the worker
+    then touches freed state.  Needs one preemption (Table 3: bounds 1/1;
+    MapleAlg misses it).
+    """
+
+    def setup():
+        return SimpleNamespace(
+            stopping_flag=SharedVar(0, "stopping_flag"),
+            pending_io=SharedVar(1, "pending_io"),
+            stopped=SharedVar(0, "stopped"),
+        )
+
+    def worker(ctx, sh):
+        flag = yield ctx.load(sh.stopping_flag, site="bt:check_flag")
+        if not flag:
+            n = yield ctx.load(sh.pending_io, site="bt:io_load")
+            yield ctx.store(sh.pending_io, n + 1, site="bt:io_inc")
+            # Perform I/O against the device.
+            dead = yield ctx.load(sh.stopped, site="bt:use_device")
+            ctx.check(not dead, "worker touched stopped device")
+            n = yield ctx.load(sh.pending_io, site="bt:io_load2")
+            yield ctx.store(sh.pending_io, n - 1, site="bt:io_dec")
+
+    def stopper(ctx, sh):
+        yield ctx.store(sh.stopping_flag, 1, site="bt:set_flag")
+        n = yield ctx.load(sh.pending_io, site="bt:stop_load")
+        yield ctx.store(sh.pending_io, n - 1, site="bt:stop_dec")
+        n = yield ctx.load(sh.pending_io, site="bt:stop_check")
+        if n == 0:
+            yield ctx.store(sh.stopped, 1, site="bt:stop_device")
+
+    def main(ctx, sh):
+        w = yield ctx.spawn(worker)
+        yield from stopper(ctx, sh)
+        yield ctx.join(w)
+
+    return Program(
+        "CS.bluetooth_driver_bad", setup, main, expected_bug="assertion (use after stop)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 6: CS.carter01_bad
+# ---------------------------------------------------------------------------
+
+def make_carter01_bad() -> Program:
+    """carter01: two lock classes taken in opposite orders by two pairs of
+    threads — a deadlock needing one preemption (5 threads, 3 max enabled)."""
+
+    def setup():
+        return SimpleNamespace(
+            a=Mutex("carter.A"), b=Mutex("carter.B"), data=SharedVar(0, "carter.data")
+        )
+
+    def t_ab(ctx, sh):
+        yield ctx.lock(sh.a)
+        yield ctx.lock(sh.b)
+        v = yield ctx.load(sh.data)
+        yield ctx.store(sh.data, v + 1)
+        yield ctx.unlock(sh.b)
+        yield ctx.unlock(sh.a)
+
+    def t_ba(ctx, sh):
+        yield ctx.lock(sh.b)
+        yield ctx.lock(sh.a)
+        v = yield ctx.load(sh.data)
+        yield ctx.store(sh.data, v + 2)
+        yield ctx.unlock(sh.a)
+        yield ctx.unlock(sh.b)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [t_ab, t_ba, t_ab, t_ba])
+        yield from join_all(ctx, handles)
+
+    return Program("CS.carter01_bad", setup, main, expected_bug="deadlock")
+
+
+# ---------------------------------------------------------------------------
+# id 7: CS.circular_buffer_bad
+# ---------------------------------------------------------------------------
+
+def make_circular_buffer_bad() -> Program:
+    """Single-producer/single-consumer ring buffer with racy indices.
+
+    Send/receive update ``count`` without synchronisation; an interleaved
+    update loses an element and the final content check fails.  Table 3:
+    IPB bound 1, IDB bound 2, ~51% of the DFS prefix buggy.
+    """
+
+    ITEMS = 5
+    SIZE = 4
+
+    def setup():
+        return SimpleNamespace(
+            buf=SharedArray(SIZE, 0, "cb.buf"),
+            head=SharedVar(0, "cb.head"),
+            tail=SharedVar(0, "cb.tail"),
+            count=SharedVar(0, "cb.count"),
+            received=SharedVar(0, "cb.sum"),
+        )
+
+    def producer(ctx, sh):
+        for sent in range(ITEMS):
+            # Passive busy-wait for space (ad-hoc sync on the racy counter).
+            yield ctx.await_value(sh.count, lambda n: n < SIZE, site="cb:p_wait")
+            t = yield ctx.load(sh.tail, site="cb:p_tail")
+            yield ctx.store_elem(sh.buf, t % SIZE, sent + 1, site="cb:p_put")
+            yield ctx.store(sh.tail, t + 1, site="cb:p_tail_w")
+            # BUG: racy count update (no lock).
+            n = yield ctx.load(sh.count, site="cb:p_count")
+            yield ctx.store(sh.count, n + 1, site="cb:p_count_w")
+
+    def consumer(ctx, sh):
+        for got in range(ITEMS):
+            # Wait until the producer's tail passes our cursor (terminating:
+            # tail only grows), then read — the racy count still loses
+            # updates, which the final sum check exposes.
+            yield ctx.await_value(
+                sh.tail, lambda t, _g=got: t > _g, site="cb:c_wait"
+            )
+            v = yield ctx.load_elem(sh.buf, got % SIZE, site="cb:c_get")
+            yield ctx.store(sh.head, got + 1, site="cb:c_head_w")
+            n = yield ctx.load(sh.count, site="cb:c_count")
+            yield ctx.store(sh.count, n - 1, site="cb:c_count_w")
+            acc = yield ctx.load(sh.received, site="cb:c_acc")
+            yield ctx.store(sh.received, acc + v, site="cb:c_acc_w")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [producer, consumer])
+        yield from join_all(ctx, handles)
+        total = yield ctx.load(sh.received)
+        expected = ITEMS * (ITEMS + 1) // 2
+        ctx.check(total == expected, f"buffer corrupted: {total} != {expected}")
+        # The occupancy invariant: everything produced was consumed, so the
+        # counter must be back to zero — racy updates lose increments or
+        # decrements under roughly half of all schedules (Table 3 reports
+        # 51% of DFS-explored schedules buggy for this benchmark).
+        n = yield ctx.load(sh.count)
+        ctx.check(n == 0, f"occupancy counter corrupted: {n}")
+
+    return Program(
+        "CS.circular_buffer_bad", setup, main, expected_bug="assertion (lost element)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 8: CS.deadlock01_bad
+# ---------------------------------------------------------------------------
+
+def make_deadlock01_bad() -> Program:
+    """Two threads, two mutexes, opposite acquisition order (one preemption)."""
+
+    def setup():
+        return SimpleNamespace(a=Mutex("dl.a"), b=Mutex("dl.b"), x=SharedVar(0, "dl.x"))
+
+    def t1(ctx, sh):
+        yield ctx.lock(sh.a)
+        yield ctx.lock(sh.b)
+        v = yield ctx.load(sh.x)
+        yield ctx.store(sh.x, v + 1)
+        yield ctx.unlock(sh.b)
+        yield ctx.unlock(sh.a)
+
+    def t2(ctx, sh):
+        yield ctx.lock(sh.b)
+        yield ctx.lock(sh.a)
+        v = yield ctx.load(sh.x)
+        yield ctx.store(sh.x, v - 1)
+        yield ctx.unlock(sh.a)
+        yield ctx.unlock(sh.b)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [t1, t2])
+        yield from join_all(ctx, handles)
+
+    return Program("CS.deadlock01_bad", setup, main, expected_bug="deadlock")
+
+
+# ---------------------------------------------------------------------------
+# ids 9-14: CS.din_phil{2..7}_sat
+# ---------------------------------------------------------------------------
+
+def make_din_phil_sat(n: int) -> Program:
+    """Dining philosophers, the *satisfiable* (guaranteed-deadlock) form.
+
+    Every philosopher takes its left fork and then waits for all the others
+    to have seated before reaching for the right fork, so the classic cyclic
+    wait forms under every schedule — matching Table 3, where the bug is
+    found on the very first schedule at bound 0 by every technique and every
+    random schedule is buggy for the larger instances.
+    """
+
+    def setup():
+        return SimpleNamespace(
+            forks=[Mutex(f"phil.fork{i}") for i in range(n)],
+            seated=Atomic(0, "phil.seated"),
+        )
+
+    def philosopher(ctx, sh, i):
+        yield ctx.lock(sh.forks[i], site=f"phil{i}:left")
+        yield ctx.fetch_add(sh.seated, 1, site=f"phil{i}:seat")
+        yield ctx.await_value(sh.seated, lambda v: v >= n, site=f"phil{i}:wait")
+        yield ctx.lock(sh.forks[(i + 1) % n], site=f"phil{i}:right")
+        yield ctx.unlock(sh.forks[(i + 1) % n])
+        yield ctx.unlock(sh.forks[i])
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [(philosopher, i) for i in range(n)]
+        )
+        yield from join_all(ctx, handles)
+
+    return Program(
+        f"CS.din_phil{n}_sat", setup, main, expected_bug="deadlock (cyclic forks)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 15: CS.fsbench_bad
+# ---------------------------------------------------------------------------
+
+def make_fsbench_bad(threads: int = 27) -> Program:
+    """The file-system benchmark: 27 workers update inode/busy bitmaps.
+
+    The block index computation overruns the ``busy`` array for high thread
+    ids — an out-of-bounds write that the paper detected via a manually
+    added assertion (section 4.2).  Fails for every schedule (bound 0,
+    first schedule, 100% buggy).
+    """
+
+    BLOCKS = 26  # one smaller than the worker count: the last worker overruns
+
+    def setup():
+        return SimpleNamespace(
+            locks=[Mutex(f"fs.lock{i}") for i in range(threads)],
+            busy=SharedArray(BLOCKS, 0, "fs.busy"),
+        )
+
+    def worker(ctx, sh, tid_idx):
+        yield ctx.lock(sh.locks[tid_idx])
+        block = tid_idx  # BUG: not reduced modulo BLOCKS
+        ctx.check(block < BLOCKS, f"OOB write to busy[{block}] (size {BLOCKS})")
+        yield ctx.store_elem(sh.busy, block, 1, site=f"fs:mark{tid_idx}")
+        yield ctx.unlock(sh.locks[tid_idx])
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [(worker, i) for i in range(threads)]
+        )
+        yield from join_all(ctx, handles)
+
+    return Program(
+        "CS.fsbench_bad", setup, main, expected_bug="assertion (OOB block index)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 16: CS.lazy01_bad
+# ---------------------------------------------------------------------------
+
+def make_lazy01_bad() -> Program:
+    """lazy01: three workers mutate ``data`` under a lock; the third asserts
+    it never reaches 3 — but the round-robin schedule reaches exactly that
+    (bound 0, buggy on the first schedule)."""
+
+    def setup():
+        return SimpleNamespace(m=Mutex("lazy.m"), data=SharedVar(0, "lazy.data"))
+
+    def t1(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.data, 1, "lazy1")
+
+    def t2(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.data, 2, "lazy2")
+
+    def t3(ctx, sh):
+        yield ctx.lock(sh.m)
+        v = yield ctx.load(sh.data)
+        yield ctx.unlock(sh.m)
+        ctx.check(v < 3, f"lazy01 reached data={v}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [t1, t2, t3])
+        yield from join_all(ctx, handles)
+
+    return Program("CS.lazy01_bad", setup, main, expected_bug="assertion (data >= 3)")
+
+
+# ---------------------------------------------------------------------------
+# id 17: CS.phase01_bad
+# ---------------------------------------------------------------------------
+
+def make_phase01_bad() -> Program:
+    """phase01: a two-phase handshake whose final assertion encodes the
+    wrong phase count — buggy on every schedule (DFS: 100% buggy)."""
+
+    def setup():
+        return SimpleNamespace(phase=Atomic(0, "phase.v"))
+
+    def advancer(ctx, sh):
+        yield ctx.fetch_add(sh.phase, 1, site="phase:adv")
+
+    def main(ctx, sh):
+        h1 = yield ctx.spawn(advancer)
+        h2 = yield ctx.spawn(advancer)
+        yield ctx.fetch_add(sh.phase, 1, site="phase:main")
+        yield ctx.join(h1)
+        yield ctx.join(h2)
+        v = yield ctx.atomic_load(sh.phase)
+        # BUG: the protocol was specified for four participants.
+        ctx.check(v == 4, f"phase {v} != 4")
+
+    return Program("CS.phase01_bad", setup, main, expected_bug="assertion (wrong phase)")
+
+
+# ---------------------------------------------------------------------------
+# id 18: CS.queue_bad
+# ---------------------------------------------------------------------------
+
+def make_queue_bad() -> Program:
+    """Shared queue with a racy element counter.
+
+    Enqueue/dequeue protect the storage with a mutex but update
+    ``stored`` outside it; a preemption between the load and store of the
+    counter loses an update and the final occupancy check fails (IPB bound
+    1, IDB bound 2)."""
+
+    ITEMS = 4
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("q.m"),
+            items=SharedArray(ITEMS * 2, 0, "q.items"),
+            head=SharedVar(0, "q.head"),
+            tail=SharedVar(0, "q.tail"),
+            stored=SharedVar(0, "q.stored"),
+        )
+
+    def enqueuer(ctx, sh):
+        for i in range(ITEMS):
+            yield ctx.lock(sh.m, site="q:e_lock")
+            t = yield ctx.load(sh.tail, site="q:e_tail")
+            yield ctx.store_elem(sh.items, t, i + 1, site="q:e_put")
+            yield ctx.store(sh.tail, t + 1, site="q:e_tail_w")
+            yield ctx.unlock(sh.m, site="q:e_unlock")
+            # BUG: counter updated outside the critical section.
+            n = yield ctx.load(sh.stored, site="q:e_count")
+            yield ctx.store(sh.stored, n + 1, site="q:e_count_w")
+
+    def dequeuer(ctx, sh):
+        for got in range(ITEMS):
+            # Terminating wait: tail only grows, so wait until it passes our
+            # dequeue cursor before taking the lock.
+            yield ctx.await_value(
+                sh.tail, lambda t, _g=got: t > _g, site="q:d_wait"
+            )
+            yield ctx.lock(sh.m, site="q:d_lock")
+            h = yield ctx.load(sh.head, site="q:d_head")
+            yield ctx.load_elem(sh.items, h, site="q:d_get")
+            yield ctx.store(sh.head, h + 1, site="q:d_head_w")
+            yield ctx.unlock(sh.m, site="q:d_unlock")
+            n = yield ctx.load(sh.stored, site="q:d_count")
+            yield ctx.store(sh.stored, n - 1, site="q:d_count_w")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [enqueuer, dequeuer])
+        yield from join_all(ctx, handles)
+        n = yield ctx.load(sh.stored)
+        ctx.check(n == 0, f"queue accounting broken: stored={n}")
+
+    return Program("CS.queue_bad", setup, main, expected_bug="assertion (lost count)")
+
+
+# ---------------------------------------------------------------------------
+# ids 19-23: CS.reorder_{3,4,5,10,20}_bad
+# ---------------------------------------------------------------------------
+
+def make_reorder_bad(nthreads: int) -> Program:
+    """reorder_X: X threads launched — (X−1) setters and one checker.
+
+    The paper identifies this family as the adversarial delay-bounding
+    example of its section 2: each setter runs ``x = 1; y = 1`` on plain
+    (racy) variables and the checker asserts ``x == y``.  Exposing the bug
+    needs only **one preemption** but **X−1 delays** (skipping every setter
+    between the first write and the check), so the smallest IDB bound grows
+    with the thread count while IPB stays at bound 1 — and for X ≥ 10 every
+    technique drowns (Table 3: reorder_10/20 found by nothing).
+    """
+
+    setters = nthreads - 1
+
+    def setup():
+        return SimpleNamespace(x=SharedVar(0, "ro.x"), y=SharedVar(0, "ro.y"))
+
+    def setter(ctx, sh):
+        yield ctx.store(sh.x, 1, site="ro:set_x")
+        yield ctx.store(sh.y, 1, site="ro:set_y")
+
+    def checker(ctx, sh):
+        vx = yield ctx.load(sh.x, site="ro:read_x")
+        vy = yield ctx.load(sh.y, site="ro:read_y")
+        ctx.check(vx == vy, f"reorder observed x={vx} y={vy}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [setter] * setters + [checker])
+        yield from join_all(ctx, handles)
+
+    return Program(
+        f"CS.reorder_{nthreads}_bad",
+        setup,
+        main,
+        expected_bug="assertion (x != y)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# id 24: CS.stack_bad
+# ---------------------------------------------------------------------------
+
+def make_stack_bad() -> Program:
+    """Array stack with a racy top-of-stack index.
+
+    Pusher and popper guard the array with a mutex but read ``top``
+    before locking; a stale read pops an empty slot (IPB/IDB bound 1)."""
+
+    ITEMS = 3
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("st.m"),
+            cells=SharedArray(ITEMS + 1, 0, "st.cells"),
+            top=SharedVar(0, "st.top"),
+        )
+
+    def pusher(ctx, sh):
+        for i in range(ITEMS):
+            t = yield ctx.load(sh.top, site="st:p_peek")  # BUG: unlocked read
+            yield ctx.lock(sh.m, site="st:p_lock")
+            yield ctx.store_elem(sh.cells, t, i + 1, site="st:p_put")
+            yield ctx.store(sh.top, t + 1, site="st:p_top_w")
+            yield ctx.unlock(sh.m, site="st:p_unlock")
+
+    def popper(ctx, sh):
+        for _got in range(ITEMS):
+            # Passive busy-wait until the stack looks non-empty, then pop
+            # using a top value re-read without the lock (the racy peek).
+            yield ctx.await_value(sh.top, lambda t: t > 0, site="st:c_wait")
+            t = yield ctx.load(sh.top, site="st:c_peek")  # BUG: unlocked read
+            yield ctx.lock(sh.m, site="st:c_lock")
+            v = yield ctx.load_elem(sh.cells, t - 1, site="st:c_get")
+            ctx.check(v != 0, f"popped empty slot {t - 1}")
+            yield ctx.store_elem(sh.cells, t - 1, 0, site="st:c_clear")
+            yield ctx.store(sh.top, t - 1, site="st:c_top_w")
+            yield ctx.unlock(sh.m, site="st:c_unlock")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [pusher, popper])
+        yield from join_all(ctx, handles)
+
+    return Program("CS.stack_bad", setup, main, expected_bug="assertion (pop empty)")
+
+
+# ---------------------------------------------------------------------------
+# ids 25, 26: CS.sync01_bad, CS.sync02_bad
+# ---------------------------------------------------------------------------
+
+def make_sync01_bad() -> Program:
+    """sync01: condvar handshake whose assertion encodes the wrong value —
+    fails on every schedule (DFS 100% buggy, 6 schedules total)."""
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("s1.m"), cv=CondVar("s1.cv"), num=SharedVar(0, "s1.num")
+        )
+
+    def signaller(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.store(sh.num, 1)
+        yield ctx.cond_signal(sh.cv)
+        yield ctx.unlock(sh.m)
+
+    def observer(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.load(sh.num)
+        yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        h = yield ctx.spawn(signaller)
+        h2 = yield ctx.spawn(observer)
+        yield ctx.lock(sh.m)
+        while True:
+            v = yield ctx.load(sh.num)
+            if v > 0:
+                break
+            yield ctx.cond_wait(sh.cv, sh.m)
+        yield ctx.unlock(sh.m)
+        yield ctx.join(h)
+        yield ctx.join(h2)
+        v = yield ctx.load(sh.num)
+        ctx.check(v == 2, f"sync01: num={v} != 2")  # BUG: should be 1
+
+    return Program("CS.sync01_bad", setup, main, expected_bug="assertion (wrong spec)")
+
+
+def make_sync02_bad() -> Program:
+    """sync02: like sync01 with a longer producer phase; equally wrong spec."""
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("s2.m"), cv=CondVar("s2.cv"), num=SharedVar(0, "s2.num")
+        )
+
+    def producer(ctx, sh):
+        for _ in range(3):
+            yield from locked_add(ctx, sh.m, sh.num, 1, "s2:add")
+        yield ctx.lock(sh.m)
+        yield ctx.cond_signal(sh.cv)
+        yield ctx.unlock(sh.m)
+
+    def observer(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.load(sh.num)
+        yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        h = yield ctx.spawn(producer)
+        h2 = yield ctx.spawn(observer)
+        yield ctx.lock(sh.m)
+        while True:
+            v = yield ctx.load(sh.num)
+            if v >= 3:
+                break
+            yield ctx.cond_wait(sh.cv, sh.m)
+        yield ctx.unlock(sh.m)
+        yield ctx.join(h)
+        yield ctx.join(h2)
+        v = yield ctx.load(sh.num)
+        ctx.check(v == 4, f"sync02: num={v} != 4")  # BUG: should be 3
+
+    return Program("CS.sync02_bad", setup, main, expected_bug="assertion (wrong spec)")
+
+
+# ---------------------------------------------------------------------------
+# id 27: CS.token_ring_bad
+# ---------------------------------------------------------------------------
+
+def make_token_ring_bad() -> Program:
+    """token_ring: four stations propagate a token ``x{i} = x{i-1} + 1``
+    through racy variables; orderings other than the ring order corrupt the
+    propagated values and the final consistency check fails.  Table 3:
+    IPB finds it at bound 0 (a block-ordering bug), IDB needs 2 delays."""
+
+    def setup():
+        return SimpleNamespace(
+            x=[SharedVar(0, f"tr.x{i}") for i in range(4)],
+        )
+
+    def station(ctx, sh, i):
+        prev = yield ctx.load(sh.x[(i - 1) % 4], site=f"tr:read{i}")
+        yield ctx.store(sh.x[i], prev + 1, site=f"tr:write{i}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [(station, i) for i in range(4)])
+        yield from join_all(ctx, handles)
+        values = []
+        for i in range(4):
+            values.append((yield ctx.load(sh.x[i], site=f"tr:final{i}")))
+        # In ring order the token increments monotonically: x3 == 4 is only
+        # reached when every station saw its predecessor.  The "bad" check
+        # demands it always does.
+        ctx.check(
+            values[3] == 4, f"token ring out of order: {values}"
+        )
+
+    return Program("CS.token_ring_bad", setup, main, expected_bug="assertion (token)")
+
+
+# ---------------------------------------------------------------------------
+# ids 28, 29: CS.twostage_{100,}bad
+# ---------------------------------------------------------------------------
+
+def make_twostage_bad(workers: int = 1) -> Program:
+    """twostage: workers update ``data1`` then ``data2`` in two separately
+    locked stages; a reader between the stages observes the broken
+    invariant ``data2 == data1 + 1``.  One preemption for the 2-thread
+    version; the 100-worker version (``twostage_100``) is out of reach for
+    every technique purely by state-space size (Table 3)."""
+
+    def setup():
+        return SimpleNamespace(
+            m1=Mutex("ts.m1"),
+            m2=Mutex("ts.m2"),
+            data1=SharedVar(0, "ts.data1"),
+            data2=SharedVar(0, "ts.data2"),
+        )
+
+    def stage_worker(ctx, sh):
+        yield ctx.lock(sh.m1, site="ts:w_lock1")
+        yield ctx.store(sh.data1, 1, site="ts:w_d1")
+        yield ctx.unlock(sh.m1, site="ts:w_unlock1")
+        # -- window: data1 updated, data2 not yet --
+        yield ctx.lock(sh.m2, site="ts:w_lock2")
+        d1 = yield ctx.load(sh.data1, site="ts:w_rd1")
+        yield ctx.store(sh.data2, d1 + 1, site="ts:w_d2")
+        yield ctx.unlock(sh.m2, site="ts:w_unlock2")
+
+    def reader(ctx, sh):
+        yield ctx.lock(sh.m1, site="ts:r_lock1")
+        d1 = yield ctx.load(sh.data1, site="ts:r_d1")
+        yield ctx.unlock(sh.m1, site="ts:r_unlock1")
+        yield ctx.lock(sh.m2, site="ts:r_lock2")
+        d2 = yield ctx.load(sh.data2, site="ts:r_d2")
+        yield ctx.unlock(sh.m2, site="ts:r_unlock2")
+        if d1 != 0:
+            ctx.check(d2 == d1 + 1, f"twostage: d1={d1} d2={d2}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [stage_worker] * workers + [reader])
+        yield from join_all(ctx, handles)
+
+    suffix = "" if workers == 1 else f"_{workers + 1}"
+    # Names follow the paper: CS.twostage_bad (3 threads) and
+    # CS.twostage_100_bad (101 threads: 100 launched + main... the original
+    # counts the launched threads, which is workers + reader).
+    name = "CS.twostage_bad" if workers == 1 else f"CS.twostage_{workers + 1}_bad"
+    return Program(name, setup, main, expected_bug="assertion (stage invariant)")
+
+
+# ---------------------------------------------------------------------------
+# ids 30, 31: CS.wronglock_{3,}bad
+# ---------------------------------------------------------------------------
+
+def make_wronglock_bad(nthreads: int, name: Optional[str] = None) -> Program:
+    """wronglock: one updater guards ``data`` with mutex A, the other
+    ``nthreads - 1`` updaters take mutex *B* — the wrong lock — so their
+    critical sections overlap A's and the double-increment check fails.
+
+    ``nthreads=3`` is CS.wronglock_3_bad (5 threads inc. main; IPB bound 1
+    after 243 schedules, IDB bound 1 after 15); ``nthreads=8`` is
+    CS.wronglock_bad (9 threads), where bound-1 preemption space explodes
+    and only IDB (and Rand) find the bug."""
+
+    def setup():
+        return SimpleNamespace(
+            a=Mutex("wl.A"),
+            b=Mutex("wl.B"),
+            data=SharedVar(0, "wl.data"),
+        )
+
+    def right_locker(ctx, sh):
+        yield ctx.lock(sh.a, site="wl:r_lock")
+        v = yield ctx.load(sh.data, site="wl:r_load")
+        yield ctx.store(sh.data, v + 1, site="wl:r_store")
+        w = yield ctx.load(sh.data, site="wl:r_check")
+        ctx.check(w == v + 1, f"wronglock: lost my increment ({v} -> {w})")
+        yield ctx.unlock(sh.a, site="wl:r_unlock")
+
+    def wrong_locker(ctx, sh):
+        yield ctx.lock(sh.b, site="wl:w_lock")  # BUG: should be mutex A
+        v = yield ctx.load(sh.data, site="wl:w_load")
+        yield ctx.store(sh.data, v + 1, site="wl:w_store")
+        yield ctx.unlock(sh.b, site="wl:w_unlock")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [right_locker] + [wrong_locker] * (nthreads - 1)
+        )
+        yield from join_all(ctx, handles)
+
+    if name is None:
+        name = "CS.wronglock_bad" if nthreads == 8 else f"CS.wronglock_{nthreads}_bad"
+    return Program(name, setup, main, expected_bug="assertion (lost increment)")

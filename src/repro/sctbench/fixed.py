@@ -1,0 +1,388 @@
+"""Fixed twins — corrected versions of representative SCTBench entries.
+
+SCT "has no false-positives" (paper section 1): a technique must never
+report a bug on a correct program.  These negative controls repair the
+seeded defect of ten representative benchmarks while keeping the thread
+structure; the test suite asserts that every technique comes up clean on
+all of them (exhaustively, where the space allows).
+
+They also document, twin by twin, what the *fix* for each bug class looks
+like — useful when reading the buggy ports.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Atomic, CondVar, Mutex, Program, SharedArray, SharedVar
+from .workloads import join_all, locked_add, spawn_all
+
+
+def make_account_fixed() -> Program:
+    """account: withdraw checks funds before taking them."""
+
+    def setup():
+        return SimpleNamespace(m=Mutex("account.m"), balance=SharedVar(0, "balance"))
+
+    def deposit(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.balance, +10, "deposit")
+
+    def withdraw(ctx, sh):
+        yield ctx.lock(sh.m)
+        b = yield ctx.load(sh.balance)
+        if b >= 10:  # FIX: never overdraw
+            yield ctx.store(sh.balance, b - 10)
+        yield ctx.unlock(sh.m)
+
+    def audit(ctx, sh):
+        yield ctx.lock(sh.m)
+        b = yield ctx.load(sh.balance)
+        yield ctx.unlock(sh.m)
+        ctx.check(b >= 0, f"account overdrawn: balance={b}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [deposit, withdraw, audit])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.account", setup, main)
+
+
+def make_reorder_fixed(nthreads: int = 3) -> Program:
+    """reorder: the (x, y) pair becomes one atomic cell, so no torn state
+    is observable."""
+
+    setters = nthreads - 1
+
+    def setup():
+        return SimpleNamespace(xy=Atomic((0, 0), "ro.xy"))
+
+    def setter(ctx, sh):
+        yield ctx.atomic_store(sh.xy, (1, 1), site="ro:set")
+
+    def checker(ctx, sh):
+        vx, vy = yield ctx.atomic_load(sh.xy, site="ro:read")
+        ctx.check(vx == vy, f"reorder observed x={vx} y={vy}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [setter] * setters + [checker])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.reorder", setup, main)
+
+
+def make_deadlock01_fixed() -> Program:
+    """deadlock01: both threads take the locks in the same global order."""
+
+    def setup():
+        return SimpleNamespace(a=Mutex("dl.a"), b=Mutex("dl.b"), x=SharedVar(0, "dl.x"))
+
+    def t(ctx, sh, delta):
+        yield ctx.lock(sh.a)  # FIX: consistent a-then-b order
+        yield ctx.lock(sh.b)
+        v = yield ctx.load(sh.x)
+        yield ctx.store(sh.x, v + delta)
+        yield ctx.unlock(sh.b)
+        yield ctx.unlock(sh.a)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [(t, 1), (t, -1)])
+        yield from join_all(ctx, handles)
+        v = yield ctx.load(sh.x)
+        ctx.check(v == 0, f"x={v}")
+
+    return Program("fixed.deadlock01", setup, main)
+
+
+def make_twostage_fixed() -> Program:
+    """twostage: both stages run under one lock, so the intermediate state
+    is never observable."""
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("ts.m"),
+            data1=SharedVar(0, "ts.data1"),
+            data2=SharedVar(0, "ts.data2"),
+        )
+
+    def stage_worker(ctx, sh):
+        yield ctx.lock(sh.m)  # FIX: a single critical section
+        yield ctx.store(sh.data1, 1)
+        d1 = yield ctx.load(sh.data1)
+        yield ctx.store(sh.data2, d1 + 1)
+        yield ctx.unlock(sh.m)
+
+    def reader(ctx, sh):
+        yield ctx.lock(sh.m)
+        d1 = yield ctx.load(sh.data1)
+        d2 = yield ctx.load(sh.data2)
+        yield ctx.unlock(sh.m)
+        if d1 != 0:
+            ctx.check(d2 == d1 + 1, f"twostage: d1={d1} d2={d2}")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [stage_worker, reader])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.twostage", setup, main)
+
+
+def make_queue_fixed() -> Program:
+    """queue: the element counter moves inside the critical section."""
+
+    ITEMS = 3
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("q.m"),
+            items=SharedArray(ITEMS * 2, 0, "q.items"),
+            head=SharedVar(0, "q.head"),
+            tail=SharedVar(0, "q.tail"),
+            stored=SharedVar(0, "q.stored"),
+        )
+
+    def enqueuer(ctx, sh):
+        for i in range(ITEMS):
+            yield ctx.lock(sh.m)
+            t = yield ctx.load(sh.tail)
+            yield ctx.store_elem(sh.items, t, i + 1)
+            yield ctx.store(sh.tail, t + 1)
+            n = yield ctx.load(sh.stored)  # FIX: counted under the lock
+            yield ctx.store(sh.stored, n + 1)
+            yield ctx.unlock(sh.m)
+
+    def dequeuer(ctx, sh):
+        for got in range(ITEMS):
+            yield ctx.await_value(sh.tail, lambda t, _g=got: t > _g)
+            yield ctx.lock(sh.m)
+            h = yield ctx.load(sh.head)
+            yield ctx.load_elem(sh.items, h)
+            yield ctx.store(sh.head, h + 1)
+            n = yield ctx.load(sh.stored)
+            yield ctx.store(sh.stored, n - 1)
+            yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [enqueuer, dequeuer])
+        yield from join_all(ctx, handles)
+        n = yield ctx.load(sh.stored)
+        ctx.check(n == 0, f"queue accounting broken: stored={n}")
+
+    return Program("fixed.queue", setup, main)
+
+
+def make_stack_fixed() -> Program:
+    """stack: the top-of-stack index is only read under the lock."""
+
+    ITEMS = 2
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("st.m"),
+            cells=SharedArray(ITEMS + 1, 0, "st.cells"),
+            top=SharedVar(0, "st.top"),
+        )
+
+    def pusher(ctx, sh):
+        for i in range(ITEMS):
+            yield ctx.lock(sh.m)
+            t = yield ctx.load(sh.top)  # FIX: read inside the lock
+            yield ctx.store_elem(sh.cells, t, i + 1)
+            yield ctx.store(sh.top, t + 1)
+            yield ctx.unlock(sh.m)
+
+    def popper(ctx, sh):
+        for _got in range(ITEMS):
+            yield ctx.await_value(sh.top, lambda t: t > 0)
+            yield ctx.lock(sh.m)
+            t = yield ctx.load(sh.top)
+            if t > 0:
+                v = yield ctx.load_elem(sh.cells, t - 1)
+                ctx.check(v != 0, f"popped empty slot {t - 1}")
+                yield ctx.store_elem(sh.cells, t - 1, 0)
+                yield ctx.store(sh.top, t - 1)
+            yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [pusher, popper])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.stack", setup, main)
+
+
+def make_ctrace_fixed() -> Program:
+    """ctrace: the slot index is claimed inside the lock."""
+
+    EVENTS = 2
+
+    def setup():
+        return SimpleNamespace(
+            log=SharedArray(EVENTS * 2 + 1, None, "ct.log"),
+            length=SharedVar(0, "ct.length"),
+            lock=Mutex("ct.lock"),
+        )
+
+    def tracer(ctx, sh, tag):
+        for i in range(EVENTS):
+            yield ctx.lock(sh.lock)
+            n = yield ctx.load(sh.length)  # FIX: claim under the lock
+            slot = yield ctx.load_elem(sh.log, n)
+            ctx.check(slot is None, f"trace slot {n} double-claimed")
+            yield ctx.store_elem(sh.log, n, (tag, i))
+            yield ctx.store(sh.length, n + 1)
+            yield ctx.unlock(sh.lock)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [(tracer, "a"), (tracer, "b")])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.ctrace", setup, main)
+
+
+def make_handshake_fixed() -> Program:
+    """lost_signal: the waiter re-checks its predicate in a loop, and the
+    signaller publishes the predicate before signalling — immune to both
+    lost wake-ups and spurious ones."""
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("hs.m"), cv=CondVar("hs.cv"), ready=SharedVar(0, "hs.ready")
+        )
+
+    def waiter(ctx, sh):
+        yield ctx.lock(sh.m)
+        while True:  # FIX: while, not if
+            r = yield ctx.load(sh.ready)
+            if r:
+                break
+            yield ctx.cond_wait(sh.cv, sh.m)
+        yield ctx.unlock(sh.m)
+
+    def signaller(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.store(sh.ready, 1)  # FIX: predicate before signal
+        yield ctx.cond_signal(sh.cv)
+        yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [waiter, signaller])
+        yield from join_all(ctx, handles)
+
+    return Program("fixed.handshake", setup, main)
+
+
+def make_wsq_fixed() -> Program:
+    """work-stealing queue: the correct THE protocol — the owner's fast
+    path only claims when the deque provably holds more than one element;
+    the last element is resolved under the steal lock."""
+
+    TASKS = 3
+
+    def setup():
+        return SimpleNamespace(
+            items=SharedArray(TASKS + 2, -1, "wsq.items"),
+            head=Atomic(0, "wsq.head"),
+            tail=Atomic(0, "wsq.tail"),
+            lock=Mutex("wsq.lock"),
+            done=SharedArray(TASKS, 0, "wsq.done"),
+        )
+
+    def put(ctx, sh, value):
+        t = yield ctx.atomic_load(sh.tail)
+        yield ctx.store_elem(sh.items, t, value)
+        yield ctx.atomic_store(sh.tail, t + 1)
+
+    def mark(ctx, sh, v):
+        n = yield ctx.load_elem(sh.done, v)
+        yield ctx.store_elem(sh.done, v, n + 1)
+
+    def take(ctx, sh):
+        t = (yield ctx.atomic_load(sh.tail)) - 1
+        yield ctx.atomic_store(sh.tail, t)
+        h = yield ctx.atomic_load(sh.head)
+        if h < t:  # FIX: fast path only when not the last element
+            v = yield ctx.load_elem(sh.items, t)
+            return v
+        # Possibly-last element: resolve under the steal lock.
+        yield ctx.lock(sh.lock)
+        h = yield ctx.atomic_load(sh.head)
+        v = None
+        if h <= t:
+            v = yield ctx.load_elem(sh.items, t)
+        else:
+            yield ctx.atomic_store(sh.tail, t + 1)  # lost the race: restore
+        yield ctx.unlock(sh.lock)
+        return v
+
+    def steal(ctx, sh):
+        yield ctx.lock(sh.lock)
+        h = yield ctx.atomic_load(sh.head)
+        t = yield ctx.atomic_load(sh.tail)
+        v = None
+        if h < t:
+            v = yield ctx.load_elem(sh.items, h)
+            yield ctx.atomic_store(sh.head, h + 1)
+        yield ctx.unlock(sh.lock)
+        return v
+
+    def owner(ctx, sh):
+        for i in range(TASKS):
+            yield from put(ctx, sh, i)
+        for _ in range(TASKS):
+            v = yield from take(ctx, sh)
+            if v is not None:
+                yield from mark(ctx, sh, v)
+
+    def thief(ctx, sh):
+        for _ in range(2):
+            v = yield from steal(ctx, sh)
+            if v is not None:
+                yield from mark(ctx, sh, v)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [owner, thief])
+        yield from join_all(ctx, handles)
+        while True:
+            v = yield from take(ctx, sh)
+            if v is None:
+                break
+            yield from mark(ctx, sh, v)
+        for i in range(TASKS):
+            n = yield ctx.load_elem(sh.done, i)
+            ctx.check(n == 1, f"task {i} executed {n} times")
+
+    return Program("fixed.wsq", setup, main)
+
+
+def make_counter_fixed() -> Program:
+    """the lost-update counter, with the increment under a lock."""
+
+    WORKERS = 3
+
+    def setup():
+        return SimpleNamespace(m=Mutex("c.m"), count=SharedVar(0, "c.count"))
+
+    def worker(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.count, 1, "inc")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [worker] * WORKERS)
+        yield from join_all(ctx, handles)
+        total = yield ctx.load(sh.count)
+        ctx.check(total == WORKERS, f"lost update: {total}")
+
+    return Program("fixed.counter", setup, main)
+
+
+#: All fixed twins, for the negative-control tests.
+FIXED_TWINS = [
+    make_account_fixed,
+    make_reorder_fixed,
+    make_deadlock01_fixed,
+    make_twostage_fixed,
+    make_queue_fixed,
+    make_stack_fixed,
+    make_ctrace_fixed,
+    make_handshake_fixed,
+    make_wsq_fixed,
+    make_counter_fixed,
+]

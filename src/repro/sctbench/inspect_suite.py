@@ -1,0 +1,88 @@
+"""The Inspect suite — one buggy benchmark: inspect.qsort_mt.
+
+The paper tested all Inspect benchmarks and found a bug only in
+``qsort_mt`` (multithreaded quicksort); the others were non-buggy and are
+recorded as skipped in the registry (section 4.1).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Program, SharedArray, SharedVar
+from .workloads import join_all, spawn_all
+
+
+def make_qsort_mt() -> Program:
+    """qsort_mt: a fork/join quicksort whose work handoff is racy.
+
+    Main partitions the array and hands each half to a sorter thread via
+    shared boundary variables — writing the second boundary *after* the
+    workers have been released.  A preemption between the two boundary
+    writes makes a sorter sort a stale range, and the final sortedness
+    check fails (Table 3: IPB/IDB bound 1; DFS and MapleAlg miss it; Rand
+    needs ~100 runs).  The sorters do a real insertion sort pass with
+    visible reads/writes, giving the benchmark enough scheduling points
+    that unbounded DFS drowns.
+    """
+
+    DATA = [3, 1, 2, 0, 7, 5, 6, 4]  # already partitioned around the pivot
+    N = len(DATA)
+    PIVOT_POS = 4
+
+    def setup():
+        return SimpleNamespace(
+            arr=SharedArray(N, list(DATA), "qs.arr"),
+            # BUG: the real ranges are published only after the workers are
+            # spawned; a worker reading these initial values sorts nothing.
+            lo_end=SharedVar(0, "qs.lo_end"),
+            hi_start=SharedVar(N, "qs.hi_start"),
+            started=SharedVar(0, "qs.started"),
+            cmps=SharedVar(0, "qs.cmps"),
+        )
+
+    def insertion_sort(ctx, sh, lo, hi, who):
+        for i in range(lo + 1, hi):
+            j = i
+            while j > lo:
+                a = yield ctx.load_elem(sh.arr, j - 1, site=f"qs:{who}_rd1")
+                b = yield ctx.load_elem(sh.arr, j, site=f"qs:{who}_rd2")
+                # Shared comparison-statistics counter, updated racily by
+                # both sorters (gives the sort phase real scheduling
+                # points, like the original's shared work-queue fields).
+                c = yield ctx.load(sh.cmps, site=f"qs:{who}_stat_rd")
+                yield ctx.store(sh.cmps, c + 1, site=f"qs:{who}_stat_wr")
+                if a <= b:
+                    break
+                yield ctx.store_elem(sh.arr, j - 1, b, site=f"qs:{who}_wr1")
+                yield ctx.store_elem(sh.arr, j, a, site=f"qs:{who}_wr2")
+                j -= 1
+
+    def low_sorter(ctx, sh):
+        n = yield ctx.load(sh.started, site="qs:lo_started")
+        yield ctx.store(sh.started, n + 1, site="qs:lo_started_w")
+        end = yield ctx.load(sh.lo_end, site="qs:lo_range")
+        yield from insertion_sort(ctx, sh, 0, end, "lo")
+
+    def high_sorter(ctx, sh):
+        n = yield ctx.load(sh.started, site="qs:hi_started")
+        yield ctx.store(sh.started, n + 1, site="qs:hi_started_w")
+        start = yield ctx.load(sh.hi_start, site="qs:hi_range")
+        yield from insertion_sort(ctx, sh, start, N, "hi")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [low_sorter, high_sorter])
+        # BUG: the range boundaries are published *after* the workers are
+        # live; a worker that reads them early sorts overlapping ranges.
+        yield ctx.store(sh.lo_end, PIVOT_POS, site="qs:pub_lo")
+        yield ctx.store(sh.hi_start, PIVOT_POS, site="qs:pub_hi")
+        yield from join_all(ctx, handles)
+        values = []
+        for i in range(N):
+            values.append((yield ctx.load_elem(sh.arr, i, site="qs:verify")))
+        ctx.check(
+            all(values[i] <= values[i + 1] for i in range(N - 1)),
+            f"not sorted: {values}",
+        )
+
+    return Program("inspect.qsort_mt", setup, main, expected_bug="assertion (unsorted)")

@@ -1,0 +1,141 @@
+"""Miscellaneous benchmarks: misc.safestack and misc.ctrace-test.
+
+``safestack`` is Dmitry Vyukov's lock-free stack test case posted to the
+CHESS forums; the bug "requires at least three threads and at least five
+preemptions" (section 4.1) and is missed by every technique in Table 3 —
+including ours.  ``ctrace`` exposes a bug in a multithreaded debugging
+library (Kasikci et al.'s Portend study corpus).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Atomic, Mutex, Program, SharedArray, SharedVar
+from .workloads import join_all, spawn_all
+
+
+def make_safestack() -> Program:
+    """Vyukov's SafeStack: an index-based lock-free stack with per-node
+    ``next`` links, exercised by three threads doing pop/use/push rounds.
+
+    The defect is the classic one from the original posting: ``Pop``
+    publishes the node's ``next`` via an atomic exchange and then races the
+    CAS on ``head`` against concurrent pushes/pops; a five-preemption
+    interleaving hands the same node to two threads, caught by the
+    ``in_use`` assertion.  Expected shape: *no* technique finds this within
+    the schedule limit (IDB reaches bound 3, IPB bound 1, per Table 3).
+    """
+
+    NODES = 3
+    ROUNDS = 2
+    WORKERS = 3
+
+    def setup():
+        s = SimpleNamespace(
+            head=Atomic(0, "ss.head"),
+            count=SharedVar(NODES, "ss.count"),
+            next=[Atomic(i + 1 if i + 1 < NODES else -1, f"ss.next{i}") for i in range(NODES)],
+            in_use=SharedArray(NODES, 0, "ss.in_use"),
+        )
+        return s
+
+    def pop(ctx, sh):
+        """Returns a node index, or -1.  Faithful to the original's retry
+        structure, with a retry cap so every execution stays finite (the
+        original spins; unbounded spinning would make DFS diverge)."""
+        for _retry in range(4):
+            c = yield ctx.load(sh.count, site="ss:pop_count")
+            if c <= 1:
+                return -1
+            head1 = yield ctx.atomic_load(sh.head, site="ss:pop_head")
+            if head1 < 0:
+                return -1
+            # Atomic exchange next[head1] := -2, observing the old link.
+            # -2 marks "pop in flight" (the original uses -1; we keep -1 as
+            # the end-of-list sentinel to match our initial linking).
+            next1 = yield ctx.atomic_rmw(
+                sh.next[head1], lambda _old: -2, site="ss:pop_xchg"
+            )
+            if next1 != -2:
+                ok, _seen = yield ctx.cas(
+                    sh.head, head1, next1, site="ss:pop_cas"
+                )
+                if ok:
+                    c = yield ctx.load(sh.count, site="ss:pop_dec_rd")
+                    yield ctx.store(sh.count, c - 1, site="ss:pop_dec_wr")
+                    return head1
+                # CAS lost: restore the link we clobbered.
+                yield ctx.atomic_rmw(
+                    sh.next[head1], lambda _old, _n=next1: _n, site="ss:pop_undo"
+                )
+        return -1
+
+    def push(ctx, sh, index):
+        while True:
+            head1 = yield ctx.atomic_load(sh.head, site="ss:push_head")
+            yield ctx.atomic_rmw(
+                sh.next[index], lambda _old, _h=head1: _h, site="ss:push_link"
+            )
+            ok, _seen = yield ctx.cas(sh.head, head1, index, site="ss:push_cas")
+            if ok:
+                c = yield ctx.load(sh.count, site="ss:push_inc_rd")
+                yield ctx.store(sh.count, c + 1, site="ss:push_inc_wr")
+                return
+
+    def worker(ctx, sh):
+        for _ in range(ROUNDS):
+            idx = yield from pop(ctx, sh)
+            if idx < 0:
+                continue
+            flag = yield ctx.load_elem(sh.in_use, idx, site="ss:use_rd")
+            ctx.check(flag == 0, f"node {idx} handed to two threads")
+            yield ctx.store_elem(sh.in_use, idx, 1, site="ss:use_set")
+            yield ctx.store_elem(sh.in_use, idx, 0, site="ss:use_clr")
+            yield from push(ctx, sh, idx)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [worker] * WORKERS)
+        yield from join_all(ctx, handles)
+
+    return Program(
+        "misc.safestack", setup, main, expected_bug="assertion (node aliased; >=5 preemptions)"
+    )
+
+
+def make_ctrace_test() -> Program:
+    """ctrace: a multithreaded tracing library whose event log grows via an
+    unsynchronised ``length`` counter.  Two tracer threads appending
+    concurrently can claim the same slot; the collision check (standing in
+    for the original's memory corruption) fires with one preemption."""
+
+    EVENTS = 2
+
+    def setup():
+        return SimpleNamespace(
+            log=SharedArray(EVENTS * 2 + 1, None, "ct.log"),
+            length=SharedVar(0, "ct.length"),
+            lock=Mutex("ct.lock"),
+        )
+
+    def trace_event(ctx, sh, tag, i):
+        # BUG: the slot index is claimed outside the lock.
+        n = yield ctx.load(sh.length, site="ct:len_rd")
+        yield ctx.lock(sh.lock, site="ct:lock")
+        slot = yield ctx.load_elem(sh.log, n, site="ct:slot_rd")
+        ctx.check(slot is None, f"trace slot {n} double-claimed")
+        yield ctx.store_elem(sh.log, n, (tag, i), site="ct:slot_wr")
+        yield ctx.store(sh.length, n + 1, site="ct:len_wr")
+        yield ctx.unlock(sh.lock, site="ct:unlock")
+
+    def tracer(ctx, sh, tag):
+        for i in range(EVENTS):
+            yield from trace_event(ctx, sh, tag, i)
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [(tracer, "a"), (tracer, "b")])
+        yield from join_all(ctx, handles)
+
+    return Program(
+        "misc.ctrace-test", setup, main, expected_bug="assertion (slot collision)"
+    )

@@ -1,0 +1,319 @@
+"""The PARSEC 2.0 suite — ferret and three streamcluster variants.
+
+Section 4.1: the paper uses ``ferret`` (content similarity search,
+pipeline-parallel) and three versions of ``streamcluster`` (online
+clustering), each containing a distinct bug — one from an older release,
+one previously unknown (an out-of-bounds write their detector surfaced,
+kept as ``streamcluster3`` with a manually added check), and one incorrect
+-output bug requiring three threads (``streamcluster2``).  The paper
+configured streamcluster for non-spinning synchronisation and added output
+checks; our ports use the runtime's blocking waits correspondingly.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Atomic, Barrier, Mutex, Program, SharedArray, SharedVar
+from .workloads import join_all, spawn_all
+
+
+def make_ferret() -> Program:
+    """ferret: a pipeline whose shutdown protocol undercounts workers.
+
+    Nine rank workers register with the pipeline before processing; a
+    closer thread (created last) snapshots the registration count and
+    declares the pipeline complete.  The bug needs one worker to be
+    *starved* — preempted before registering and not rescheduled until the
+    closer has run (the paper: "requires a thread to be preempted early in
+    the execution and not rescheduled until other threads have completed").
+
+    Shape (Table 3): IDB finds it at bound 1 (one delay pushes a worker
+    behind everything else under round-robin); Rand essentially never
+    starves a thread for that long; IPB drowns in the bound-0 space (block
+    orderings of ten threads); MapleAlg finds it by forcing the
+    closer-read-before-worker-write idiom.
+    """
+
+    WORKERS = 8
+    QUERIES = 24
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("fr.m"),
+            announced=SharedVar(0, "fr.announced"),
+            taken=SharedVar(0, "fr.taken"),
+            results=SharedVar(0, "fr.results"),
+            expected=SharedVar(None, "fr.expected"),
+        )
+
+    def announcer(ctx, sh):
+        # The pipeline's load stage announces the stream size.  This is
+        # the thread that must be "preempted early in the execution and
+        # not rescheduled until other threads have completed their tasks"
+        # for the bug to fire: it is first in round-robin order, so only a
+        # single delay (skipping it once) pushes it behind the entire
+        # drain — but a random scheduler virtually never starves it.
+        yield ctx.store(sh.announced, QUERIES, site="fr:a_announce")
+
+    def rank_worker(ctx, sh):
+        # Drain queries from the shared pool.
+        while True:
+            yield ctx.lock(sh.m, site="fr:w_lock")
+            t = yield ctx.load(sh.taken, site="fr:w_take_rd")
+            if t >= QUERIES:
+                yield ctx.unlock(sh.m, site="fr:w_unlock")
+                return
+            yield ctx.store(sh.taken, t + 1, site="fr:w_take_wr")
+            r = yield ctx.load(sh.results, site="fr:w_res_rd")
+            yield ctx.store(sh.results, r + 1, site="fr:w_res_wr")
+            yield ctx.unlock(sh.m, site="fr:w_unlock2")
+
+    def closer(ctx, sh):
+        # Waits for the stream to drain, then reads the announced size for
+        # the shutdown report.  BUG: nothing orders this read against the
+        # announcer's store.
+        yield ctx.await_value(
+            sh.results, lambda r: r >= QUERIES, site="fr:c_waitall"
+        )
+        a = yield ctx.load(sh.announced, site="fr:c_ann_rd")
+        yield ctx.store(sh.expected, a, site="fr:c_expected")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [announcer] + [rank_worker] * WORKERS + [closer]
+        )
+        yield ctx.join(handles[-1])  # pipeline shutdown
+        expected = yield ctx.load(sh.expected, site="fr:m_exp")
+        ctx.check(
+            expected == QUERIES,
+            f"pipeline closed with {expected}/{QUERIES} queries accounted",
+        )
+        yield from join_all(ctx, handles[:-1])
+
+    return Program(
+        "parsec.ferret", setup, main, expected_bug="assertion (worker starved)"
+    )
+
+
+def _streamcluster_phase(ctx, sh, wid, rounds, barrier, who, start=0):
+    """One worker's barrier-phased clustering loop (shared by variants)."""
+    for r in range(start, start + rounds):
+        v = yield ctx.load_elem(sh.points, (wid + r) % len(sh.points), site=f"sc:{who}_rd")
+        c = yield ctx.load(sh.cost, site=f"sc:{who}_cost_rd")
+        yield ctx.store(sh.cost, c + v, site=f"sc:{who}_cost_wr")
+        if wid == 0:
+            yield ctx.fetch_add(sh.round_no, 1, site=f"sc:{who}_round")
+        yield ctx.barrier_wait(barrier, site=f"sc:{who}_bar")
+
+
+def make_streamcluster() -> Program:
+    """streamcluster: a stale read across a barrier-phased loop.
+
+    Two workers run many barrier-separated rounds; in the final round the
+    master publishes the chosen cluster centre and the helper reads it —
+    through a plain (racy) variable instead of waiting for the barrier.
+    One delay (or preemption) at that late point exposes the stale read;
+    the long phase history blows up the preemption-bounded spaces (Table
+    3: 1373 scheduling points; only IDB at bound 1 and Rand find it).
+    """
+
+    ROUNDS = 14
+
+    def setup():
+        return SimpleNamespace(
+            points=SharedArray(4, 1, "sc.points"),
+            cost=SharedVar(0, "sc.cost"),
+            centre=SharedVar(None, "sc.centre"),
+            started=Atomic(0, "sc.started"),
+            aux=Atomic(0, "sc.aux"),
+            round_no=Atomic(0, "sc.round_no"),
+            bar=Barrier(2, "sc.bar"),
+        )
+
+    def master(ctx, sh):
+        yield ctx.atomic_store(sh.started, 1, site="sc:m_start")
+        yield from _streamcluster_phase(ctx, sh, 0, ROUNDS, sh.bar, "m")
+        # Publish the final centre (racy: no barrier before the helper's
+        # read below).
+        yield ctx.store(sh.centre, 7, site="sc:m_centre")
+        # Long tear-down phase: buries the racy window deep above the
+        # depth-first search's backtracking frontier.
+        for _ in range(ROUNDS):
+            yield ctx.fetch_add(sh.aux, 1, site="sc:m_tail")
+
+    def helper(ctx, sh):
+        # The helper is released by the master's start flag, so the master
+        # always enters the phase loop first (as in the original's
+        # master/worker structure).
+        yield ctx.await_equal(sh.started, 1, site="sc:h_wait")
+        yield from _streamcluster_phase(ctx, sh, 1, ROUNDS, sh.bar, "h")
+        c = yield ctx.load(sh.centre, site="sc:h_centre")
+        ctx.check(c is not None, "helper read unpublished centre")
+        for _ in range(ROUNDS):
+            yield ctx.fetch_add(sh.aux, 1, site="sc:h_tail")
+
+    def aux_worker(ctx, sh):
+        # Auxiliary threads paced by the master's round counter: they
+        # re-enter the enabled set once per clustering round, so the
+        # zero-bound schedule space branches at every phase boundary (the
+        # original's extra pthreads interleave the same way).
+        for r in range(ROUNDS):
+            yield ctx.await_value(
+                sh.round_no, lambda v, _r=r: v > _r, site="sc:q_gate"
+            )
+            yield ctx.fetch_add(sh.aux, 1, site="sc:q_tick")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(ctx, [master, helper, aux_worker, aux_worker])
+        yield from join_all(ctx, handles)
+
+    return Program(
+        "parsec.streamcluster", setup, main, expected_bug="assertion (stale centre)"
+    )
+
+
+def make_streamcluster2() -> Program:
+    """streamcluster2: incorrect output needing *three* worker threads.
+
+    Three workers accumulate into a shared total; worker pairs hand off
+    through two racy partial sums, and only a combination where the third
+    worker reads both partials mid-update corrupts the final total — the
+    paper notes this is the one streamcluster bug that needs three threads.
+    """
+
+    PRE = 6    # clustering rounds before the mid-stream reduction point
+    POST = 8   # rounds after it (bury the window below the DFS frontier)
+
+    def setup():
+        return SimpleNamespace(
+            points=SharedArray(4, 1, "sc2.points"),
+            partial1=SharedVar(0, "sc2.p1"),
+            partial2=SharedVar(0, "sc2.p2"),
+            done1=SharedVar(0, "sc2.done1"),
+            total=SharedVar(0, "sc2.total"),
+            bar=Barrier(2, "sc2.bar"),
+            cost=SharedVar(0, "sc2.cost"),
+            round_no=Atomic(0, "sc2.round_no"),
+            raux=Atomic(0, "sc2.raux"),
+        )
+
+    def worker1(ctx, sh):
+        yield from _streamcluster_phase(ctx, sh, 0, PRE, sh.bar, "w1")
+        # Mid-stream partial-sum publication (the racy reduction point).
+        v = yield ctx.load(sh.partial1, site="sc2:w1_rd")
+        yield ctx.store(sh.partial1, v + 1, site="sc2:w1_wr")
+        yield ctx.store(sh.done1, 1, site="sc2:w1_done")
+        yield from _streamcluster_phase(ctx, sh, 0, POST, sh.bar, "w1b", start=PRE)
+
+    def worker2(ctx, sh):
+        yield from _streamcluster_phase(ctx, sh, 1, PRE, sh.bar, "w2")
+        v = yield ctx.load(sh.partial2, site="sc2:w2_rd")
+        yield ctx.store(sh.partial2, v + 1, site="sc2:w2_wr")
+        yield from _streamcluster_phase(ctx, sh, 1, POST, sh.bar, "w2b", start=PRE)
+
+    def reducer(ctx, sh):
+        # BUG: gates only on worker1's completion flag before combining
+        # *both* partial sums — worker2's may not have landed yet.  This
+        # is the bug that genuinely needs three threads.
+        yield ctx.await_equal(sh.done1, 1, site="sc2:r_gate")
+        p1 = yield ctx.load(sh.partial1, site="sc2:r_rd1")
+        p2 = yield ctx.load(sh.partial2, site="sc2:r_rd2")
+        yield ctx.store(sh.total, p1 + p2, site="sc2:r_wr")
+
+    def aux_worker(ctx, sh):
+        # Paced by the round counter like the original's extra pthreads.
+        for r in range(PRE + POST):
+            yield ctx.await_value(
+                sh.round_no, lambda v, _r=r: v > _r, site="sc2:q_gate"
+            )
+            yield ctx.fetch_add(sh.raux, 1, site="sc2:q_tick")
+
+    def main(ctx, sh):
+        handles = yield from spawn_all(
+            ctx, [worker1, worker2, reducer, aux_worker, aux_worker, aux_worker]
+        )
+        yield from join_all(ctx, handles)
+        total = yield ctx.load(sh.total, site="sc2:verify")
+        ctx.check(total == 2, f"incorrect output: total={total}")
+
+    return Program(
+        "parsec.streamcluster2", setup, main, expected_bug="assertion (incorrect output)"
+    )
+
+
+def make_streamcluster3() -> Program:
+    """streamcluster3: the previously-unknown out-of-bounds write.
+
+    After a shared barrier, whichever worker leaves *first* claims the
+    scratch slot; the non-master's claim computes an out-of-bounds index
+    (the paper found this with their OOB detector and kept a manual
+    assertion).  Per section 6's analysis of benchmark 42: with zero
+    preemptions the non-master can be chosen at the first blocking
+    operation, but with zero delays only the master can — so IPB finds it
+    at bound 0 (second schedule) while IDB needs one delay and ~1369
+    schedules: the Figure 4 worst-case outlier.
+    """
+
+    ROUNDS = 8
+    SLOTS = 2
+
+    def setup():
+        return SimpleNamespace(
+            points=SharedArray(4, 1, "sc3.points"),
+            cost=SharedVar(0, "sc3.cost"),
+            round_no=Atomic(0, "sc3.round_no"),
+            bar=Barrier(2, "sc3.bar"),
+            finale=Barrier(3, "sc3.finale"),
+            done=Atomic(0, "sc3.done"),
+            leader=SharedVar(None, "sc3.leader"),
+            scratch=SharedArray(SLOTS, 0, "sc3.scratch"),
+        )
+
+    def body(ctx, sh, wid, is_master):
+        yield from _streamcluster_phase(ctx, sh, wid, ROUNDS, sh.bar, f"b{wid}")
+        yield ctx.fetch_add(sh.done, 1, site=f"sc3:{wid}_done")
+        yield ctx.barrier_wait(sh.finale, site=f"sc3:{wid}_finale")
+        # Leader election by finale-exit order (racy check-then-act): the
+        # coordinator completes the finale and immediately terminates, so
+        # this is a *free* (non-preemptive) choice between master and
+        # helper — round-robin picks the master for zero delays, skipping
+        # it to pick the helper costs exactly one (section 6's analysis of
+        # benchmark 42, the Figure 4 outlier).
+        cur = yield ctx.load(sh.leader, site=f"sc3:{wid}_ldr_rd")
+        if cur is None:
+            yield ctx.store(sh.leader, wid, site=f"sc3:{wid}_ldr_wr")
+            # The master's slot computation is correct; the helper's
+            # mirrors the original's broken block-index arithmetic.
+            slot = 0 if is_master else SLOTS + wid
+            ctx.check(
+                slot < SLOTS, f"OOB scratch write: slot {slot} (size {SLOTS})"
+            )
+            yield ctx.store_elem(sh.scratch, slot, 1, site=f"sc3:{wid}_claim")
+
+    def master(ctx, sh):
+        yield from body(ctx, sh, 0, True)
+
+    def helper(ctx, sh):
+        yield from body(ctx, sh, 1, False)
+
+    def coordinator(ctx, sh):
+        # Joins the finale only after both workers have wound down, so it
+        # is (on every cheap path) the completer — and its termination
+        # right after releasing the barrier is what makes the election
+        # point a free scheduling choice.
+        yield ctx.await_value(sh.done, lambda v: v >= 2, site="sc3:c_gate")
+        yield ctx.barrier_wait(sh.finale, site="sc3:c_finale")
+
+    def quick_helper(ctx, sh):
+        yield ctx.load_elem(sh.points, 0, site="sc3:q_rd")
+
+    def main(ctx, sh):
+        q1 = yield ctx.spawn(quick_helper)
+        yield ctx.join(q1)
+        handles = yield from spawn_all(ctx, [master, helper, coordinator])
+        yield from join_all(ctx, handles)
+
+    return Program(
+        "parsec.streamcluster3", setup, main, expected_bug="assertion (OOB scratch write)"
+    )

@@ -1,0 +1,259 @@
+"""SCTBench registry: all 52 benchmarks plus the paper's skip accounting.
+
+``BENCHMARKS`` holds one :class:`BenchmarkInfo` per benchmark, in the
+paper's Table 3 id order (0-51).  Each entry carries the program factory
+and the paper's reported outcomes (which techniques found the bug and at
+what bound) so the study harness can print paper-vs-measured tables and
+the Venn diagrams of Figure 2.
+
+``SUITE_OVERVIEW`` reproduces Table 1's used/skipped accounting.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..runtime.program import Program
+from . import cb, chess, cs, inspect_suite, misc, parsec, radbench, splash2
+
+
+class PaperRow:
+    """Table 3 facts we compare against (None bound = not applicable)."""
+
+    __slots__ = (
+        "threads",
+        "max_enabled",
+        "ipb_found",
+        "ipb_bound",
+        "idb_found",
+        "idb_bound",
+        "dfs_found",
+        "rand_found",
+        "maple_found",
+    )
+
+    def __init__(
+        self,
+        threads: int,
+        max_enabled: int,
+        ipb: Optional[int],
+        idb: Optional[int],
+        dfs: bool,
+        rand: bool,
+        maple: bool,
+    ) -> None:
+        self.threads = threads
+        self.max_enabled = max_enabled
+        #: smallest bound exposing the bug, or None if IPB missed it.
+        self.ipb_found = ipb is not None
+        self.ipb_bound = ipb
+        self.idb_found = idb is not None
+        self.idb_bound = idb
+        self.dfs_found = dfs
+        self.rand_found = rand
+        self.maple_found = maple
+
+    def found_by(self) -> Dict[str, bool]:
+        return {
+            "IPB": self.ipb_found,
+            "IDB": self.idb_found,
+            "DFS": self.dfs_found,
+            "Rand": self.rand_found,
+            "MapleAlg": self.maple_found,
+        }
+
+
+class BenchmarkInfo:
+    """One SCTBench entry: factory + paper facts (see module docstring)."""
+
+    __slots__ = ("bench_id", "name", "suite", "factory", "paper", "notes")
+
+    def __init__(
+        self,
+        bench_id: int,
+        name: str,
+        suite: str,
+        factory: Callable[[], Program],
+        paper: PaperRow,
+        notes: str = "",
+    ) -> None:
+        self.bench_id = bench_id
+        self.name = name
+        self.suite = suite
+        self.factory = factory
+        self.paper = paper
+        self.notes = notes
+
+    def make(self) -> Program:
+        program = self.factory()
+        assert program.name == self.name, (program.name, self.name)
+        return program
+
+    def __repr__(self) -> str:
+        return f"BenchmarkInfo({self.bench_id}, {self.name!r})"
+
+
+def _b(bid, name, suite, factory, paper, notes=""):
+    return BenchmarkInfo(bid, name, suite, factory, paper, notes)
+
+
+# Table 3, transcribed: (threads, max_enabled, IPB bound | None,
+# IDB bound | None, DFS found, Rand found, MapleAlg found).
+BENCHMARKS: List[BenchmarkInfo] = [
+    _b(0, "CB.aget-bug2", "CB", cb.make_aget_bug2,
+       PaperRow(4, 3, 0, 0, True, True, True)),
+    _b(1, "CB.pbzip2-0.9.4", "CB", cb.make_pbzip2,
+       PaperRow(4, 4, 0, 1, True, True, True)),
+    _b(2, "CB.stringbuffer-jdk1.4", "CB", cb.make_stringbuffer_jdk14,
+       PaperRow(2, 2, 2, 2, True, True, True)),
+    _b(3, "CS.account_bad", "CS", cs.make_account_bad,
+       PaperRow(4, 3, 0, 1, True, True, True)),
+    _b(4, "CS.arithmetic_prog_bad", "CS", cs.make_arithmetic_prog_bad,
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(5, "CS.bluetooth_driver_bad", "CS", cs.make_bluetooth_driver_bad,
+       PaperRow(2, 2, 1, 1, True, True, False)),
+    _b(6, "CS.carter01_bad", "CS", cs.make_carter01_bad,
+       PaperRow(5, 3, 1, 1, True, True, True)),
+    _b(7, "CS.circular_buffer_bad", "CS", cs.make_circular_buffer_bad,
+       PaperRow(3, 2, 1, 2, True, True, False)),
+    _b(8, "CS.deadlock01_bad", "CS", cs.make_deadlock01_bad,
+       PaperRow(3, 2, 1, 1, True, True, False)),
+    _b(9, "CS.din_phil2_sat", "CS", partial(cs.make_din_phil_sat, 2),
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(10, "CS.din_phil3_sat", "CS", partial(cs.make_din_phil_sat, 3),
+       PaperRow(4, 3, 0, 0, True, True, True)),
+    _b(11, "CS.din_phil4_sat", "CS", partial(cs.make_din_phil_sat, 4),
+       PaperRow(5, 4, 0, 0, True, True, True)),
+    _b(12, "CS.din_phil5_sat", "CS", partial(cs.make_din_phil_sat, 5),
+       PaperRow(6, 5, 0, 0, True, True, True)),
+    _b(13, "CS.din_phil6_sat", "CS", partial(cs.make_din_phil_sat, 6),
+       PaperRow(7, 6, 0, 0, True, True, True)),
+    _b(14, "CS.din_phil7_sat", "CS", partial(cs.make_din_phil_sat, 7),
+       PaperRow(8, 7, 0, 0, True, True, True)),
+    _b(15, "CS.fsbench_bad", "CS", cs.make_fsbench_bad,
+       PaperRow(28, 27, 0, 0, True, True, True)),
+    _b(16, "CS.lazy01_bad", "CS", cs.make_lazy01_bad,
+       PaperRow(4, 3, 0, 0, True, True, True)),
+    _b(17, "CS.phase01_bad", "CS", cs.make_phase01_bad,
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(18, "CS.queue_bad", "CS", cs.make_queue_bad,
+       PaperRow(3, 2, 1, 2, True, True, True)),
+    _b(19, "CS.reorder_10_bad", "CS", partial(cs.make_reorder_bad, 10),
+       PaperRow(11, 10, None, None, False, False, False)),
+    _b(20, "CS.reorder_20_bad", "CS", partial(cs.make_reorder_bad, 20),
+       PaperRow(21, 20, None, None, False, False, False)),
+    _b(21, "CS.reorder_3_bad", "CS", partial(cs.make_reorder_bad, 3),
+       PaperRow(4, 3, 1, 2, True, True, False)),
+    _b(22, "CS.reorder_4_bad", "CS", partial(cs.make_reorder_bad, 4),
+       PaperRow(5, 4, 1, 3, True, True, False)),
+    _b(23, "CS.reorder_5_bad", "CS", partial(cs.make_reorder_bad, 5),
+       PaperRow(6, 5, 1, 4, False, True, False)),
+    _b(24, "CS.stack_bad", "CS", cs.make_stack_bad,
+       PaperRow(3, 2, 1, 1, True, True, False)),
+    _b(25, "CS.sync01_bad", "CS", cs.make_sync01_bad,
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(26, "CS.sync02_bad", "CS", cs.make_sync02_bad,
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(27, "CS.token_ring_bad", "CS", cs.make_token_ring_bad,
+       PaperRow(5, 4, 0, 2, True, True, True)),
+    _b(28, "CS.twostage_100_bad", "CS", partial(cs.make_twostage_bad, 99),
+       PaperRow(101, 100, None, None, False, False, False)),
+    _b(29, "CS.twostage_bad", "CS", partial(cs.make_twostage_bad, 1),
+       PaperRow(3, 2, 1, 1, True, True, True)),
+    _b(30, "CS.wronglock_3_bad", "CS",
+       partial(cs.make_wronglock_bad, 4, name="CS.wronglock_3_bad"),
+       PaperRow(5, 4, 1, 1, True, True, True),
+       "the original's datamax=3 config launches 4 threads"),
+    _b(31, "CS.wronglock_bad", "CS", partial(cs.make_wronglock_bad, 8),
+       PaperRow(9, 8, None, 1, False, True, True)),
+    _b(32, "chess.IWSQ", "CHESS", chess.make_iwsq,
+       PaperRow(3, 3, None, 2, False, True, False)),
+    _b(33, "chess.IWSQWS", "CHESS", chess.make_iwsqws,
+       PaperRow(3, 3, None, 1, False, True, False)),
+    _b(34, "chess.SWSQ", "CHESS", chess.make_swsq,
+       PaperRow(3, 3, None, 1, False, True, False)),
+    _b(35, "chess.WSQ", "CHESS", chess.make_wsq,
+       PaperRow(3, 3, 2, 2, False, True, False)),
+    _b(36, "inspect.qsort_mt", "Inspect", inspect_suite.make_qsort_mt,
+       PaperRow(3, 3, 1, 1, False, True, False)),
+    _b(37, "misc.ctrace-test", "Misc", misc.make_ctrace_test,
+       PaperRow(3, 2, 1, 1, True, True, True)),
+    _b(38, "misc.safestack", "Misc", misc.make_safestack,
+       PaperRow(4, 3, None, None, False, False, False),
+       "requires >= 3 threads and >= 5 preemptions (Vyukov)"),
+    _b(39, "parsec.ferret", "PARSEC", parsec.make_ferret,
+       PaperRow(11, 11, None, 1, False, False, True)),
+    _b(40, "parsec.streamcluster", "PARSEC", parsec.make_streamcluster,
+       PaperRow(5, 2, None, 1, False, True, True)),
+    _b(41, "parsec.streamcluster2", "PARSEC", parsec.make_streamcluster2,
+       PaperRow(7, 3, None, 1, False, True, False)),
+    _b(42, "parsec.streamcluster3", "PARSEC", parsec.make_streamcluster3,
+       PaperRow(5, 2, 0, 1, True, True, True),
+       "the Figure 4 worst-case outlier (IPB 3 vs IDB 1366 schedules)"),
+    _b(43, "radbench.bug1", "RADBench", radbench.make_bug1,
+       PaperRow(4, 3, None, None, False, False, False)),
+    _b(44, "radbench.bug2", "RADBench", radbench.make_bug2,
+       PaperRow(2, 2, 3, 3, False, True, False),
+       "needs three preemptions/delays; two threads"),
+    _b(45, "radbench.bug3", "RADBench", radbench.make_bug3,
+       PaperRow(3, 2, 0, 0, True, True, True)),
+    _b(46, "radbench.bug4", "RADBench", radbench.make_bug4,
+       PaperRow(3, 3, None, None, False, True, True),
+       "found by Rand but not by schedule bounding"),
+    _b(47, "radbench.bug5", "RADBench", radbench.make_bug5,
+       PaperRow(7, 3, None, None, False, False, True),
+       "found only by MapleAlg (14 schedules)"),
+    _b(48, "radbench.bug6", "RADBench", radbench.make_bug6,
+       PaperRow(3, 3, 1, 1, False, True, False)),
+    _b(49, "splash2.barnes", "SPLASH-2", splash2.make_barnes,
+       PaperRow(2, 2, 1, 1, True, True, True)),
+    _b(50, "splash2.fft", "SPLASH-2", splash2.make_fft,
+       PaperRow(2, 2, 1, 1, True, True, True)),
+    _b(51, "splash2.lu", "SPLASH-2", splash2.make_lu,
+       PaperRow(2, 2, 1, 1, True, True, True)),
+]
+
+BY_NAME: Dict[str, BenchmarkInfo] = {b.name: b for b in BENCHMARKS}
+
+
+def get(name_or_id) -> BenchmarkInfo:
+    """Look a benchmark up by Table 3 id or by name."""
+    if isinstance(name_or_id, int):
+        return BENCHMARKS[name_or_id]
+    return BY_NAME[name_or_id]
+
+
+def suite_of(name: str) -> List[BenchmarkInfo]:
+    """All benchmarks of one suite, in Table 3 order."""
+    return [b for b in BENCHMARKS if b.suite == name]
+
+
+#: Table 1: suite → (benchmark types, # used, # skipped, skip reason).
+SUITE_OVERVIEW: List[Tuple[str, str, int, int, str]] = [
+    ("CB", "Test cases for real applications", 3, 17,
+     "17 networked applications."),
+    ("CHESS", "Test cases for several versions of a work stealing queue",
+     4, 0, ""),
+    ("CS", "Small test cases and some small programs", 29, 24,
+     "24 were non-buggy."),
+    ("Inspect", "Small test cases and some small programs", 1, 28,
+     "28 were non-buggy."),
+    ("Misc", "Test case for lock-free stack and a debugging library test case",
+     2, 0, ""),
+    ("PARSEC", "Parallel workloads", 4, 29, "29 were non-buggy."),
+    ("RADBench", "Tests cases for real applications", 6, 5,
+     "5 Chromium browser; 4 networking."),
+    ("SPLASH-2", "Parallel workloads", 3, 9,
+     "9 (same missing-macro bug; see paper section 4.1)."),
+]
+
+
+def total_used() -> int:
+    """Table 1's "# used" total (52)."""
+    return sum(row[2] for row in SUITE_OVERVIEW)
+
+
+def total_skipped() -> int:
+    """Table 1's "# skipped" total."""
+    return sum(row[3] for row in SUITE_OVERVIEW)

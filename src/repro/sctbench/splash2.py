@@ -1,0 +1,89 @@
+"""The SPLASH-2 suite — barnes, fft, lu.
+
+Section 4.1: the three SPLASH-2 entries used in prior work all share the
+same defect — a macro set that omits the "wait for threads to terminate"
+macro, so the main thread's final phase can run before the worker ends;
+the paper added assertions that all threads terminated and reduced the
+input sizes so the tests finish quickly.  Table 3: two threads each, bug
+found by everything at bound 1 on the second schedule.
+
+All three ports share a skeleton (a barrier-synchronised compute phase,
+then the main thread's unguarded finish check); they differ in the
+workload computed, mirroring the original kernels (N-body force pass,
+FFT butterfly pass, LU block elimination).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable
+
+from ..runtime import Barrier, Program, SharedArray, SharedVar
+
+
+def _make_splash(name: str, size: int, compute: Callable) -> Program:
+    def setup():
+        return SimpleNamespace(
+            data=SharedArray(size, 1, f"{name}.data"),
+            bar=Barrier(2, f"{name}.bar"),
+            done=SharedVar(0, f"{name}.done"),
+        )
+
+    def worker(ctx, sh):
+        yield ctx.barrier_wait(sh.bar, site=f"{name}:w_bar")
+        yield from compute(ctx, sh, half=1)
+        # Termination flag the missing WAIT macro should have awaited.
+        yield ctx.store(sh.done, 1, site=f"{name}:w_done")
+
+    def main(ctx, sh):
+        h = yield ctx.spawn(worker)
+        yield ctx.barrier_wait(sh.bar, site=f"{name}:m_bar")
+        yield from compute(ctx, sh, half=0)
+        # BUG: no join / WAIT(...) macro before the final check.
+        d = yield ctx.load(sh.done, site=f"{name}:m_check")
+        ctx.check(d == 1, "main finished before worker terminated")
+        yield ctx.join(h)
+
+    return Program(name, setup, main, expected_bug="assertion (missing WAIT macro)")
+
+
+def make_barnes() -> Program:
+    """barnes: one force-computation pass over a reduced particle set."""
+
+    SIZE = 6
+
+    def compute(ctx, sh, half):
+        lo = 0 if half == 0 else SIZE // 2
+        for i in range(lo, lo + SIZE // 2):
+            v = yield ctx.load_elem(sh.data, i, site=f"barnes:rd{half}")
+            yield ctx.store_elem(sh.data, i, v * 2, site=f"barnes:wr{half}")
+
+    return _make_splash("splash2.barnes", SIZE, compute)
+
+
+def make_fft() -> Program:
+    """fft: a single butterfly stage on a reduced input matrix."""
+
+    SIZE = 4
+
+    def compute(ctx, sh, half):
+        lo = 0 if half == 0 else SIZE // 2
+        for i in range(lo, lo + SIZE // 2):
+            a = yield ctx.load_elem(sh.data, i, site=f"fft:rd{half}")
+            yield ctx.store_elem(sh.data, i, a + 1, site=f"fft:wr{half}")
+
+    return _make_splash("splash2.fft", SIZE, compute)
+
+
+def make_lu() -> Program:
+    """lu: one block elimination step on a reduced matrix."""
+
+    SIZE = 4
+
+    def compute(ctx, sh, half):
+        lo = 0 if half == 0 else SIZE // 2
+        for i in range(lo, lo + SIZE // 2):
+            a = yield ctx.load_elem(sh.data, i, site=f"lu:rd{half}")
+            yield ctx.store_elem(sh.data, i, a * 3, site=f"lu:wr{half}")
+
+    return _make_splash("splash2.lu", SIZE, compute)

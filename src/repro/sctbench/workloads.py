@@ -1,0 +1,41 @@
+"""Shared program fragments used across the SCTBench ports.
+
+Generator helpers compose into thread bodies with ``yield from``; they keep
+the 52 benchmark definitions focused on each benchmark's concurrency
+structure instead of spawn/join boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ..runtime.context import ThreadContext, ThreadHandle
+
+
+def spawn_all(ctx: ThreadContext, specs: Sequence[Any]):
+    """Spawn one thread per spec; a spec is a body or ``(body, args...)``.
+
+    Usage: ``handles = yield from spawn_all(ctx, [worker, (worker, 1)])``.
+    """
+    handles: List[ThreadHandle] = []
+    for spec in specs:
+        if isinstance(spec, tuple):
+            h = yield ctx.spawn(spec[0], *spec[1:])
+        else:
+            h = yield ctx.spawn(spec)
+        handles.append(h)
+    return handles
+
+
+def join_all(ctx: ThreadContext, handles: Sequence[ThreadHandle]):
+    """Join every handle in order."""
+    for h in handles:
+        yield ctx.join(h)
+
+
+def locked_add(ctx: ThreadContext, mutex, var, delta, site_prefix: str = "add"):
+    """``lock; var += delta; unlock`` with distinct sites per phase."""
+    yield ctx.lock(mutex, site=f"{site_prefix}:lock")
+    v = yield ctx.load(var, site=f"{site_prefix}:load")
+    yield ctx.store(var, v + delta, site=f"{site_prefix}:store")
+    yield ctx.unlock(mutex, site=f"{site_prefix}:unlock")

@@ -1,0 +1,54 @@
+"""The experiment harness: run the study, regenerate every table & figure."""
+
+from .config import PAPER_SCHEDULE_LIMIT, TECHNIQUES, StudyConfig, paper_config, quick_config
+from .figures import (
+    ScatterPoint,
+    figure3_series,
+    figure4_series,
+    render_scatter,
+    render_venn,
+    scatter_csv,
+    venn3,
+    venn_systematic,
+    venn_vs_random,
+)
+from .report import (
+    bound_comparison,
+    found_pattern_comparison,
+    full_report,
+    headline_findings,
+)
+from .compare import RunDiff, diff_runs
+from .runner import BenchmarkResult, StudyResult, run_benchmark, run_study
+from .tables import table1, table2, table2_rows, table3
+
+__all__ = [
+    "StudyConfig",
+    "quick_config",
+    "paper_config",
+    "PAPER_SCHEDULE_LIMIT",
+    "TECHNIQUES",
+    "run_study",
+    "run_benchmark",
+    "diff_runs",
+    "RunDiff",
+    "StudyResult",
+    "BenchmarkResult",
+    "table1",
+    "table2",
+    "table2_rows",
+    "table3",
+    "venn3",
+    "venn_systematic",
+    "venn_vs_random",
+    "render_venn",
+    "figure3_series",
+    "figure4_series",
+    "render_scatter",
+    "scatter_csv",
+    "ScatterPoint",
+    "full_report",
+    "found_pattern_comparison",
+    "bound_comparison",
+    "headline_findings",
+]

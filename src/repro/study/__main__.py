@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro.study`` / ``repro-study``.
+
+Runs the study and writes every regenerated artifact:
+
+    python -m repro.study --limit 10000 --out results/
+
+produces ``table1.txt`` … ``table3.txt``, ``figure2a.txt``/``2b``,
+``figure3.csv``/``figure3.txt``, ``figure4.csv``/``figure4.txt``,
+``comparison.txt``, ``report.txt`` and ``raw.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .config import StudyConfig, quick_config
+from .figures import (
+    figure3_series,
+    figure4_series,
+    render_scatter,
+    render_venn,
+    scatter_csv,
+    venn_systematic,
+    venn_vs_random,
+)
+from .report import bound_comparison, found_pattern_comparison, full_report, headline_findings
+from .runner import run_study
+from .tables import table1, table2, table3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce the PPoPP'14 schedule-bounding study.",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10_000,
+        help="terminal-schedule limit per benchmark/technique (paper: 10000)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced limits for a fast end-to-end pass",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="benchmark names to run (default: all 52)",
+    )
+    parser.add_argument("--out", default=None, help="directory for artifacts")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-technique progress"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = quick_config()
+    else:
+        config = StudyConfig(schedule_limit=args.limit)
+    config.benchmarks = args.benchmarks
+
+    progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
+    t0 = time.time()
+    study = run_study(config, progress)
+    elapsed = time.time() - t0
+
+    report = full_report(study)
+    print(report)
+    print(f"\ntotal wall-clock: {elapsed:.1f}s")
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        limit = config.schedule_limit
+
+        def write(name: str, content: str) -> None:
+            with open(os.path.join(args.out, name), "w") as fh:
+                fh.write(content + "\n")
+
+        write("table1.txt", table1())
+        write("table2.txt", table2(study))
+        write("table3.txt", table3(study))
+        write("figure2a.txt", render_venn(venn_systematic(study), ("IPB", "IDB", "DFS")))
+        write(
+            "figure2b.txt",
+            render_venn(venn_vs_random(study), ("IDB", "Rand", "MapleAlg")),
+        )
+        f3 = figure3_series(study)
+        f4 = figure4_series(study)
+        write("figure3.csv", scatter_csv(f3))
+        write("figure4.csv", scatter_csv(f4))
+        write(
+            "figure3.txt",
+            render_scatter(f3, limit, use_first=True, title="Figure 3: schedules to first bug (x=IDB, y=IPB)"),
+        )
+        write(
+            "figure4.txt",
+            render_scatter(f4, limit, use_first=True, title="Figure 4: worst-case non-buggy schedules (x=IDB, y=IPB)"),
+        )
+        write("comparison.txt", found_pattern_comparison(study) + "\n\n" + bound_comparison(study))
+        write("headlines.txt", headline_findings(study))
+        write("report.txt", report)
+        write("raw.json", study.to_json())
+        print(f"artifacts written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Diff two study runs (``raw.json`` files) — regression tracking.
+
+A tuned benchmark port is an equilibrium: engine changes, explorer order
+changes, or seed changes can silently flip a found/missed cell or shift a
+bound.  This tool compares two committed runs and reports:
+
+- verdict flips (found ↔ missed) per benchmark/technique;
+- bound changes for the bounding techniques;
+- schedule-count drifts beyond a tolerance (search-order sensitivity).
+
+Usage:
+    python -m repro.study.compare results-old/raw.json results-new/raw.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+DEFAULT_DRIFT_TOLERANCE = 0.5  # relative change in total schedules
+
+
+class RunDiff:
+    """Structured difference between two study runs."""
+
+    def __init__(self) -> None:
+        self.verdict_flips: List[Tuple[str, str, bool, bool]] = []
+        self.bound_changes: List[Tuple[str, str, Any, Any]] = []
+        self.schedule_drifts: List[Tuple[str, str, int, int]] = []
+        self.only_in_old: List[str] = []
+        self.only_in_new: List[str] = []
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.verdict_flips
+            or self.bound_changes
+            or self.only_in_old
+            or self.only_in_new
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.only_in_old:
+            lines.append(f"benchmarks only in OLD: {sorted(self.only_in_old)}")
+        if self.only_in_new:
+            lines.append(f"benchmarks only in NEW: {sorted(self.only_in_new)}")
+        if self.verdict_flips:
+            lines.append("verdict flips (benchmark, technique, old, new):")
+            for name, tech, old, new in self.verdict_flips:
+                o = "found" if old else "missed"
+                n = "found" if new else "missed"
+                lines.append(f"  {name:<28} {tech:<9} {o} -> {n}")
+        if self.bound_changes:
+            lines.append("bound changes:")
+            for name, tech, old, new in self.bound_changes:
+                lines.append(f"  {name:<28} {tech:<9} bound {old} -> {new}")
+        if self.schedule_drifts:
+            lines.append("schedule-count drifts (informational):")
+            for name, tech, old, new in self.schedule_drifts:
+                lines.append(f"  {name:<28} {tech:<9} {old} -> {new}")
+        if not lines:
+            lines.append("runs are equivalent (verdicts and bounds match)")
+        return "\n".join(lines)
+
+
+def _index(run: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {row["name"]: row for row in run.get("benchmarks", [])}
+
+
+def diff_runs(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+) -> RunDiff:
+    """Compare two parsed ``raw.json`` payloads."""
+    out = RunDiff()
+    old_rows, new_rows = _index(old), _index(new)
+    out.only_in_old = [n for n in old_rows if n not in new_rows]
+    out.only_in_new = [n for n in new_rows if n not in old_rows]
+    for name in sorted(set(old_rows) & set(new_rows)):
+        o_techs = old_rows[name].get("techniques", {})
+        n_techs = new_rows[name].get("techniques", {})
+        for tech in sorted(set(o_techs) & set(n_techs)):
+            o, n = o_techs[tech], n_techs[tech]
+            if bool(o.get("found_bug")) != bool(n.get("found_bug")):
+                out.verdict_flips.append(
+                    (name, tech, bool(o.get("found_bug")), bool(n.get("found_bug")))
+                )
+                continue
+            if tech in ("IPB", "IDB") and o.get("found_bug"):
+                if o.get("bound") != n.get("bound"):
+                    out.bound_changes.append(
+                        (name, tech, o.get("bound"), n.get("bound"))
+                    )
+            o_count, n_count = o.get("schedules", 0), n.get("schedules", 0)
+            base = max(o_count, 1)
+            if abs(n_count - o_count) / base > drift_tolerance:
+                out.schedule_drifts.append((name, tech, o_count, n_count))
+    return out
+
+
+def load(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    diff = diff_runs(load(argv[0]), load(argv[1]))
+    print(diff.render())
+    return 0 if diff.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""Figure 2 (Venn diagrams) and Figures 3/4 (IPB-vs-IDB scatter plots).
+
+Venn regions are returned as dicts keyed by membership tuples; the scatter
+figures return per-benchmark series (and an ASCII log-log rendering, since
+the harness is terminal-first — the CSV series feed any plotting tool).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import StudyResult
+
+
+def venn3(
+    study: StudyResult, a: str, b: str, c: str
+) -> Dict[Tuple[bool, bool, bool], int]:
+    """Counts of benchmarks per membership region of three found-sets."""
+    sa, sb, sc = study.found_set(a), study.found_set(b), study.found_set(c)
+    regions: Dict[Tuple[bool, bool, bool], int] = {}
+    for r in study:
+        name = r.info.name
+        key = (name in sa, name in sb, name in sc)
+        regions[key] = regions.get(key, 0) + 1
+    return regions
+
+
+def venn_systematic(study: StudyResult) -> Dict[Tuple[bool, bool, bool], int]:
+    """Figure 2a: IPB vs IDB vs DFS."""
+    return venn3(study, "IPB", "IDB", "DFS")
+
+
+def venn_vs_random(study: StudyResult) -> Dict[Tuple[bool, bool, bool], int]:
+    """Figure 2b: IDB vs Rand vs MapleAlg."""
+    return venn3(study, "IDB", "Rand", "MapleAlg")
+
+
+def render_venn(
+    regions: Dict[Tuple[bool, bool, bool], int], names: Sequence[str]
+) -> str:
+    """Readable region listing (the paper draws circles; we print regions)."""
+    order = [
+        (True, False, False),
+        (False, True, False),
+        (False, False, True),
+        (True, True, False),
+        (True, False, True),
+        (False, True, True),
+        (True, True, True),
+        (False, False, False),
+    ]
+    lines = [f"Venn regions for {', '.join(names)}:"]
+    for key in order:
+        count = regions.get(key, 0)
+        members = [n for n, k in zip(names, key) if k]
+        label = " & ".join(members) + " only" if members else "none"
+        lines.append(f"  {label:<28} {count}")
+    totals = {
+        name: sum(v for k, v in regions.items() if k[i])
+        for i, name in enumerate(names)
+    }
+    lines.append("  totals: " + ", ".join(f"{n}={totals[n]}" for n in names))
+    return "\n".join(lines)
+
+
+class ScatterPoint:
+    """One benchmark's (IDB, IPB) pair for Figures 3/4."""
+
+    __slots__ = ("bench_id", "name", "idb_first", "ipb_first", "idb_total", "ipb_total")
+
+    def __init__(self, bench_id, name, idb_first, ipb_first, idb_total, ipb_total):
+        self.bench_id = bench_id
+        self.name = name
+        self.idb_first = idb_first
+        self.ipb_first = ipb_first
+        self.idb_total = idb_total
+        self.ipb_total = ipb_total
+
+    def as_row(self) -> dict:
+        return {
+            "id": self.bench_id,
+            "name": self.name,
+            "idb_first": self.idb_first,
+            "ipb_first": self.ipb_first,
+            "idb_total": self.idb_total,
+            "ipb_total": self.ipb_total,
+        }
+
+
+def _cap(value: Optional[int], limit: int) -> int:
+    if value is None:
+        return limit
+    return min(value, limit)
+
+
+def figure3_series(study: StudyResult) -> List[ScatterPoint]:
+    """Figure 3: # schedules to first bug (cross) and total # schedules up
+    to the bound that found the bug (square), IDB on x, IPB on y.  A miss
+    plots at the schedule limit, as in the paper."""
+    points = []
+    for r in study:
+        ipb, idb = r.stats.get("IPB"), r.stats.get("IDB")
+        if not ipb or not idb:
+            continue
+        if not (ipb.found_bug or idb.found_bug):
+            continue
+        limit = study.config.limit_for(r.info.name)
+        points.append(
+            ScatterPoint(
+                r.info.bench_id,
+                r.info.name,
+                _cap(idb.schedules_to_first_bug, limit),
+                _cap(ipb.schedules_to_first_bug, limit),
+                _cap(idb.schedules, limit),
+                _cap(ipb.schedules, limit),
+            )
+        )
+    return points
+
+
+def figure4_series(study: StudyResult) -> List[ScatterPoint]:
+    """Figure 4: worst-case bug-finding — total *non-buggy* schedules
+    within the bound that exposed the bug (cross), plus the same squares
+    as Figure 3."""
+    points = []
+    for r in study:
+        ipb, idb = r.stats.get("IPB"), r.stats.get("IDB")
+        if not ipb or not idb:
+            continue
+        if not (ipb.found_bug or idb.found_bug):
+            continue
+        limit = study.config.limit_for(r.info.name)
+
+        def worst(st):
+            if not st.found_bug:
+                return limit
+            return min(st.schedules - st.buggy_schedules + 1, limit)
+
+        points.append(
+            ScatterPoint(
+                r.info.bench_id,
+                r.info.name,
+                worst(idb),
+                worst(ipb),
+                _cap(idb.schedules, limit),
+                _cap(ipb.schedules, limit),
+            )
+        )
+    return points
+
+
+def render_scatter(
+    points: List[ScatterPoint],
+    limit: int,
+    width: int = 60,
+    height: int = 24,
+    use_first: bool = True,
+    title: str = "",
+) -> str:
+    """ASCII log-log scatter: x = IDB schedules, y = IPB schedules.
+
+    ``x`` marks a point; digits mark benchmark-id collisions are avoided by
+    plotting the benchmark id modulo 10 when cells collide.  The diagonal
+    is drawn with ``.`` — points above it mean IDB needed fewer schedules.
+    """
+    grid = [[" "] * width for _ in range(height)]
+    log_limit = math.log10(max(limit, 10))
+
+    def to_cell(x, y):
+        cx = int(math.log10(max(x, 1)) / log_limit * (width - 1))
+        cy = int(math.log10(max(y, 1)) / log_limit * (height - 1))
+        return min(cx, width - 1), min(cy, height - 1)
+
+    for row in range(height):
+        col = int(row / (height - 1) * (width - 1))
+        grid[row][col] = "."
+    for p in points:
+        x = p.idb_first if use_first else p.idb_total
+        y = p.ipb_first if use_first else p.ipb_total
+        cx, cy = to_cell(x, y)
+        grid[cy][cx] = "x" if grid[cy][cx] in (" ", ".") else "*"
+    lines = [title] if title else []
+    lines.append(f"{limit:>8} +" + "-" * width + "+")
+    for row in reversed(range(height)):
+        lines.append(" " * 8 + " |" + "".join(grid[row]) + "|")
+    lines.append(f"{'1':>8} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"1 {'(IDB schedules, log scale)':^{width - 10}} {limit}")
+    return "\n".join(lines)
+
+
+def scatter_csv(points: List[ScatterPoint]) -> str:
+    """CSV series for Figures 3/4 (feed to any plotting tool)."""
+    lines = ["id,name,idb_first,ipb_first,idb_total,ipb_total"]
+    for p in points:
+        lines.append(
+            f"{p.bench_id},{p.name},{p.idb_first},{p.ipb_first},"
+            f"{p.idb_total},{p.ipb_total}"
+        )
+    return "\n".join(lines)

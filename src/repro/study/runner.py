@@ -1,0 +1,186 @@
+"""The experiment driver: phases of section 5, per benchmark.
+
+For each benchmark: a data-race-detection phase builds the shared visible-
+operation filter, then each technique runs with the same filter (IPB, IDB,
+DFS, Rand) or its own instrumentation (MapleAlg observes every access, as
+the real Maple does).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core import (
+    DFSExplorer,
+    ExplorationStats,
+    MapleAlgExplorer,
+    RandomExplorer,
+    make_idb,
+    make_ipb,
+)
+from ..racedetect import RaceDetectionReport, detect_races
+from ..sctbench import BENCHMARKS, BenchmarkInfo
+from ..sctbench import get as get_benchmark
+from .config import StudyConfig
+
+ProgressFn = Callable[[str], None]
+
+
+class BenchmarkResult:
+    """Everything measured for one benchmark."""
+
+    __slots__ = ("info", "races", "racy_sites", "stats", "seconds")
+
+    def __init__(
+        self,
+        info: BenchmarkInfo,
+        race_report: Optional[RaceDetectionReport],
+        stats: Dict[str, ExplorationStats],
+        seconds: float,
+    ) -> None:
+        self.info = info
+        self.races = len(race_report.races) if race_report else 0
+        self.racy_sites = len(race_report.racy_sites) if race_report else 0
+        self.stats = stats
+        self.seconds = seconds
+
+    @property
+    def has_races(self) -> bool:
+        return self.races > 0
+
+    def found_by(self, technique: str) -> bool:
+        st = self.stats.get(technique)
+        return bool(st and st.found_bug)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.info.bench_id,
+            "name": self.info.name,
+            "suite": self.info.suite,
+            "races": self.races,
+            "racy_sites": self.racy_sites,
+            "seconds": round(self.seconds, 2),
+            "techniques": {k: v.as_dict() for k, v in self.stats.items()},
+        }
+
+
+class StudyResult:
+    """All benchmark results of one study run."""
+
+    def __init__(self, config: StudyConfig, results: List[BenchmarkResult]) -> None:
+        self.config = config
+        self.results = results
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_name(self, name: str) -> BenchmarkResult:
+        for r in self.results:
+            if r.info.name == name:
+                return r
+        raise KeyError(name)
+
+    def found_set(self, technique: str) -> frozenset:
+        """Benchmark names whose bug the technique found."""
+        return frozenset(
+            r.info.name for r in self.results if r.found_by(technique)
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schedule_limit": self.config.schedule_limit,
+                "benchmarks": [r.as_dict() for r in self.results],
+            },
+            indent=1,
+        )
+
+
+def make_technique_explorers(config: StudyConfig, visible_filter):
+    """The study's five techniques (section 5), plus the extensions
+    (``PCT``, ``DPOR``) selectable via ``config.techniques``."""
+    from ..core import PCTExplorer
+    from ..core.dpor import DPORExplorer
+
+    return {
+        "IPB": make_ipb(visible_filter=visible_filter, max_steps=config.max_steps),
+        "IDB": make_idb(visible_filter=visible_filter, max_steps=config.max_steps),
+        "DFS": DFSExplorer(visible_filter=visible_filter, max_steps=config.max_steps),
+        "Rand": RandomExplorer(
+            seed=config.rand_seed,
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+        ),
+        "MapleAlg": MapleAlgExplorer(
+            seed=config.maple_seed, max_steps=config.max_steps
+        ),
+        "PCT": PCTExplorer(
+            depth=3,
+            seed=config.rand_seed,
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+        ),
+        "DPOR": DPORExplorer(
+            visible_filter=visible_filter, max_steps=config.max_steps
+        ),
+    }
+
+
+def run_benchmark(
+    info: BenchmarkInfo,
+    config: StudyConfig,
+    progress: Optional[ProgressFn] = None,
+) -> BenchmarkResult:
+    """Run the full per-benchmark pipeline: race phase, then each technique."""
+    t0 = time.time()
+    program = info.make()
+
+    # Phase 1: data race detection (shared by IPB/IDB/DFS/Rand).
+    report = detect_races(
+        program,
+        runs=config.detection_runs,
+        seed=config.detection_seed,
+        max_steps=config.max_steps,
+    )
+    if report.has_races:
+        visible_filter = report.visible_filter()
+    else:
+        # No racy instructions: only synchronisation ops are visible.
+        def visible_filter(op):
+            return False
+
+    limit = config.limit_for(info.name)
+    explorers = make_technique_explorers(config, visible_filter)
+    stats: Dict[str, ExplorationStats] = {}
+    for name in config.techniques:
+        explorer = explorers[name]
+        tech_limit = min(limit, config.maple_run_cap) if name == "MapleAlg" else limit
+        stats[name] = explorer.explore(program, tech_limit)
+        if progress:
+            st = stats[name]
+            found = f"bug@{st.schedules_to_first_bug}" if st.found_bug else "no bug"
+            progress(f"  {info.name}: {name}: {found} ({st.schedules} schedules)")
+    return BenchmarkResult(info, report, stats, time.time() - t0)
+
+
+def run_study(
+    config: Optional[StudyConfig] = None,
+    progress: Optional[ProgressFn] = None,
+) -> StudyResult:
+    """Run the full study (all benchmarks × all techniques)."""
+    config = config or StudyConfig()
+    if config.benchmarks is None:
+        infos = list(BENCHMARKS)
+    else:
+        infos = [get_benchmark(name) for name in config.benchmarks]
+    results = []
+    for info in infos:
+        if progress:
+            progress(f"[{info.bench_id:2d}] {info.name}")
+        results.append(run_benchmark(info, config, progress))
+    return StudyResult(config, results)

@@ -1,0 +1,136 @@
+"""Renderers for the paper's three tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sctbench import SUITE_OVERVIEW, total_skipped, total_used
+from .runner import StudyResult
+
+L_MARK = "L"
+MISS_MARK = "-"
+
+
+def table1() -> str:
+    """Table 1: overview of the benchmark suites (static metadata)."""
+    header = f"{'Benchmark set':<12} {'Benchmark types':<58} {'# used':>6}  # skipped"
+    lines = [header, "-" * len(header)]
+    for suite, types, used, skipped, reason in SUITE_OVERVIEW:
+        skip_str = reason if reason else str(skipped)
+        lines.append(f"{suite:<12} {types:<58} {used:>6}  {skip_str}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'Total':<12} {'':<58} {total_used():>6}  {total_skipped()}"
+    )
+    return "\n".join(lines)
+
+
+def table2(study: StudyResult) -> str:
+    """Table 2: benchmarks where bug-finding is arguably trivial."""
+    rows = table2_rows(study)
+    width = max(len(label) for label, _ in rows) + 2
+    lines = [f"{'Property':<{width}} # benchmarks", "-" * (width + 13)]
+    for label, count in rows:
+        lines.append(f"{label:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def table2_rows(study: StudyResult) -> List[tuple]:
+    """Table 2's four (property, count) rows, computed from a study run."""
+    found_db0 = 0
+    exhausted = 0
+    rand_half = 0
+    rand_all = 0
+    for r in study:
+        idb = r.stats.get("IDB")
+        dfs = r.stats.get("DFS")
+        rand = r.stats.get("Rand")
+        if idb and idb.found_bug and idb.bound == 0:
+            found_db0 += 1
+        if dfs and dfs.completed:
+            exhausted += 1
+        if rand and rand.schedules:
+            frac = rand.buggy_schedules / rand.schedules
+            if frac > 0.5:
+                rand_half += 1
+            if frac == 1.0:
+                rand_all += 1
+    limit = study.config.schedule_limit
+    return [
+        ("Bug found with DB = 0", found_db0),
+        (f"Total terminal schedules < {limit:,}", exhausted),
+        ("> 50% of random schedules were buggy", rand_half),
+        ("Every random schedule was buggy", rand_all),
+    ]
+
+
+def _fmt(value: Optional[int], limit: int) -> str:
+    if value is None:
+        return MISS_MARK
+    if value >= limit:
+        return L_MARK
+    return str(value)
+
+
+def table3(study: StudyResult) -> str:
+    """Table 3: the full experimental grid, one row per benchmark.
+
+    Columns mirror the paper: per-technique bound, schedules to first bug,
+    total schedules, new schedules at the final bound, buggy schedules.
+    ``L`` marks the schedule limit; ``-`` marks "bug not found".
+    """
+    header = (
+        f"{'id':>2} {'name':<26}|{'thr':>4}{'en':>4}{'pts':>6}|"
+        f"{'IPB':^22}|{'IDB':^22}|{'DFS':^16}|{'Rand':^12}|{'Maple':^10}"
+    )
+    sub = (
+        f"{'':>2} {'':<26}|{'':>4}{'':>4}{'':>6}|"
+        f"{'bnd':>4}{'1st':>6}{'tot':>6}{'new':>6}|"
+        f"{'bnd':>4}{'1st':>6}{'tot':>6}{'new':>6}|"
+        f"{'1st':>6}{'tot':>6}{'bug':>4}|{'1st':>6}{'bug':>6}|{'fnd':>4}{'tot':>6}"
+    )
+    lines = [header, sub, "-" * len(sub)]
+    for r in study:
+        limit = study.config.limit_for(r.info.name)
+        ipb = r.stats.get("IPB")
+        idb = r.stats.get("IDB")
+        dfs = r.stats.get("DFS")
+        rnd = r.stats.get("Rand")
+        mpl = r.stats.get("MapleAlg")
+
+        def tech_cols(st, with_bound=True):
+            if st is None:
+                return " " * (22 if with_bound else 16)
+            bound = st.bound if st.bound is not None else "-"
+            first = _fmt(st.schedules_to_first_bug, limit + 1) if st.found_bug else MISS_MARK
+            tot = _fmt(st.schedules, limit)
+            new = _fmt(st.new_schedules_at_bound, limit)
+            if with_bound:
+                return f"{bound:>4}{first:>6}{tot:>6}{new:>6}"
+            return f"{first:>6}{tot:>6}{st.buggy_schedules:>4}"
+
+        dfs_cols = (
+            f"{(_fmt(dfs.schedules_to_first_bug, limit + 1) if dfs.found_bug else MISS_MARK):>6}"
+            f"{_fmt(dfs.schedules, limit):>6}{dfs.buggy_schedules:>4}"
+            if dfs
+            else " " * 16
+        )
+        rand_cols = (
+            f"{(_fmt(rnd.schedules_to_first_bug, limit + 1) if rnd.found_bug else MISS_MARK):>6}"
+            f"{rnd.buggy_schedules:>6}"
+            if rnd
+            else " " * 12
+        )
+        mpl_cols = (
+            f"{('Y' if mpl.found_bug else MISS_MARK):>4}{mpl.schedules:>6}"
+            if mpl
+            else " " * 10
+        )
+        lines.append(
+            f"{r.info.bench_id:>2} {r.info.name:<26}|"
+            f"{(ipb or idb or dfs).threads_created if (ipb or idb or dfs) else 0:>4}"
+            f"{(ipb or idb or dfs).max_enabled if (ipb or idb or dfs) else 0:>4}"
+            f"{(ipb or idb or dfs).max_choice_points if (ipb or idb or dfs) else 0:>6}|"
+            f"{tech_cols(ipb)}|{tech_cols(idb)}|{dfs_cols}|{rand_cols}|{mpl_cols}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""A library of small programs shared by the test suite.
+
+The star exhibit is :func:`figure1`, the paper's Figure 1 program, modelled
+so each paper action (a-e) is exactly one visible operation — this lets the
+tests assert the paper's worked numbers verbatim (11 terminal schedules
+with at most one preemption, 4 with at most one delay).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.runtime import (
+    Atomic,
+    Barrier,
+    CondVar,
+    Mutex,
+    Program,
+    Semaphore,
+    SharedVar,
+)
+
+
+def figure1(clone_count: int = 0) -> Program:
+    """The paper's Figure 1 program.
+
+    T0 creates T1..T3 in one action and is then disabled.  T1 runs
+    ``b) x=1; c) y=1``; T2 runs ``d) z=1``; T3 runs ``e) assert x==y``.
+    All actions are single visible operations (atomics on an (x, y) pair).
+
+    ``clone_count`` inserts that many extra copies of T1 between T2 and T3
+    in creation order — Example 2's adversarial delay-bounding scenario
+    (with ``clone_count=1``, T2 *is* a clone of T1 and the bug needs two
+    delays but still only one preemption).
+    """
+
+    def setup():
+        s = SimpleNamespace()
+        s.xy = Atomic((0, 0), "xy")
+        s.z = Atomic(0, "z")
+        return s
+
+    def t1(ctx, sh):
+        yield ctx.atomic_rmw(sh.xy, lambda v: (1, v[1]), site="b:x=1")
+        yield ctx.atomic_rmw(sh.xy, lambda v: (v[0], 1), site="c:y=1")
+
+    def t2(ctx, sh):
+        yield ctx.atomic_rmw(sh.z, lambda v: 1, site="d:z=1")
+
+    def t3(ctx, sh):
+        v = yield ctx.atomic_load(sh.xy, site="e:assert")
+        ctx.check(v[0] == v[1], f"x != y ({v[0]} != {v[1]})")
+
+    if clone_count == 0:
+        bodies = [t1, t2, t3]
+    else:
+        bodies = [t1] + [t1] * clone_count + [t3]
+
+    def main(ctx, sh):
+        yield ctx.spawn_many(*bodies, site="a:create")
+
+    name = "figure1" if clone_count == 0 else f"figure1_clone{clone_count}"
+    return Program(name, setup, main, expected_bug="assertion x == y")
+
+
+def unsafe_counter(workers: int = 2, increments: int = 1) -> Program:
+    """Racy read-modify-write counter: the classic lost update."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.count = SharedVar(0, "count")
+        return s
+
+    def worker(ctx, sh):
+        for _ in range(increments):
+            v = yield ctx.load(sh.count, site="counter:load")
+            yield ctx.store(sh.count, v + 1, site="counter:store")
+
+    def main(ctx, sh):
+        handles = []
+        for _ in range(workers):
+            handles.append((yield ctx.spawn(worker)))
+        for h in handles:
+            yield ctx.join(h)
+        total = yield ctx.load(sh.count, site="counter:final")
+        ctx.check(total == workers * increments, f"lost update: {total}")
+
+    return Program(
+        f"unsafe_counter_{workers}x{increments}",
+        setup,
+        main,
+        expected_bug="assertion (lost update)",
+    )
+
+
+def safe_counter(workers: int = 2, increments: int = 1) -> Program:
+    """Mutex-protected counter: correct under every schedule."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.m = Mutex("m")
+        s.count = SharedVar(0, "count")
+        return s
+
+    def worker(ctx, sh):
+        for _ in range(increments):
+            yield ctx.lock(sh.m)
+            v = yield ctx.load(sh.count)
+            yield ctx.store(sh.count, v + 1)
+            yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        handles = []
+        for _ in range(workers):
+            handles.append((yield ctx.spawn(worker)))
+        for h in handles:
+            yield ctx.join(h)
+        total = yield ctx.load(sh.count)
+        ctx.check(total == workers * increments, f"lost update: {total}")
+
+    return Program(f"safe_counter_{workers}x{increments}", setup, main)
+
+
+def lock_order_deadlock() -> Program:
+    """Classic AB/BA lock-order inversion: deadlocks on some schedules."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.a = Mutex("a")
+        s.b = Mutex("b")
+        return s
+
+    def t_ab(ctx, sh):
+        yield ctx.lock(sh.a)
+        yield ctx.lock(sh.b)
+        yield ctx.unlock(sh.b)
+        yield ctx.unlock(sh.a)
+
+    def t_ba(ctx, sh):
+        yield ctx.lock(sh.b)
+        yield ctx.lock(sh.a)
+        yield ctx.unlock(sh.a)
+        yield ctx.unlock(sh.b)
+
+    def main(ctx, sh):
+        h1 = yield ctx.spawn(t_ab)
+        h2 = yield ctx.spawn(t_ba)
+        yield ctx.join(h1)
+        yield ctx.join(h2)
+
+    return Program("lock_order_deadlock", setup, main, expected_bug="deadlock")
+
+
+def lost_signal() -> Program:
+    """Condvar wait/signal race: if the signal fires before the wait, the
+    waiter sleeps forever (no predicate re-check — the bug)."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.m = Mutex("m")
+        s.cv = CondVar("cv")
+        return s
+
+    def waiter(ctx, sh):
+        yield ctx.lock(sh.m)
+        # BUG: waits unconditionally instead of checking a predicate.
+        yield ctx.cond_wait(sh.cv, sh.m)
+        yield ctx.unlock(sh.m)
+
+    def signaller(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.cond_signal(sh.cv)
+        yield ctx.unlock(sh.m)
+
+    def main(ctx, sh):
+        h1 = yield ctx.spawn(waiter)
+        h2 = yield ctx.spawn(signaller)
+        yield ctx.join(h1)
+        yield ctx.join(h2)
+
+    return Program("lost_signal", setup, main, expected_bug="deadlock (lost wakeup)")
+
+
+def barrier_rendezvous(parties: int = 3) -> Program:
+    """All workers meet at a barrier, then assert everyone arrived."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.bar = Barrier(parties, "bar")
+        s.arrived = Atomic(0, "arrived")
+        return s
+
+    def worker(ctx, sh):
+        yield ctx.fetch_add(sh.arrived, 1)
+        yield ctx.barrier_wait(sh.bar)
+        n = yield ctx.atomic_load(sh.arrived)
+        ctx.check(n == parties, f"barrier leaked: {n}")
+
+    def main(ctx, sh):
+        handles = []
+        for _ in range(parties):
+            handles.append((yield ctx.spawn(worker)))
+        for h in handles:
+            yield ctx.join(h)
+
+    return Program(f"barrier_rendezvous_{parties}", setup, main)
+
+
+def producer_consumer_sem(items: int = 2) -> Program:
+    """Semaphore-paced producer/consumer; correct under every schedule."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.full = Semaphore(0, "full")
+        s.empty = Semaphore(1, "empty")
+        s.buf = SharedVar(None, "buf")
+        s.got = SharedVar(0, "got")
+        return s
+
+    def producer(ctx, sh):
+        for i in range(items):
+            yield ctx.sem_wait(sh.empty)
+            yield ctx.store(sh.buf, i)
+            yield ctx.sem_post(sh.full)
+
+    def consumer(ctx, sh):
+        for i in range(items):
+            yield ctx.sem_wait(sh.full)
+            v = yield ctx.load(sh.buf)
+            ctx.check(v == i, f"consumed {v}, wanted {i}")
+            got = yield ctx.load(sh.got)
+            yield ctx.store(sh.got, got + 1)
+            yield ctx.sem_post(sh.empty)
+
+    def main(ctx, sh):
+        p = yield ctx.spawn(producer)
+        c = yield ctx.spawn(consumer)
+        yield ctx.join(p)
+        yield ctx.join(c)
+        got = yield ctx.load(sh.got)
+        ctx.check(got == items, f"consumed {got} of {items}")
+
+    return Program(f"producer_consumer_{items}", setup, main)
+
+
+def crasher() -> Program:
+    """A thread raises an uncaught exception on one schedule only."""
+
+    def setup():
+        s = SimpleNamespace()
+        s.ready = Atomic(0, "ready")
+        s.data = Atomic(None, "data")
+        return s
+
+    def init_thread(ctx, sh):
+        yield ctx.atomic_store(sh.data, [1, 2, 3])
+        yield ctx.atomic_store(sh.ready, 1)
+
+    def user_thread(ctx, sh):
+        data = yield ctx.atomic_load(sh.data)
+        total = sum(data)  # raises TypeError when data is still None
+        yield ctx.sched_yield()
+        assert total == 6
+
+    def main(ctx, sh):
+        h1 = yield ctx.spawn(init_thread)
+        h2 = yield ctx.spawn(user_thread)
+        yield ctx.join(h1)
+        yield ctx.join(h2)
+
+    return Program("crasher", setup, main, expected_bug="crash (None deref)")

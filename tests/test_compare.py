@@ -1,0 +1,89 @@
+"""Study-run diffing (repro.study.compare)."""
+
+import json
+
+import pytest
+
+from repro.study.compare import RunDiff, diff_runs, main
+
+
+def run_payload(rows):
+    return {"schedule_limit": 100, "benchmarks": rows}
+
+
+def row(name, **techs):
+    return {
+        "name": name,
+        "techniques": {
+            t: {
+                "found_bug": found,
+                "bound": bound,
+                "schedules": schedules,
+            }
+            for t, (found, bound, schedules) in techs.items()
+        },
+    }
+
+
+BASE = run_payload(
+    [
+        row("a", IPB=(True, 1, 50), IDB=(True, 1, 20), Rand=(True, None, 100)),
+        row("b", IPB=(False, None, 100), IDB=(True, 2, 80)),
+    ]
+)
+
+
+class TestDiff:
+    def test_identical_runs_are_clean(self):
+        diff = diff_runs(BASE, json.loads(json.dumps(BASE)))
+        assert diff.clean
+        assert "equivalent" in diff.render()
+
+    def test_verdict_flip_detected(self):
+        other = json.loads(json.dumps(BASE))
+        other["benchmarks"][1]["techniques"]["IDB"]["found_bug"] = False
+        diff = diff_runs(BASE, other)
+        assert not diff.clean
+        assert ("b", "IDB", True, False) in diff.verdict_flips
+        assert "found -> missed" in diff.render()
+
+    def test_bound_change_detected(self):
+        other = json.loads(json.dumps(BASE))
+        other["benchmarks"][0]["techniques"]["IPB"]["bound"] = 2
+        diff = diff_runs(BASE, other)
+        assert ("a", "IPB", 1, 2) in diff.bound_changes
+        assert not diff.clean
+
+    def test_bound_change_ignored_for_nonbounding(self):
+        other = json.loads(json.dumps(BASE))
+        other["benchmarks"][0]["techniques"]["Rand"]["bound"] = 7
+        diff = diff_runs(BASE, other)
+        assert diff.clean
+
+    def test_schedule_drift_informational(self):
+        other = json.loads(json.dumps(BASE))
+        other["benchmarks"][0]["techniques"]["IDB"]["schedules"] = 200
+        diff = diff_runs(BASE, other)
+        assert ("a", "IDB", 20, 200) in diff.schedule_drifts
+        assert diff.clean  # drifts alone do not fail the comparison
+
+    def test_missing_benchmarks_reported(self):
+        other = run_payload([BASE["benchmarks"][0]])
+        diff = diff_runs(BASE, other)
+        assert diff.only_in_old == ["b"]
+        assert not diff.clean
+
+    def test_cli(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(BASE))
+        changed = json.loads(json.dumps(BASE))
+        changed["benchmarks"][0]["techniques"]["IDB"]["found_bug"] = False
+        new.write_text(json.dumps(changed))
+        assert main([str(old), str(old)]) == 0
+        assert main([str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict flips" in out
+
+    def test_cli_usage(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,95 @@
+"""Section 2's *Theoretical Complexity* claims, validated empirically.
+
+"With a scheduling bound of c, preemption bounding is exponential in c,
+n (threads) and b (blocking steps) ... Delay bounding is exponential only
+in c.  Thus, it performs well (in terms of number of schedules) even when
+programs create a large number of threads."
+
+We enumerate the bounded schedule spaces of a scalable program family and
+check the growth laws: at fixed bound, the delay-bounded space stays
+polynomial (here: roughly linear) in the thread count while the
+preemption-bounded space grows much faster; and both grow with the bound.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import DELAY, PREEMPTION, BoundedDFS
+from repro.runtime import Program, SharedVar
+
+
+def worker_family(n_threads: int, ops_per_thread: int = 2) -> Program:
+    """n identical threads doing visible stores (the reorder skeleton)."""
+
+    def setup():
+        return SimpleNamespace(x=SharedVar(0, "x"))
+
+    def worker(ctx, sh):
+        for j in range(ops_per_thread):
+            yield ctx.store(sh.x, j, site=f"w:{j}")
+
+    def main(ctx, sh):
+        handles = []
+        for _ in range(n_threads):
+            handles.append((yield ctx.spawn(worker)))
+        for h in handles:
+            yield ctx.join(h)
+
+    return Program(f"family{n_threads}", setup, main)
+
+
+def space_size(program, cost_model, bound, cap=200_000):
+    count = 0
+    for record in BoundedDFS(program, cost_model, bound).runs():
+        if record.result.outcome.is_terminal_schedule:
+            count += 1
+        assert count <= cap, "space exploded past the test cap"
+    return count
+
+
+class TestComplexityClaims:
+    def test_delay_bound_zero_is_always_one_schedule(self):
+        # "Executing a program under the deterministic scheduler results
+        # in a single terminal schedule — the only one with zero delays."
+        for n in (2, 4, 6):
+            assert space_size(worker_family(n), DELAY, 0) == 1
+
+    def test_delay_bounded_space_grows_mildly_with_threads(self):
+        # At bound 1, one delay can be spent at any point: the space grows
+        # about linearly with total execution length (hence threads).
+        sizes = [space_size(worker_family(n), DELAY, 1) for n in (2, 3, 4, 5)]
+        assert sizes == sorted(sizes)
+        # Sub-quadratic growth: doubling threads far less than squares it.
+        assert sizes[-1] <= sizes[0] * 8
+
+    def test_preemption_bounded_space_explodes_with_threads(self):
+        # Preemption bound 0 already admits every block ordering of the
+        # workers, interleaved with main's join steps as they unblock —
+        # factorial-like growth in n, exactly the paper's n/b dependence.
+        sizes = [space_size(worker_family(n), PREEMPTION, 0) for n in (2, 3, 4, 5)]
+        assert sizes == [3, 13, 73, 501]
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert ratios == sorted(ratios)  # growth factor itself grows
+
+    def test_delay_space_is_subset_hence_smaller(self):
+        for n in (2, 3, 4):
+            for c in (0, 1):
+                db = space_size(worker_family(n), DELAY, c)
+                pb = space_size(worker_family(n), PREEMPTION, c)
+                assert db <= pb
+
+    def test_both_spaces_grow_with_the_bound(self):
+        program = worker_family(3)
+        for cost in (DELAY, PREEMPTION):
+            sizes = [space_size(program, cost, c) for c in (0, 1, 2)]
+            assert sizes[0] < sizes[1] < sizes[2]
+
+    @pytest.mark.parametrize("n", [6, 8])
+    def test_many_threads_stay_tractable_under_delay_bounding(self, n):
+        # The paper's punchline: delay bounding "performs well even when
+        # programs create a large number of threads" — the bound-1 space
+        # for 8 threads stays in the hundreds while preemption bound 0
+        # alone is already 8! = 40,320.
+        db1 = space_size(worker_family(n), DELAY, 1)
+        assert db1 < 1_000

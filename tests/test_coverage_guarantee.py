@@ -1,0 +1,64 @@
+"""The bounded coverage guarantee (paper section 1).
+
+"If the search manages to explore all schedules with at most c
+preemptions, then any undiscovered bugs in the program require at least
+c + 1 preemptions."
+"""
+
+from repro.core import make_idb, make_ipb
+from repro.engine import FixedChoiceStrategy, RoundRobinStrategy, execute
+from repro.racedetect import detect_races
+from repro.sctbench import get
+
+from .programs import figure1, safe_counter, unsafe_counter
+
+
+class TestCoverageGuarantee:
+    def test_full_bound_completion_gives_guarantee(self):
+        stats = make_ipb().explore(figure1(), limit=10_000)
+        # Bound 1 was fully explored (11 schedules): any other bug would
+        # need at least 2 preemptions.
+        assert stats.found_bug and stats.bound == 1
+        assert stats.coverage_guarantee == 1
+
+    def test_exhausted_space_reports_final_bound(self):
+        stats = make_idb().explore(safe_counter(2), limit=10_000)
+        assert stats.completed
+        assert stats.coverage_guarantee == stats.bound
+
+    def test_limit_hit_mid_bound_drops_to_previous(self):
+        # safestack: IDB reaches bound 3 and hits the limit inside it; the
+        # guarantee is therefore bound 2.
+        name = "misc.safestack"
+        program = get(name).make()
+        report = detect_races(program, runs=10, seed=0)
+        filt = report.visible_filter() if report.has_races else (lambda op: False)
+        stats = make_idb(visible_filter=filt).explore(program, 2_000)
+        assert not stats.found_bug
+        assert stats.bound is not None and stats.bound >= 1
+        assert stats.coverage_guarantee == stats.bound - 1
+
+    def test_guarantee_is_meaningful(self):
+        # The guarantee's contract: no buggy schedule exists at or below
+        # the guaranteed preemption bound unless the explorer reported it.
+        from repro.core import PREEMPTION, BoundedDFS
+
+        program = unsafe_counter()
+        stats = make_ipb().explore(program, limit=10_000)
+        assert stats.found_bug
+        g = stats.coverage_guarantee
+        assert g is not None
+        # Independently enumerate all schedules within the guarantee and
+        # confirm the first buggy one matches what the explorer claims.
+        buggy_bounds = []
+        for record in BoundedDFS(program, PREEMPTION, g).runs():
+            if record.result.is_buggy:
+                buggy_bounds.append(record.cost)
+        assert buggy_bounds, "explorer claimed a bug within the guarantee"
+        assert min(buggy_bounds) == stats.first_bug.bound
+
+    def test_random_explorer_has_no_guarantee(self):
+        from repro.core import RandomExplorer
+
+        stats = RandomExplorer(seed=1).explore(figure1(), limit=100)
+        assert stats.coverage_guarantee is None

@@ -1,0 +1,144 @@
+"""Dynamic partial-order reduction: reduction and soundness vs full DFS."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DFSExplorer
+from repro.core.dpor import DPORExplorer, dependent
+from repro.runtime import Mutex, SharedVar
+from repro.runtime.context import ThreadContext
+
+from .programs import (
+    figure1,
+    lock_order_deadlock,
+    lost_signal,
+    safe_counter,
+    unsafe_counter,
+)
+from .test_properties import build_program, compact, program_st
+
+
+class TestDependency:
+    def setup_method(self):
+        self.ctx = ThreadContext(0)
+        self.x = SharedVar(0, "x")
+        self.y = SharedVar(0, "y")
+        self.m = Mutex("m")
+
+    def test_reads_commute(self):
+        assert not dependent(self.ctx.load(self.x), self.ctx.load(self.x))
+
+    def test_write_conflicts_with_read_same_var(self):
+        assert dependent(self.ctx.store(self.x, 1), self.ctx.load(self.x))
+
+    def test_different_vars_commute(self):
+        assert not dependent(self.ctx.store(self.x, 1), self.ctx.store(self.y, 2))
+
+    def test_lock_ops_conflict_on_same_mutex(self):
+        assert dependent(self.ctx.lock(self.m), self.ctx.lock(self.m))
+        assert dependent(self.ctx.lock(self.m), self.ctx.unlock(self.m))
+
+    def test_lock_and_data_commute(self):
+        assert not dependent(self.ctx.lock(self.m), self.ctx.store(self.x, 1))
+
+    def test_yield_commutes_with_everything(self):
+        assert not dependent(self.ctx.sched_yield(), self.ctx.store(self.x, 1))
+
+
+class TestReduction:
+    @pytest.mark.parametrize(
+        "make_program",
+        [figure1, unsafe_counter, lock_order_deadlock, lost_signal, safe_counter],
+        ids=["figure1", "unsafe_counter", "deadlock", "lost_signal", "safe_counter"],
+    )
+    def test_explores_fewer_schedules_same_verdict(self, make_program):
+        program = make_program()
+        dfs = DFSExplorer().explore(program, 50_000)
+        dpor = DPORExplorer().explore(program, 50_000)
+        assert dfs.completed and dpor.completed
+        assert dpor.schedules <= dfs.schedules
+        assert dpor.found_bug == dfs.found_bug, (
+            f"DPOR {'found' if dpor.found_bug else 'missed'} what DFS "
+            f"{'found' if dfs.found_bug else 'missed'}"
+        )
+
+    def test_reduction_is_substantial_for_independent_threads(self):
+        # Threads touching disjoint variables: DFS explores every
+        # interleaving; DPOR needs only one schedule per trace (one here).
+        from types import SimpleNamespace
+
+        from repro.runtime import Program
+
+        def setup():
+            return SimpleNamespace(
+                cells=[SharedVar(0, f"c{i}") for i in range(3)]
+            )
+
+        def worker(ctx, sh, i):
+            yield ctx.store(sh.cells[i], 1, site=f"w{i}a")
+            yield ctx.store(sh.cells[i], 2, site=f"w{i}b")
+
+        def main(ctx, sh):
+            hs = []
+            for i in range(3):
+                hs.append((yield ctx.spawn(worker, i)))
+            for h in hs:
+                yield ctx.join(h)
+
+        program = Program("independent", setup, main)
+        dfs = DFSExplorer().explore(program, 50_000)
+        dpor = DPORExplorer().explore(program, 50_000)
+        assert dfs.completed and dpor.completed
+        assert dfs.schedules == 1121  # every interleaving, spawns included
+        assert dpor.schedules == 1    # a single Mazurkiewicz trace
+
+    def test_bug_report_is_replayable(self):
+        from repro.engine import replay
+
+        program = figure1()
+        stats = DPORExplorer().explore(program, 50_000)
+        assert stats.found_bug
+        result = replay(program, stats.first_bug.schedule)
+        assert result.outcome is stats.first_bug.outcome
+
+    def test_invisible_footprints_carry_dependencies(self):
+        """Regression: under racy-site filtering, data accesses execute
+        invisibly inside lock-granularity steps.  Dependency must be
+        computed on the step's full footprint — with op-level dependencies
+        only, the two twostage critical sections (different mutexes,
+        shared data) would commute and the bug would be missed."""
+        from repro.racedetect import detect_races
+        from repro.sctbench import get
+
+        program = get("CS.twostage_bad").make()
+        report = detect_races(program, runs=10, seed=0)
+        filt = (
+            report.visible_filter()
+            if report.has_races
+            else (lambda op: False)
+        )
+        dfs = DFSExplorer(visible_filter=filt).explore(program, 10_000)
+        dpor = DPORExplorer(visible_filter=filt).explore(program, 10_000)
+        assert dfs.found_bug
+        assert dpor.found_bug
+        assert dpor.schedules < dfs.schedules
+
+
+class TestSoundnessProperty:
+    @given(threads=program_st)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dpor_agrees_with_dfs_on_bug_presence(self, threads):
+        """On randomly generated programs, DPOR and full DFS agree on
+        whether any buggy terminal schedule exists, and DPOR never
+        explores more schedules."""
+        program = build_program(threads)
+        dfs = DFSExplorer().explore(program, 50_000)
+        dpor = DPORExplorer().explore(program, 50_000)
+        assert dfs.completed and dpor.completed
+        assert dpor.schedules <= dfs.schedules
+        assert dpor.found_bug == dfs.found_bug

@@ -1,0 +1,297 @@
+"""Engine edge cases: rwlocks, spawn_many, guard-zone arrays, atomics,
+await semantics, deadlock reporting, and strategy plumbing."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import (
+    CallbackStrategy,
+    FixedChoiceStrategy,
+    Outcome,
+    RandomStrategy,
+    RoundRobinStrategy,
+    execute,
+    round_robin_choice,
+)
+from repro.runtime import (
+    Atomic,
+    GuardMode,
+    Mutex,
+    Program,
+    RWLock,
+    SharedArray,
+    SharedVar,
+)
+
+RR = RoundRobinStrategy
+
+
+def prog(main, setup=None, name="edge"):
+    return Program(name, setup or (lambda: SimpleNamespace()), main)
+
+
+class TestRWLock:
+    def _program(self, order):
+        def setup():
+            return SimpleNamespace(rw=RWLock("rw"), log=[])
+
+        def reader(ctx, sh):
+            yield ctx.rd_lock(sh.rw)
+            sh.log.append(("r", ctx.tid))
+            yield ctx.sched_yield()
+            yield ctx.rw_unlock(sh.rw)
+
+        def writer(ctx, sh):
+            yield ctx.wr_lock(sh.rw)
+            sh.log.append(("w", ctx.tid))
+            yield ctx.rw_unlock(sh.rw)
+
+        def main(ctx, sh):
+            hs = []
+            for kind in order:
+                hs.append((yield ctx.spawn(reader if kind == "r" else writer)))
+            for h in hs:
+                yield ctx.join(h)
+
+        return prog(main, setup)
+
+    def test_two_readers_coexist(self):
+        # reader1 takes the lock and yields; reader2 may enter concurrently.
+        program = self._program("rr")
+        strategy = FixedChoiceStrategy([0, 0, 1, 2, 2], fallback=RR())
+        result = execute(program, strategy)
+        assert result.outcome is Outcome.OK
+
+    def test_writer_excludes_reader(self):
+        def setup():
+            return SimpleNamespace(rw=RWLock("rw"), seen=SharedVar(None, "seen"))
+
+        def writer(ctx, sh):
+            yield ctx.wr_lock(sh.rw)
+            yield ctx.store(sh.seen, "writing")
+            yield ctx.store(sh.seen, "done")
+            yield ctx.rw_unlock(sh.rw)
+
+        def reader(ctx, sh):
+            yield ctx.rd_lock(sh.rw)
+            v = yield ctx.load(sh.seen)
+            ctx.check(v in (None, "done"), f"observed torn write: {v}")
+            yield ctx.rw_unlock(sh.rw)
+
+        def main(ctx, sh):
+            w = yield ctx.spawn(writer)
+            r = yield ctx.spawn(reader)
+            yield ctx.join(w)
+            yield ctx.join(r)
+
+        # Under every random schedule the invariant holds.
+        for seed in range(30):
+            result = execute(prog(main, setup), RandomStrategy(seed=seed))
+            assert result.outcome is Outcome.OK, result.bug
+
+    def test_rw_unlock_without_hold_is_crash(self):
+        def main(ctx, sh):
+            yield ctx.rw_unlock(sh.rw)
+
+        result = execute(
+            prog(main, lambda: SimpleNamespace(rw=RWLock("rw"))), RR()
+        )
+        assert result.outcome is Outcome.CRASH
+
+
+class TestSpawnMany:
+    def test_handles_in_creation_order(self):
+        def child(ctx, sh, k):
+            yield ctx.sched_yield()
+            return k
+
+        def main(ctx, sh):
+            handles = yield ctx.spawn_many((child, 1), (child, 2), (child, 3))
+            assert [h.tid for h in handles] == [1, 2, 3]
+            values = []
+            for h in handles:
+                values.append((yield ctx.join(h)))
+            ctx.check(values == [1, 2, 3], str(values))
+
+        assert execute(prog(main), RR()).outcome is Outcome.OK
+
+    def test_single_visible_step_for_creation(self):
+        def child(ctx, sh):
+            yield ctx.sched_yield()
+
+        def main(ctx, sh):
+            yield ctx.spawn_many(child, child)
+
+        result = execute(prog(main), RR())
+        # main's spawn_many is one step; each child yields once.
+        assert result.schedule == [0, 1, 1, 2, 2] or result.steps == 3
+
+
+class TestGuardZoneInEngine:
+    def test_detect_mode_is_memory_outcome(self):
+        def setup():
+            return SimpleNamespace(
+                a=SharedArray(2, 0, "a", guard=GuardMode.DETECT)
+            )
+
+        def main(ctx, sh):
+            yield ctx.store_elem(sh.a, 2, 1)
+
+        result = execute(prog(main, setup), RR())
+        assert result.outcome is Outcome.MEMORY
+        assert result.outcome.is_bug
+
+    def test_corrupt_mode_keeps_running(self):
+        def setup():
+            return SimpleNamespace(
+                a=SharedArray(2, 0, "a", guard=GuardMode.CORRUPT)
+            )
+
+        def main(ctx, sh):
+            yield ctx.store_elem(sh.a, 2, 99)
+            v = yield ctx.load_elem(sh.a, 2)
+            ctx.check(v == 99)
+            ctx.check(sh.a.corrupted)
+
+        result = execute(prog(main, setup), RR())
+        assert result.outcome is Outcome.OK
+
+
+class TestAtomics:
+    def test_cas_success_and_failure(self):
+        def setup():
+            return SimpleNamespace(c=Atomic(5, "c"))
+
+        def main(ctx, sh):
+            ok, seen = yield ctx.cas(sh.c, 5, 6)
+            ctx.check(ok and seen == 5)
+            ok, seen = yield ctx.cas(sh.c, 5, 7)
+            ctx.check(not ok and seen == 6)
+            v = yield ctx.atomic_load(sh.c)
+            ctx.check(v == 6)
+
+        assert execute(prog(main, setup), RR()).outcome is Outcome.OK
+
+    def test_fetch_add_returns_old(self):
+        def setup():
+            return SimpleNamespace(c=Atomic(10, "c"))
+
+        def main(ctx, sh):
+            old = yield ctx.fetch_add(sh.c, 5)
+            ctx.check(old == 10)
+            v = yield ctx.atomic_load(sh.c)
+            ctx.check(v == 15)
+
+        assert execute(prog(main, setup), RR()).outcome is Outcome.OK
+
+
+class TestAwait:
+    def test_await_blocks_until_predicate(self):
+        def setup():
+            return SimpleNamespace(v=SharedVar(0, "v"), order=[])
+
+        def waiter(ctx, sh):
+            got = yield ctx.await_value(sh.v, lambda x: x >= 2)
+            sh.order.append(("woke", got))
+
+        def bumper(ctx, sh):
+            for _ in range(2):
+                n = yield ctx.load(sh.v)
+                yield ctx.store(sh.v, n + 1)
+                sh.order.append(("bump", n + 1))
+
+        def main(ctx, sh):
+            w = yield ctx.spawn(waiter)
+            b = yield ctx.spawn(bumper)
+            yield ctx.join(w)
+            yield ctx.join(b)
+
+        for seed in range(20):
+            result = execute(prog(main, setup), RandomStrategy(seed=seed))
+            assert result.outcome is Outcome.OK
+            assert result.shared.order[-1] == ("woke", 2)
+
+    def test_await_never_satisfied_is_deadlock(self):
+        def main(ctx, sh):
+            yield ctx.await_value(sh.v, lambda x: x == 1)
+
+        result = execute(
+            prog(main, lambda: SimpleNamespace(v=SharedVar(0, "v"))), RR()
+        )
+        assert result.outcome is Outcome.DEADLOCK
+        assert "AWAIT" in str(result.bug)
+
+
+class TestDeadlockReporting:
+    def test_report_names_blocked_threads_and_objects(self):
+        def setup():
+            return SimpleNamespace(m=Mutex("the-mutex"), never=SharedVar(0, "never"))
+
+        def hog(ctx, sh):
+            yield ctx.lock(sh.m)
+            yield ctx.await_value(sh.never, lambda v: v == 1)  # never
+
+        def victim(ctx, sh):
+            yield ctx.lock(sh.m)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(hog)
+            h2 = yield ctx.spawn(victim)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        result = execute(prog(main, setup), RR())
+        assert result.outcome is Outcome.DEADLOCK
+        msg = str(result.bug)
+        assert "the-mutex" in msg and "T2" in msg
+
+
+class TestStrategies:
+    def test_round_robin_choice_wraps(self):
+        assert round_robin_choice((0, 2), last_tid=1, num_created=3) == 2
+        assert round_robin_choice((0,), last_tid=2, num_created=3) == 0
+        with pytest.raises(ValueError):
+            round_robin_choice((), 0, 3)
+
+    def test_callback_strategy(self):
+        def setup():
+            return SimpleNamespace(v=SharedVar(0, "v"))
+
+        def child(ctx, sh):
+            yield ctx.store(sh.v, 1)
+
+        def main(ctx, sh):
+            h = yield ctx.spawn(child)
+            yield ctx.join(h)
+
+        picks = []
+
+        def fn(step, enabled, last, kernel):
+            choice = max(enabled)
+            picks.append(choice)
+            return choice
+
+        result = execute(prog(main, setup), CallbackStrategy(fn))
+        assert result.outcome is Outcome.OK
+        assert picks == result.schedule
+
+    def test_fixed_choice_choice_points_only(self):
+        def setup():
+            return SimpleNamespace(v=SharedVar(0, "v"))
+
+        def child(ctx, sh):
+            yield ctx.store(sh.v, 1)
+            yield ctx.store(sh.v, 2)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(child)
+            h2 = yield ctx.spawn(child)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        # Decisions consumed only where >1 thread is enabled.
+        strategy = FixedChoiceStrategy([2, 2], fallback=RR(), choice_points_only=True)
+        result = execute(prog(main, setup), strategy)
+        assert result.outcome is Outcome.OK
+        assert 2 in result.schedule

@@ -1,0 +1,317 @@
+"""Unit tests for the controlled-execution engine's pthread semantics."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import (
+    FixedChoiceStrategy,
+    Outcome,
+    RandomStrategy,
+    ReplayDivergence,
+    RoundRobinStrategy,
+    execute,
+    replay,
+)
+from repro.runtime import (
+    Atomic,
+    CondVar,
+    Mutex,
+    Program,
+    RuntimeUsageError,
+    SharedVar,
+)
+
+from .programs import (
+    barrier_rendezvous,
+    crasher,
+    figure1,
+    lock_order_deadlock,
+    lost_signal,
+    producer_consumer_sem,
+    safe_counter,
+    unsafe_counter,
+)
+
+RR = RoundRobinStrategy
+
+
+def run_rr(program, **kw):
+    return execute(program, RR(), **kw)
+
+
+class TestBasicExecution:
+    def test_round_robin_completes_figure1(self):
+        result = run_rr(figure1())
+        assert result.outcome is Outcome.OK
+        assert result.threads_created == 4
+
+    def test_round_robin_schedule_is_non_preemptive(self):
+        # ⟨a, b, c, d, e⟩ — main, then T1 twice, then T2, then T3.
+        result = run_rr(figure1())
+        assert result.schedule == [0, 1, 1, 2, 3]
+
+    def test_steps_counted(self):
+        result = run_rr(figure1())
+        assert result.steps == 5
+        assert len(result.schedule) == 5
+
+    def test_enabled_sets_recorded(self):
+        result = run_rr(figure1())
+        assert result.enabled_sets[0] == (0,)
+        # After `a`, T1, T2, T3 are enabled and T0 is finished.
+        assert result.enabled_sets[1] == (1, 2, 3)
+
+    def test_record_enabled_false_skips_recording(self):
+        result = run_rr(figure1(), record_enabled=False)
+        assert result.enabled_sets is None
+        assert result.schedule  # tids are always recorded
+
+    def test_safe_program_passes_under_random_schedules(self):
+        program = safe_counter()
+        for seed in range(25):
+            result = execute(program, RandomStrategy(seed=seed))
+            assert result.outcome is Outcome.OK, result.bug
+
+    def test_main_return_value_on_handle(self):
+        def setup():
+            return SimpleNamespace()
+
+        def child(ctx, sh):
+            yield ctx.sched_yield()
+            return 42
+
+        def main(ctx, sh):
+            h = yield ctx.spawn(child)
+            v = yield ctx.join(h)
+            ctx.check(v == 42)
+
+        result = run_rr(Program("ret", setup, main))
+        assert result.outcome is Outcome.OK
+
+
+class TestMutex:
+    def test_lock_blocks_second_thread(self):
+        trace = []
+
+        def setup():
+            return SimpleNamespace(m=Mutex("m"), order=trace)
+
+        def t(ctx, sh):
+            yield ctx.lock(sh.m)
+            sh.order.append(ctx.tid)
+            yield ctx.unlock(sh.m)
+
+        def main(ctx, sh):
+            sh.order.clear()
+            h1 = yield ctx.spawn(t)
+            h2 = yield ctx.spawn(t)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        result = run_rr(Program("mx", setup, main))
+        assert result.outcome is Outcome.OK
+        assert sorted(trace) == [1, 2]
+
+    def test_unlock_by_non_owner_is_crash(self):
+        def setup():
+            return SimpleNamespace(m=Mutex("m"))
+
+        def main(ctx, sh):
+            yield ctx.unlock(sh.m)
+
+        result = run_rr(Program("bad_unlock", setup, main))
+        assert result.outcome is Outcome.CRASH
+        assert "does not own" in str(result.bug)
+
+    def test_trylock_returns_false_when_held(self):
+        def setup():
+            return SimpleNamespace(m=Mutex("m"), saw=SharedVar(None, "saw"))
+
+        def holder(ctx, sh):
+            yield ctx.lock(sh.m)
+            yield ctx.sched_yield()
+            yield ctx.unlock(sh.m)
+
+        def main(ctx, sh):
+            h = yield ctx.spawn(holder)
+            # Schedule: let the holder take the lock first.
+            yield ctx.sched_yield()
+            got = yield ctx.trylock(sh.m)
+            yield ctx.store(sh.saw, got)
+            yield ctx.join(h)
+            if got:
+                yield ctx.unlock(sh.m)
+
+        # Force: main yields, holder locks, main trylocks -> False.
+        strategy = FixedChoiceStrategy([0, 0, 1, 0])
+        result = execute(Program("try", setup, main), strategy)
+        assert result.outcome is Outcome.OK
+        assert result.shared.saw.value is False
+
+
+class TestCondVar:
+    def test_lost_signal_deadlocks_on_bad_schedule(self):
+        # Signaller completes before the waiter waits -> lost wakeup.
+        program = lost_signal()
+        # main spawns both; run signaller (tid 2) to completion first.
+        strategy = FixedChoiceStrategy([0, 0, 2, 2, 2, 1, 1], fallback=RR())
+        result = execute(program, strategy)
+        assert result.outcome is Outcome.DEADLOCK
+
+    def test_signal_wakes_waiter_on_good_schedule(self):
+        program = lost_signal()
+        # Waiter (tid 1) waits first, then signaller (tid 2) signals.
+        strategy = FixedChoiceStrategy([0, 0, 1, 1, 2, 2, 2], fallback=RR())
+        result = execute(program, strategy)
+        assert result.outcome is Outcome.OK
+
+    def test_cond_wait_without_mutex_is_crash(self):
+        def setup():
+            return SimpleNamespace(m=Mutex("m"), cv=CondVar("cv"))
+
+        def main(ctx, sh):
+            yield ctx.cond_wait(sh.cv, sh.m)
+
+        result = run_rr(Program("cv_no_lock", setup, main))
+        assert result.outcome is Outcome.CRASH
+
+    def test_broadcast_wakes_all(self):
+        def setup():
+            return SimpleNamespace(
+                m=Mutex("m"), cv=CondVar("cv"), woke=Atomic(0, "woke")
+            )
+
+        def waiter(ctx, sh):
+            yield ctx.lock(sh.m)
+            yield ctx.cond_wait(sh.cv, sh.m)
+            yield ctx.fetch_add(sh.woke, 1)
+            yield ctx.unlock(sh.m)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(waiter)
+            h2 = yield ctx.spawn(waiter)
+            # Let both waiters park.
+            yield ctx.lock(sh.m)
+            yield ctx.unlock(sh.m)
+            yield ctx.cond_broadcast(sh.cv)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+            n = yield ctx.fetch_add(sh.woke, 0)
+            ctx.check(n == 2, f"woke {n}")
+
+        # Drive: main spawns both, waiters park, main broadcasts, then all.
+        strategy = FixedChoiceStrategy(
+            [0, 0, 1, 1, 2, 2, 0, 0, 0], fallback=RR()
+        )
+        result = execute(Program("bcast", setup, main), strategy)
+        assert result.outcome is Outcome.OK
+
+
+class TestBarrierSemaphore:
+    def test_barrier_releases_everyone(self):
+        result = run_rr(barrier_rendezvous(3))
+        assert result.outcome is Outcome.OK
+
+    def test_barrier_under_random_schedules(self):
+        program = barrier_rendezvous(3)
+        for seed in range(20):
+            result = execute(program, RandomStrategy(seed=seed))
+            assert result.outcome is Outcome.OK, result.bug
+
+    def test_semaphore_producer_consumer(self):
+        program = producer_consumer_sem(2)
+        for seed in range(20):
+            result = execute(program, RandomStrategy(seed=seed))
+            assert result.outcome is Outcome.OK, result.bug
+
+
+class TestBugDetection:
+    def test_deadlock_detected(self):
+        program = lock_order_deadlock()
+        # t_ab locks a; t_ba locks b; both block on second lock.
+        strategy = FixedChoiceStrategy([0, 0, 1, 2], fallback=RR())
+        result = execute(program, strategy)
+        assert result.outcome is Outcome.DEADLOCK
+        assert "deadlock" in str(result.bug)
+
+    def test_no_deadlock_on_serial_schedule(self):
+        result = run_rr(lock_order_deadlock())
+        assert result.outcome is Outcome.OK
+
+    def test_crash_classified(self):
+        # Schedule user_thread (tid 2) before init_thread (tid 1).
+        strategy = FixedChoiceStrategy([0, 0, 2], fallback=RR())
+        result = execute(crasher(), strategy)
+        assert result.outcome is Outcome.CRASH
+        assert "TypeError" in str(result.bug)
+
+    def test_assertion_is_terminal(self):
+        # figure1 buggy schedule ⟨a, b, e⟩: stop right there (3 steps).
+        strategy = FixedChoiceStrategy([0, 1, 3], fallback=RR())
+        result = execute(figure1(), strategy)
+        assert result.outcome is Outcome.ASSERTION
+        assert result.steps == 3
+        assert result.schedule == [0, 1, 3]
+
+    def test_unsafe_counter_has_buggy_schedule(self):
+        # T1 loads, T2 loads+stores, T1 stores -> lost update.
+        strategy = FixedChoiceStrategy([0, 0, 1, 2, 2, 1], fallback=RR())
+        result = execute(unsafe_counter(), strategy)
+        assert result.outcome is Outcome.ASSERTION
+
+
+class TestStepBudget:
+    def test_step_limit_reported(self):
+        def setup():
+            return SimpleNamespace()
+
+        def main(ctx, sh):
+            while True:
+                yield ctx.sched_yield()
+
+        result = execute(Program("spin", setup, main), RR(), max_steps=100)
+        assert result.outcome is Outcome.STEP_LIMIT
+        assert result.steps == 100
+        assert not result.outcome.is_terminal_schedule
+
+
+class TestDeterminismAndReplay:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_replay_reproduces_outcome_and_schedule(self, seed):
+        program = unsafe_counter(workers=3)
+        original = execute(program, RandomStrategy(seed=seed))
+        again = replay(program, original.schedule)
+        assert again.outcome is original.outcome
+        assert again.schedule == original.schedule
+        assert again.steps == original.steps
+
+    def test_replay_divergence_detected(self):
+        program = figure1()
+        with pytest.raises(ReplayDivergence):
+            replay(program, [0, 0, 0, 0, 0])  # T0 finishes after one step
+
+
+class TestApiMisuse:
+    def test_non_generator_body_rejected(self):
+        def setup():
+            return SimpleNamespace()
+
+        def not_a_gen(ctx, sh):
+            return 5
+
+        def main(ctx, sh):
+            yield ctx.spawn(not_a_gen)
+
+        with pytest.raises(RuntimeUsageError):
+            run_rr(Program("notgen", setup, main))
+
+    def test_yielding_garbage_rejected(self):
+        def setup():
+            return SimpleNamespace()
+
+        def main(ctx, sh):
+            yield "banana"
+
+        with pytest.raises(RuntimeUsageError):
+            run_rr(Program("garbage", setup, main))

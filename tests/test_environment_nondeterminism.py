@@ -1,0 +1,100 @@
+"""Section 4.2's finding made executable: *SCT can be difficult to apply*.
+
+The paper skipped dozens of benchmarks because they interact with the
+environment — networking, wall-clock time, other processes — whose
+nondeterminism the scheduler does not control.  The core SCT assumption
+(section 2) is that the scheduler is the *only* nondeterminism source;
+these tests show what breaks when a program violates that assumption
+(replay divergence, schedule-independent flakiness) and how modelling the
+environment — what the paper did to aget's network functions — restores
+determinism.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import (
+    Outcome,
+    RandomStrategy,
+    ReplayDivergence,
+    RoundRobinStrategy,
+    execute,
+    replay,
+)
+from repro.runtime import Program, SharedVar
+
+
+def network_program(modelled: bool) -> Program:
+    """A downloader whose 'recv' either consults an uncontrolled source
+    (a module-global call counter — standing in for a real socket) or a
+    modelled deterministic stream, as the paper did for aget."""
+
+    uncontrolled_source = itertools.count()  # survives across executions!
+
+    def setup():
+        return SimpleNamespace(received=SharedVar(None, "received"))
+
+    def recv():
+        if modelled:
+            return 7  # deterministic model of the network payload
+        return next(uncontrolled_source) % 5  # environment leaks in
+
+    def downloader(ctx, sh):
+        payload = recv()  # invisible environment interaction
+        yield ctx.store(sh.received, payload)
+        if payload == 3:
+            # A "network-dependent" branch: extra visible work sometimes.
+            yield ctx.sched_yield()
+
+    def main(ctx, sh):
+        h = yield ctx.spawn(downloader)
+        yield ctx.join(h)
+
+    name = "net_modelled" if modelled else "net_raw"
+    return Program(name, setup, main)
+
+
+class TestUncontrolledNondeterminism:
+    def test_identical_schedules_give_different_outcomes(self):
+        program = network_program(modelled=False)
+        first = execute(program, RoundRobinStrategy())
+        second = execute(program, RoundRobinStrategy())
+        # Same scheduler, same program object — different shared state,
+        # because the environment advanced between runs.
+        assert first.shared.received.value != second.shared.received.value
+
+    def test_replay_divergence_detected(self):
+        # The environment-dependent branch changes the schedule length, so
+        # a strict replay eventually diverges — the engine surfaces the
+        # violated assumption instead of silently mis-reproducing.
+        program = network_program(modelled=False)
+        diverged = False
+        for _ in range(10):
+            recorded = execute(program, RandomStrategy(seed=1))
+            try:
+                again = replay(program, recorded.schedule)
+            except ReplayDivergence:
+                diverged = True
+                break
+            if again.schedule != recorded.schedule or (
+                again.shared.received.value != recorded.shared.received.value
+            ):
+                diverged = True
+                break
+        assert diverged, "environment nondeterminism went unnoticed"
+
+
+class TestModelledEnvironment:
+    def test_modelling_restores_determinism(self):
+        # The paper: "We modified aget, modelling certain network
+        # functions to return data from a file" — with the environment
+        # modelled, SCT's guarantees come back.
+        program = network_program(modelled=True)
+        first = execute(program, RoundRobinStrategy())
+        for _ in range(5):
+            again = replay(program, first.schedule)
+            assert again.outcome is Outcome.OK
+            assert again.schedule == first.schedule
+            assert again.shared.received.value == first.shared.received.value

@@ -1,0 +1,39 @@
+"""The example scripts must stay runnable (the quick ones run here)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+QUICK = [
+    ("quickstart.py", ["delay bounding (IDB)", "bug found: assertion"]),
+    ("race_detection_demo.py", ["bug FOUND", "0 races"]),
+    ("trace_simplification.py", ["simplified counterexample", "preemptions:"]),
+]
+
+
+@pytest.mark.parametrize("script,expect", QUICK, ids=[s for s, _ in QUICK])
+def test_example_runs(script, expect):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in expect:
+        assert needle in proc.stdout, f"{script}: missing {needle!r}"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "workstealqueue_hunt.py",
+        "race_detection_demo.py",
+        "mini_study.py",
+        "trace_simplification.py",
+    } <= names

@@ -1,0 +1,92 @@
+"""Iterative preemption/delay bounding (IPB, IDB) accounting and behaviour."""
+
+import pytest
+
+from repro.core import make_idb, make_ipb
+from repro.engine import Outcome
+
+from .programs import figure1, lock_order_deadlock, safe_counter, unsafe_counter
+
+
+class TestIPB:
+    def test_finds_figure1_bug_at_bound_one(self):
+        stats = make_ipb().explore(figure1(), limit=10_000)
+        assert stats.found_bug
+        assert stats.bound == 1
+
+    def test_schedule_accounting_matches_enumeration(self):
+        # With zero preemptions threads run as contiguous blocks: 3! = 6
+        # schedules, none buggy.  Bound ≤ 1 has 11 schedules total (paper
+        # Example 2), so IPB stops at bound 1 with 11 distinct schedules,
+        # 5 of them new at bound 1.
+        stats = make_ipb().explore(figure1(), limit=10_000)
+        assert stats.schedules == 11
+        assert stats.new_schedules_at_bound == 5
+
+    def test_first_bug_index_within_totals(self):
+        stats = make_ipb().explore(figure1(), limit=10_000)
+        assert 1 <= stats.schedules_to_first_bug <= stats.schedules
+
+    def test_completes_bound_after_bug(self):
+        # The paper finishes the current bound after finding a bug so the
+        # worst case (Figure 4) can be reported.
+        stats = make_ipb().explore(figure1(), limit=10_000)
+        assert stats.buggy_schedules >= 1
+        assert stats.schedules > stats.schedules_to_first_bug or (
+            stats.schedules == stats.schedules_to_first_bug
+            and stats.buggy_schedules == 1
+        )
+
+
+class TestIDB:
+    def test_finds_figure1_bug_at_bound_one(self):
+        stats = make_idb().explore(figure1(), limit=10_000)
+        assert stats.found_bug
+        assert stats.bound == 1
+
+    def test_schedule_accounting(self):
+        # Bound 0: 1 schedule; bound ≤ 1: 4 schedules (paper Example 2),
+        # so 4 distinct total, 3 new at bound 1.
+        stats = make_idb().explore(figure1(), limit=10_000)
+        assert stats.schedules == 4
+        assert stats.new_schedules_at_bound == 3
+
+    def test_adversarial_clone_raises_delay_bound_only(self):
+        program = figure1(clone_count=2)
+        idb = make_idb().explore(program, limit=10_000)
+        ipb = make_ipb().explore(program, limit=10_000)
+        assert idb.found_bug and ipb.found_bug
+        assert ipb.bound == 1
+        assert idb.bound == 3  # clones + 1
+
+    def test_idb_explores_fewer_schedules_than_ipb_on_figure1(self):
+        # Delay bounding cuts the schedule space harder (section 2).
+        idb = make_idb().explore(figure1(), limit=10_000)
+        ipb = make_ipb().explore(figure1(), limit=10_000)
+        assert idb.schedules < ipb.schedules
+
+
+class TestTermination:
+    def test_safe_program_completes_exploration(self):
+        stats = make_idb().explore(safe_counter(2), limit=10_000)
+        assert not stats.found_bug
+        assert stats.completed
+
+    def test_limit_respected(self):
+        stats = make_ipb().explore(unsafe_counter(workers=3, increments=2), limit=30)
+        assert stats.schedules <= 30
+
+    def test_deadlock_found_by_both(self):
+        for make in (make_ipb, make_idb):
+            stats = make().explore(lock_order_deadlock(), limit=10_000)
+            assert stats.found_bug
+            assert stats.first_bug.outcome is Outcome.DEADLOCK
+
+    @pytest.mark.parametrize("make", [make_ipb, make_idb])
+    def test_bug_report_is_replayable(self, make):
+        from repro.engine import replay
+
+        program = figure1()
+        stats = make().explore(program, limit=10_000)
+        again = replay(program, stats.first_bug.schedule)
+        assert again.outcome is Outcome.ASSERTION

@@ -1,0 +1,176 @@
+"""Internals of the MapleAlg approximation and the PCT scheduler."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.maple_alg import _ActiveStrategy, _PairRecorder
+from repro.core.pct import PCTExplorer, PCTStrategy
+from repro.engine import Outcome, RandomStrategy, RoundRobinStrategy, execute
+from repro.runtime import Atomic, Program, SharedVar
+
+import random
+
+
+def two_writer_program():
+    def setup():
+        return SimpleNamespace(x=SharedVar(0, "x"))
+
+    def writer_a(ctx, sh):
+        yield ctx.store(sh.x, 1, site="A")
+
+    def writer_b(ctx, sh):
+        yield ctx.store(sh.x, 2, site="B")
+
+    def main(ctx, sh):
+        a = yield ctx.spawn(writer_a)
+        b = yield ctx.spawn(writer_b)
+        yield ctx.join(a)
+        yield ctx.join(b)
+
+    return Program("two-writers", setup, main)
+
+
+class TestPairRecorder:
+    def test_records_conflicting_adjacent_pairs(self):
+        program = two_writer_program()
+        rec = _PairRecorder()
+        execute(program, RoundRobinStrategy(), observers=(rec,), record_enabled=False)
+        # RR order: A then B on the same location.
+        assert ("A", "B") in rec.pairs
+
+    def test_same_thread_pairs_ignored(self):
+        def setup():
+            return SimpleNamespace(x=SharedVar(0, "x"))
+
+        def main(ctx, sh):
+            yield ctx.store(sh.x, 1, site="p")
+            yield ctx.store(sh.x, 2, site="q")
+
+        rec = _PairRecorder()
+        execute(
+            Program("solo", setup, main),
+            RoundRobinStrategy(),
+            observers=(rec,),
+            record_enabled=False,
+        )
+        assert not rec.pairs
+
+    def test_read_read_pairs_ignored(self):
+        def setup():
+            return SimpleNamespace(x=SharedVar(7, "x"))
+
+        def reader(ctx, sh, tag):
+            yield ctx.load(sh.x, site=tag)
+
+        def main(ctx, sh):
+            a = yield ctx.spawn(reader, "ra")
+            b = yield ctx.spawn(reader, "rb")
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        rec = _PairRecorder()
+        execute(
+            Program("readers", setup, main),
+            RoundRobinStrategy(),
+            observers=(rec,),
+            record_enabled=False,
+        )
+        assert not rec.pairs
+
+    def test_resets_between_executions(self):
+        program = two_writer_program()
+        rec = _PairRecorder()
+        execute(program, RoundRobinStrategy(), observers=(rec,), record_enabled=False)
+        n = len(rec.pairs)
+        execute(program, RoundRobinStrategy(), observers=(rec,), record_enabled=False)
+        assert len(rec.pairs) == n  # same pairs, accumulated set unchanged
+
+
+class TestActiveStrategy:
+    def test_forces_flipped_order(self):
+        # Force B before A: the strategy stalls the thread poised at A.
+        program = two_writer_program()
+        strategy = _ActiveStrategy(("B", "A"))
+        rec = _PairRecorder()
+        result = execute(
+            program, strategy, observers=(strategy, rec), record_enabled=False
+        )
+        assert result.outcome is Outcome.OK
+        assert ("B", "A") in rec.pairs
+
+    def test_gives_up_after_stall_budget(self):
+        # Idiom whose first site never executes: the strategy must not
+        # livelock — the stall budget releases the default choice.
+        program = two_writer_program()
+        strategy = _ActiveStrategy(("never", "A"), stall_budget=3)
+        result = execute(
+            program, strategy, observers=(strategy,), record_enabled=False
+        )
+        assert result.outcome is Outcome.OK
+
+
+class TestPCTStrategy:
+    def test_priorities_assigned_lazily_and_stably(self):
+        rng = random.Random(0)
+        s = PCTStrategy(rng, k_estimate=10, depth=3)
+        s.on_execution_start()
+        p1 = s._priority(1)
+        assert s._priority(1) == p1
+        assert 1.0 < p1 < 2.0
+
+    def test_change_points_sampled_within_k(self):
+        rng = random.Random(1)
+        s = PCTStrategy(rng, k_estimate=5, depth=4)
+        s.on_execution_start()
+        assert len(s.change_points) == 3
+        assert all(1 <= p <= 5 for p in s.change_points)
+
+    def test_demotion_below_initial_priorities(self):
+        rng = random.Random(2)
+        s = PCTStrategy(rng, k_estimate=10, depth=2)
+        s.on_execution_start()
+        s.change_points = {0}
+
+        class FakeKernel:
+            num_created = 3
+
+        chosen = s.choose(0, (1, 2), 0, FakeKernel())
+        assert s.priorities[chosen] < 1.0  # demoted below every initial
+
+    def test_depth_one_has_no_change_points(self):
+        rng = random.Random(3)
+        s = PCTStrategy(rng, k_estimate=10, depth=1)
+        s.on_execution_start()
+        assert not s.change_points
+
+
+class TestPCTExplorer:
+    def test_finds_priority_sensitive_bug(self):
+        # A bug that fires when the second thread runs entirely first —
+        # priority orderings hit it quickly.
+        def setup():
+            return SimpleNamespace(flag=Atomic(0, "flag"))
+
+        def first(ctx, sh):
+            yield ctx.atomic_store(sh.flag, 1)
+
+        def second(ctx, sh):
+            v = yield ctx.atomic_load(sh.flag)
+            ctx.check(v == 1, "ran before initialisation")
+
+        def main(ctx, sh):
+            a = yield ctx.spawn(first)
+            b = yield ctx.spawn(second)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        program = Program("prio", setup, main)
+        stats = PCTExplorer(depth=1, seed=5).explore(program, 200)
+        assert stats.found_bug
+
+    def test_stats_technique_label(self):
+        program = two_writer_program()
+        stats = PCTExplorer(depth=2, seed=1).explore(program, 20)
+        assert stats.technique == "PCT"
+        assert stats.schedules == 20

@@ -1,0 +1,103 @@
+"""Program construction and engine failure-injection edge cases."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import Outcome, RoundRobinStrategy, execute
+from repro.runtime import Program, RuntimeUsageError, SharedVar
+
+
+class TestProgramValidation:
+    def test_rejects_non_callable_setup(self):
+        with pytest.raises(TypeError):
+            Program("p", None, lambda ctx, sh: None)
+
+    def test_rejects_non_callable_main(self):
+        with pytest.raises(TypeError):
+            Program("p", lambda: None, None)
+
+    def test_repr(self):
+        p = Program("demo", lambda: None, lambda ctx, sh: iter(()))
+        assert "demo" in repr(p)
+
+
+class TestFailureInjection:
+    def test_setup_exception_propagates(self):
+        # A crashing setup() is a harness bug, not a concurrency bug: it
+        # must propagate, not become a buggy outcome.
+        def setup():
+            raise RuntimeError("broken setup")
+
+        def main(ctx, sh):
+            yield ctx.sched_yield()
+
+        with pytest.raises(RuntimeError, match="broken setup"):
+            execute(Program("bad-setup", setup, main), RoundRobinStrategy())
+
+    def test_main_not_generator_rejected(self):
+        def setup():
+            return SimpleNamespace()
+
+        def main(ctx, sh):
+            return 42
+
+        with pytest.raises(RuntimeUsageError):
+            execute(Program("not-gen", setup, main), RoundRobinStrategy())
+
+    def test_crash_in_invisible_prefix_of_spawned_thread(self):
+        # A child that crashes before its first visible op: the crash
+        # happens inside the spawner's step and must surface as a CRASH
+        # outcome attributed to the execution, not an engine error.
+        def setup():
+            return SimpleNamespace(x=SharedVar(0, "x"))
+
+        def child(ctx, sh):
+            _ = 1 // 0  # crashes during the spawn-time advance
+            yield ctx.sched_yield()
+
+        def main(ctx, sh):
+            h = yield ctx.spawn(child)
+            yield ctx.join(h)
+
+        result = execute(Program("prefix-crash", setup, main), RoundRobinStrategy())
+        assert result.outcome is Outcome.CRASH
+        assert "ZeroDivisionError" in str(result.bug)
+
+    def test_thread_return_value_none_by_default(self):
+        def setup():
+            return SimpleNamespace()
+
+        def child(ctx, sh):
+            yield ctx.sched_yield()
+
+        def main(ctx, sh):
+            h = yield ctx.spawn(child)
+            v = yield ctx.join(h)
+            ctx.check(v is None)
+
+        assert (
+            execute(Program("ret-none", setup, main), RoundRobinStrategy()).outcome
+            is Outcome.OK
+        )
+
+    def test_check_passes_quietly(self):
+        def setup():
+            return SimpleNamespace()
+
+        def main(ctx, sh):
+            ctx.check(True, "never shown")
+            yield ctx.sched_yield()
+
+        assert (
+            execute(Program("check-ok", setup, main), RoundRobinStrategy()).outcome
+            is Outcome.OK
+        )
+
+    def test_await_on_mutex_rejected_eagerly(self):
+        from repro.runtime import Mutex
+        from repro.runtime.context import ThreadContext
+
+        ctx = ThreadContext(0)
+        with pytest.raises(RuntimeUsageError, match="await_value target"):
+            ctx.await_value(Mutex("m"), lambda v: True)

@@ -1,0 +1,281 @@
+"""Hypothesis property tests on the engine, the bounds, and the explorers.
+
+Random small programs are generated as *op scripts*: each thread gets a
+sequence of abstract actions over a small pool of shared variables,
+mutexes, and semaphores.  The invariants:
+
+- executing is deterministic: replaying a recorded schedule reproduces the
+  identical outcome, schedule and step count;
+- ``DC(α) ≥ PC(α)`` for every recorded schedule (section 2's containment);
+- unbounded DFS enumerates each terminal schedule exactly once, and the
+  set matches an independent brute-force enumeration;
+- bounded DFS enumerates exactly the cost-filtered subset, monotone in the
+  bound;
+- the FastTrack detector agrees with a naive O(n²) happens-before oracle
+  on which locations are racy.
+"""
+
+from types import SimpleNamespace
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DELAY, PREEMPTION, BoundedDFS
+from repro.core.bounds import NoBoundCost
+from repro.core.schedule import Schedule
+from repro.engine import (
+    ExecutionObserver,
+    RandomStrategy,
+    ReplayStrategy,
+    RoundRobinStrategy,
+    execute,
+)
+from repro.racedetect import FastTrackDetector, location_of
+from repro.runtime import Mutex, Program, Semaphore, SharedVar
+from repro.runtime.ops import OpKind
+
+# --- program generation -----------------------------------------------------
+
+N_VARS = 2
+N_MUTEXES = 2
+
+Action = Tuple[str, int]
+
+# Action vocabulary: (kind, object index).
+action_st = st.one_of(
+    st.tuples(st.just("load"), st.integers(0, N_VARS - 1)),
+    st.tuples(st.just("store"), st.integers(0, N_VARS - 1)),
+    st.tuples(st.just("incr"), st.integers(0, N_VARS - 1)),
+    st.tuples(st.just("lock_unlock"), st.integers(0, N_MUTEXES - 1)),
+    st.tuples(st.just("sem_post"), st.just(0)),
+    st.tuples(st.just("yield"), st.just(0)),
+)
+
+thread_st = st.lists(action_st, min_size=1, max_size=3)
+# Keep the total step budget small: brute-force enumeration is exponential
+# in the interleaving count.
+program_st = st.lists(thread_st, min_size=1, max_size=3).filter(
+    lambda ts: sum(len(t) for t in ts) <= 6
+    and sum(2 if a[0] in ("incr", "lock_unlock") else 1 for t in ts for a in t) <= 7
+)
+
+
+def build_program(threads: List[List[Action]], name: str = "generated") -> Program:
+    """Turn an action script into a Program (deterministic by design)."""
+
+    def setup():
+        return SimpleNamespace(
+            vars=[SharedVar(0, f"v{i}") for i in range(N_VARS)],
+            mutexes=[Mutex(f"m{i}") for i in range(N_MUTEXES)],
+            sem=Semaphore(0, "sem"),
+        )
+
+    def worker(ctx, sh, script, wid):
+        for j, (kind, idx) in enumerate(script):
+            site = f"w{wid}:{j}:{kind}{idx}"
+            if kind == "load":
+                yield ctx.load(sh.vars[idx], site=site)
+            elif kind == "store":
+                yield ctx.store(sh.vars[idx], wid * 100 + j, site=site)
+            elif kind == "incr":
+                v = yield ctx.load(sh.vars[idx], site=site + ":r")
+                yield ctx.store(sh.vars[idx], v + 1, site=site + ":w")
+            elif kind == "lock_unlock":
+                yield ctx.lock(sh.mutexes[idx], site=site + ":l")
+                yield ctx.unlock(sh.mutexes[idx], site=site + ":u")
+            elif kind == "sem_post":
+                yield ctx.sem_post(sh.sem, site=site)
+            elif kind == "yield":
+                yield ctx.sched_yield(site=site)
+
+    def main(ctx, sh):
+        handles = []
+        for wid, script in enumerate(threads):
+            handles.append((yield ctx.spawn(worker, script, wid)))
+        for h in handles:
+            yield ctx.join(h)
+
+    return Program(name, setup, main)
+
+
+def brute_force(program, cap=5_000):
+    results = []
+
+    def explore(prefix):
+        assert len(results) <= cap
+        res = execute(
+            program, ReplayStrategy(prefix, fallback=RoundRobinStrategy())
+        )
+        if len(res.schedule) == len(prefix):
+            results.append(res)
+            return
+        for tid in res.enabled_sets[len(prefix)]:
+            explore(prefix + [tid])
+
+    explore([])
+    return results
+
+
+compact = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --- determinism ---------------------------------------------------------------
+
+
+class TestDeterminism:
+    @given(threads=program_st, seed=st.integers(0, 2**16))
+    @compact
+    def test_replay_reproduces_everything(self, threads, seed):
+        program = build_program(threads)
+        first = execute(program, RandomStrategy(seed=seed))
+        again = execute(program, ReplayStrategy(first.schedule, strict=True))
+        assert again.outcome is first.outcome
+        assert again.schedule == first.schedule
+        assert again.steps == first.steps
+        assert again.enabled_sets == first.enabled_sets
+
+    @given(threads=program_st)
+    @compact
+    def test_round_robin_is_self_consistent(self, threads):
+        program = build_program(threads)
+        a = execute(program, RoundRobinStrategy())
+        b = execute(program, RoundRobinStrategy())
+        assert a.schedule == b.schedule
+        assert a.outcome is b.outcome
+
+
+# --- bound mathematics ---------------------------------------------------------
+
+
+class TestBoundProperties:
+    @given(threads=program_st, seed=st.integers(0, 2**16))
+    @compact
+    def test_delay_count_dominates_preemption_count(self, threads, seed):
+        program = build_program(threads)
+        result = execute(program, RandomStrategy(seed=seed))
+        sched = Schedule.from_result(result)
+        assert sched.delays >= sched.preemptions
+
+    @given(threads=program_st)
+    @compact
+    def test_round_robin_schedule_has_zero_cost(self, threads):
+        program = build_program(threads)
+        result = execute(program, RoundRobinStrategy())
+        sched = Schedule.from_result(result)
+        assert sched.preemptions == 0
+        assert sched.delays == 0
+
+
+# --- DFS completeness ------------------------------------------------------------
+
+
+class TestDFSProperties:
+    @given(threads=program_st)
+    @compact
+    def test_dfs_matches_brute_force_exactly_once(self, threads):
+        program = build_program(threads)
+        brute = {tuple(r.schedule) for r in brute_force(program)}
+        seen = []
+        for record in BoundedDFS(program, NoBoundCost(), None).runs():
+            seen.append(tuple(record.result.schedule))
+            assert len(seen) <= len(brute)
+        assert len(seen) == len(set(seen))
+        assert set(seen) == brute
+
+    @given(threads=program_st, bound=st.integers(0, 2))
+    @compact
+    def test_bounded_dfs_is_cost_filter(self, threads, bound):
+        program = build_program(threads)
+        brute = brute_force(program)
+        for cost_model, attr in ((PREEMPTION, "preemptions"), (DELAY, "delays")):
+            expected = {
+                tuple(r.schedule)
+                for r in brute
+                if getattr(Schedule.from_result(r), attr) <= bound
+            }
+            got = set()
+            for record in BoundedDFS(program, cost_model, bound).runs():
+                got.add(tuple(record.result.schedule))
+                # incremental cost equals the post-hoc count
+                assert record.cost == getattr(
+                    Schedule.from_result(record.result), attr
+                )
+            assert got == expected
+
+    @given(threads=program_st)
+    @compact
+    def test_delay_bounded_subset_of_preemption_bounded(self, threads):
+        program = build_program(threads)
+        for bound in (0, 1):
+            pb = {
+                tuple(r.result.schedule)
+                for r in BoundedDFS(program, PREEMPTION, bound).runs()
+            }
+            db = {
+                tuple(r.result.schedule)
+                for r in BoundedDFS(program, DELAY, bound).runs()
+            }
+            assert db <= pb
+
+
+# --- race detection vs naive oracle -----------------------------------------------
+
+
+class _NaiveHB(ExecutionObserver):
+    """O(n²) happens-before oracle: full vector clock snapshot per access."""
+
+    def __init__(self) -> None:
+        self.detector = FastTrackDetector()  # reuse sync-edge bookkeeping
+        self.accesses = []  # (location, tid, vc-snapshot, is_write)
+
+    def on_start(self, shared):
+        self.detector.on_start(shared)
+        self.accesses = []
+
+    def on_wake(self, waker, woken, obj):
+        self.detector.on_wake(waker, woken, obj)
+
+    def on_step(self, tid, op, result, visible):
+        from repro.runtime.objects import Atomic
+
+        if op.kind in (OpKind.LOAD, OpKind.STORE) and not isinstance(
+            op.target, Atomic
+        ):
+            vc = self.detector._clock(tid).copy()
+            self.accesses.append((location_of(op), tid, vc, op.kind is OpKind.STORE))
+        # Feed sync ops (and the accesses themselves) to the embedded
+        # detector *after* snapshotting, so its clocks advance identically.
+        self.detector.on_step(tid, op, result, visible)
+
+    def racy_locations(self):
+        racy = set()
+        for i, (loc_a, tid_a, vc_a, w_a) in enumerate(self.accesses):
+            for loc_b, tid_b, vc_b, w_b in self.accesses[i + 1 :]:
+                if loc_a != loc_b or tid_a == tid_b or not (w_a or w_b):
+                    continue
+                if not (vc_a.leq(vc_b) or vc_b.leq(vc_a)):
+                    racy.add(loc_a)
+        return racy
+
+
+class TestFastTrackAgainstOracle:
+    @given(threads=program_st, seed=st.integers(0, 2**12))
+    @compact
+    def test_racy_location_sets_agree(self, threads, seed):
+        program = build_program(threads)
+        fast = FastTrackDetector()
+        naive = _NaiveHB()
+        execute(
+            program,
+            RandomStrategy(seed=seed),
+            observers=(fast, naive),
+            record_enabled=False,
+        )
+        fast_locs = {r.location for r in fast.races}
+        assert fast_locs == naive.racy_locations()

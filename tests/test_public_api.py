@@ -1,0 +1,63 @@
+"""Public-API hygiene: every advertised name exists and is importable."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.runtime",
+    "repro.engine",
+    "repro.core",
+    "repro.racedetect",
+    "repro.sctbench",
+    "repro.study",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), module_name
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_convenience_names():
+    import repro
+
+    for name in (
+        "Program",
+        "Mutex",
+        "SharedVar",
+        "execute",
+        "replay",
+        "make_ipb",
+        "make_idb",
+        "DFSExplorer",
+        "RandomExplorer",
+        "MapleAlgExplorer",
+        "PCTExplorer",
+        "Schedule",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])
+
+
+def test_docstrings_on_public_callables():
+    """Every public callable in the core packages carries a docstring."""
+    import inspect
+
+    for module_name in MODULES[1:]:
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,293 @@
+"""FastTrack race detection: unit tests plus a naive happens-before oracle."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import DFSExplorer
+from repro.engine import RandomStrategy, RoundRobinStrategy, execute
+from repro.racedetect import FastTrackDetector, VectorClock, detect_races
+from repro.runtime import Atomic, Barrier, CondVar, Mutex, Program, Semaphore, SharedArray, SharedVar
+
+from .programs import (
+    barrier_rendezvous,
+    producer_consumer_sem,
+    safe_counter,
+    unsafe_counter,
+)
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        vc = VectorClock()
+        assert vc.get(3) == 0
+        vc.tick(3)
+        assert vc.get(3) == 1
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({0: 2, 1: 5})
+        b = VectorClock({1: 3, 2: 7})
+        a.join(b)
+        assert a.clocks == {0: 2, 1: 5, 2: 7}
+
+    def test_covers_epoch(self):
+        vc = VectorClock({1: 4})
+        assert vc.covers_epoch((1, 4))
+        assert vc.covers_epoch((1, 3))
+        assert not vc.covers_epoch((1, 5))
+        assert vc.covers_epoch((9, 0))
+
+    def test_leq(self):
+        assert VectorClock({0: 1}).leq(VectorClock({0: 2, 1: 1}))
+        assert not VectorClock({0: 3}).leq(VectorClock({0: 2}))
+
+    def test_eq_ignores_zero_entries(self):
+        assert VectorClock({0: 1, 1: 0}) == VectorClock({0: 1})
+
+
+def detect_with_runs(program, runs=10, seed=0):
+    return detect_races(program, runs=runs, seed=seed)
+
+
+class TestDetection:
+    def test_racy_counter_detected(self):
+        report = detect_with_runs(unsafe_counter())
+        assert report.has_races
+        # Both the load and the store sites participate.
+        assert any("counter:load" in s for s in report.racy_sites)
+        assert any("counter:store" in s for s in report.racy_sites)
+
+    def test_locked_counter_clean(self):
+        report = detect_with_runs(safe_counter())
+        assert not report.has_races
+
+    def test_fork_join_order_is_not_a_race(self):
+        def setup():
+            return SimpleNamespace(x=SharedVar(0, "x"))
+
+        def child(ctx, sh):
+            yield ctx.store(sh.x, 1)
+
+        def main(ctx, sh):
+            yield ctx.store(sh.x, 5)
+            h = yield ctx.spawn(child)
+            yield ctx.join(h)
+            v = yield ctx.load(sh.x)
+            ctx.check(v == 1)
+
+        report = detect_with_runs(Program("forkjoin", setup, main))
+        assert not report.has_races
+
+    def test_barrier_orders_accesses(self):
+        report = detect_with_runs(barrier_rendezvous(3))
+        assert not report.has_races
+
+    def test_semaphore_orders_accesses(self):
+        report = detect_with_runs(producer_consumer_sem(2))
+        assert not report.has_races
+
+    def test_condvar_signal_orders_accesses(self):
+        def setup():
+            return SimpleNamespace(
+                m=Mutex("m"), cv=CondVar("cv"), ready=SharedVar(0, "ready"),
+                data=SharedVar(0, "data"),
+            )
+
+        def producer(ctx, sh):
+            yield ctx.store(sh.data, 99)
+            yield ctx.lock(sh.m)
+            yield ctx.store(sh.ready, 1)
+            yield ctx.cond_signal(sh.cv)
+            yield ctx.unlock(sh.m)
+
+        def consumer(ctx, sh):
+            yield ctx.lock(sh.m)
+            while True:
+                r = yield ctx.load(sh.ready)
+                if r:
+                    break
+                yield ctx.cond_wait(sh.cv, sh.m)
+            yield ctx.unlock(sh.m)
+            v = yield ctx.load(sh.data)
+            ctx.check(v == 99)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(consumer)
+            h2 = yield ctx.spawn(producer)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("cv_order", setup, main))
+        assert not report.has_races
+
+    def test_atomic_flag_synchronises_plain_data(self):
+        # The classic message-passing idiom with an SC-atomic flag: the
+        # plain payload accesses are ordered, hence race-free.
+        def setup():
+            return SimpleNamespace(flag=Atomic(0, "flag"), data=SharedVar(0, "data"))
+
+        def producer(ctx, sh):
+            yield ctx.store(sh.data, 7)
+            yield ctx.atomic_store(sh.flag, 1)
+
+        def consumer(ctx, sh):
+            yield ctx.await_equal(sh.flag, 1)
+            v = yield ctx.load(sh.data)
+            ctx.check(v == 7)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(producer)
+            h2 = yield ctx.spawn(consumer)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("mp_atomic", setup, main))
+        assert not report.has_races
+
+    def test_busy_wait_flag_on_plain_var_is_racy(self):
+        # Ad-hoc busy-wait on a *plain* variable: the paper found this
+        # pattern everywhere — the flag itself races, the payload does too
+        # under a pure happens-before model.
+        def setup():
+            return SimpleNamespace(flag=SharedVar(0, "flag"), data=SharedVar(0, "data"))
+
+        def producer(ctx, sh):
+            yield ctx.store(sh.data, 7)
+            yield ctx.store(sh.flag, 1, site="flag:set")
+
+        def consumer(ctx, sh):
+            yield ctx.await_equal(sh.flag, 1, site="flag:spin")
+            v = yield ctx.load(sh.data)
+            ctx.check(v == 7)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(producer)
+            h2 = yield ctx.spawn(consumer)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("mp_racy", setup, main))
+        assert report.has_races
+        assert "flag:set" in report.racy_sites
+        assert "flag:spin" in report.racy_sites
+
+    def test_array_races_are_per_element(self):
+        def setup():
+            return SimpleNamespace(a=SharedArray(4, 0, "arr"))
+
+        def disjoint(ctx, sh, idx):
+            yield ctx.store_elem(sh.a, idx, 1, site=f"w{idx}")
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(disjoint, 0)
+            h2 = yield ctx.spawn(disjoint, 1)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("disjoint_elems", setup, main))
+        assert not report.has_races
+
+        def overlapping_main(ctx, sh):
+            h1 = yield ctx.spawn(disjoint, 2)
+            h2 = yield ctx.spawn(disjoint, 2)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("same_elem", setup, overlapping_main))
+        assert report.has_races
+
+    def test_read_read_is_never_a_race(self):
+        def setup():
+            return SimpleNamespace(x=SharedVar(3, "x"))
+
+        def reader(ctx, sh):
+            v = yield ctx.load(sh.x)
+            ctx.check(v == 3)
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(reader)
+            h2 = yield ctx.spawn(reader)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        report = detect_with_runs(Program("rr", setup, main))
+        assert not report.has_races
+
+    def test_shared_readers_then_write_detected(self):
+        # Two concurrent readers force FastTrack's SHARED inflation; an
+        # unordered write must then race against the read vector clock.
+        def setup():
+            return SimpleNamespace(x=SharedVar(0, "x"))
+
+        def reader(ctx, sh):
+            yield ctx.load(sh.x, site="r:load")
+
+        def writer(ctx, sh):
+            yield ctx.store(sh.x, 1, site="w:store")
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(reader)
+            h2 = yield ctx.spawn(reader)
+            h3 = yield ctx.spawn(writer)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+            yield ctx.join(h3)
+
+        report = detect_with_runs(Program("rrw", setup, main))
+        assert report.has_races
+        assert "w:store" in report.racy_sites
+
+
+class TestVisibleFilter:
+    def test_filter_promotes_only_racy_sites(self):
+        program = unsafe_counter()
+        report = detect_with_runs(program)
+        is_visible = report.visible_filter()
+        from repro.runtime import SharedVar as SV
+        from repro.runtime.context import ThreadContext
+
+        ctx = ThreadContext(0)
+        x = SV(0, "whatever")
+        racy_site = next(iter(report.racy_sites))
+        assert is_visible(ctx.load(x, site=racy_site))
+        assert not is_visible(ctx.load(x, site="definitely-not-racy"))
+
+    def test_filter_shrinks_schedule_space(self):
+        # With no races promoted the counter is schedule-deterministic up
+        # to sync ops only; all accesses visible explodes the space.
+        program = unsafe_counter(workers=2, increments=2)
+        all_visible = DFSExplorer(visible_filter=None).explore(program, 10_000)
+        nothing_visible = DFSExplorer(visible_filter=lambda op: False).explore(
+            program, 10_000
+        )
+        assert nothing_visible.schedules < all_visible.schedules
+
+    def test_bug_found_under_racy_filter(self):
+        # The end-to-end methodology: detect races, then DFS with the racy
+        # filter still exposes the lost update.
+        program = unsafe_counter()
+        report = detect_with_runs(program)
+        stats = DFSExplorer(visible_filter=report.visible_filter()).explore(
+            program, 10_000
+        )
+        assert stats.found_bug
+
+
+class TestDetectorReuse:
+    def test_races_accumulate_across_runs_without_duplicates(self):
+        program = unsafe_counter()
+        detector = FastTrackDetector()
+        for seed in range(10):
+            execute(
+                program,
+                RandomStrategy(seed=seed),
+                observers=(detector,),
+                record_enabled=False,
+            )
+        keys = [r.key() for r in detector.races]
+        assert len(keys) == len(set(keys))
+
+    def test_no_race_on_round_robin_only_run_of_safe_program(self):
+        detector = FastTrackDetector()
+        execute(safe_counter(), RoundRobinStrategy(), observers=(detector,))
+        assert not detector.races

@@ -1,0 +1,93 @@
+"""The non-systematic techniques: Rand, PCT, and the simplified MapleAlg."""
+
+import pytest
+
+from repro.core import MapleAlgExplorer, PCTExplorer, RandomExplorer
+from repro.engine import Outcome
+
+from .programs import (
+    figure1,
+    lock_order_deadlock,
+    safe_counter,
+    unsafe_counter,
+)
+
+
+class TestRandomExplorer:
+    def test_finds_figure1_bug(self):
+        stats = RandomExplorer(seed=1).explore(figure1(), limit=2_000)
+        assert stats.found_bug
+        assert stats.first_bug.outcome is Outcome.ASSERTION
+
+    def test_never_completes(self):
+        # Rand saves nothing between runs, so the search cannot "complete"
+        # even for tiny schedule spaces (section 3).
+        stats = RandomExplorer(seed=1).explore(figure1(), limit=100)
+        assert not stats.completed
+        assert stats.schedules == 100
+
+    def test_deterministic_given_seed(self):
+        a = RandomExplorer(seed=7).explore(figure1(), limit=200)
+        b = RandomExplorer(seed=7).explore(figure1(), limit=200)
+        assert a.schedules_to_first_bug == b.schedules_to_first_bug
+        assert a.buggy_schedules == b.buggy_schedules
+
+    def test_different_seeds_differ_eventually(self):
+        outcomes = {
+            RandomExplorer(seed=s).explore(figure1(), limit=50).buggy_schedules
+            for s in range(6)
+        }
+        assert len(outcomes) > 1
+
+    def test_no_bug_in_safe_program(self):
+        stats = RandomExplorer(seed=3).explore(safe_counter(2), limit=300)
+        assert not stats.found_bug
+        assert stats.buggy_schedules == 0
+
+    def test_bug_report_replayable(self):
+        from repro.engine import replay
+
+        program = lock_order_deadlock()
+        stats = RandomExplorer(seed=5).explore(program, limit=2_000)
+        assert stats.found_bug
+        again = replay(program, stats.first_bug.schedule)
+        assert again.outcome is Outcome.DEADLOCK
+
+
+class TestPCT:
+    def test_finds_figure1_bug(self):
+        stats = PCTExplorer(depth=2, seed=11).explore(figure1(), limit=2_000)
+        assert stats.found_bug
+
+    def test_depth_one_is_priority_only(self):
+        # With d=1 there are no change points; the bug (which needs one
+        # preemption) can still surface via priority orderings that
+        # interleave e between b and c only if priorities alone suffice —
+        # for figure1 they do not (threads run to completion by priority),
+        # so depth 1 must miss the bug.
+        stats = PCTExplorer(depth=1, seed=11).explore(figure1(), limit=500)
+        assert not stats.found_bug
+
+    def test_no_false_positives(self):
+        stats = PCTExplorer(depth=3, seed=2).explore(safe_counter(2), limit=300)
+        assert not stats.found_bug
+
+
+class TestMapleAlg:
+    def test_finds_racy_counter_bug(self):
+        stats = MapleAlgExplorer(seed=3).explore(unsafe_counter(), limit=500)
+        assert stats.found_bug
+
+    def test_terminates_by_its_own_heuristics_on_safe_program(self):
+        stats = MapleAlgExplorer(seed=3).explore(safe_counter(2), limit=500)
+        assert not stats.found_bug
+        # MapleAlg stops when no untested idioms remain, well below the cap.
+        assert stats.completed
+        assert stats.schedules < 500
+
+    def test_schedules_counted(self):
+        stats = MapleAlgExplorer(seed=3, profile_runs=4).explore(
+            unsafe_counter(), limit=500
+        )
+        assert stats.schedules >= 1
+        assert stats.executions == stats.schedules + stats.step_limit_hits

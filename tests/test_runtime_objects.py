@@ -1,0 +1,162 @@
+"""Direct unit tests for runtime shared objects and op records."""
+
+import pytest
+
+from repro.runtime import (
+    Atomic,
+    Barrier,
+    CondVar,
+    GuardMode,
+    MemorySafetyBug,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SharedArray,
+    SharedVar,
+)
+from repro.runtime.context import ThreadContext
+from repro.runtime.errors import RuntimeUsageError
+from repro.runtime.objects import reset_anon_counter, snapshot
+from repro.runtime.ops import (
+    BLOCKING_KINDS,
+    DATA_KINDS,
+    SYNC_KINDS,
+    Op,
+    OpKind,
+    noop_op,
+    reacquire_op,
+)
+
+
+class TestNaming:
+    def test_explicit_names_kept(self):
+        assert Mutex("my-lock").name == "my-lock"
+
+    def test_auto_names_unique(self):
+        a, b = Mutex(), Mutex()
+        assert a.name != b.name
+
+    def test_reset_makes_names_deterministic(self):
+        reset_anon_counter()
+        first = [Mutex().name, SharedVar().name]
+        reset_anon_counter()
+        second = [Mutex().name, SharedVar().name]
+        assert first == second
+
+
+class TestObjects:
+    def test_mutex_initially_free(self):
+        m = Mutex("m")
+        assert not m.locked
+        m.owner = 3
+        assert m.locked
+
+    def test_semaphore_rejects_negative(self):
+        with pytest.raises(RuntimeUsageError):
+            Semaphore(-1)
+
+    def test_barrier_rejects_zero_parties(self):
+        with pytest.raises(RuntimeUsageError):
+            Barrier(0)
+
+    def test_shared_array_initial_sequence(self):
+        a = SharedArray(3, [7, 8, 9], "a")
+        assert a.cells == [7, 8, 9]
+        with pytest.raises(RuntimeUsageError):
+            SharedArray(2, [1, 2, 3])
+
+    def test_snapshot_helper(self):
+        objs = [SharedVar(5, "v"), Atomic(6, "a"), Mutex("m"), Semaphore(2, "s")]
+        snap = snapshot(objs)
+        assert snap == {"v": 5, "a": 6, "m": None, "s": 2}
+
+
+class TestSharedArrayGuards:
+    def test_strict_mode_raises_wild_oob(self):
+        a = SharedArray(2, 0, "a", guard=GuardMode.STRICT)
+        with pytest.raises(MemorySafetyBug):
+            a.read(5)
+
+    def test_detect_mode_raises_named_error(self):
+        a = SharedArray(2, 0, "a", guard=GuardMode.DETECT)
+        with pytest.raises(MemorySafetyBug) as exc:
+            a.write(2, 1)
+        assert "out-of-bounds write" in str(exc.value)
+
+    def test_corrupt_mode_silently_redirects_small_overruns(self):
+        a = SharedArray(2, 0, "a", guard=GuardMode.CORRUPT, guard_slack=2)
+        a.write(2, 99)  # one past the end: lands in the guard zone
+        assert a.corrupted
+        assert a.read(2) == 99
+        assert a.cells == [0, 0]
+
+    def test_corrupt_mode_still_raises_for_wild_access(self):
+        a = SharedArray(2, 0, "a", guard=GuardMode.CORRUPT, guard_slack=2)
+        with pytest.raises(MemorySafetyBug):
+            a.write(50, 1)
+
+    def test_in_bounds_always_fine(self):
+        for mode in GuardMode:
+            a = SharedArray(2, 0, "a", guard=mode)
+            a.write(1, 5)
+            assert a.read(1) == 5
+            assert not a.corrupted
+
+
+class TestOpRecords:
+    def test_kind_partitions(self):
+        # every kind is sync xor data
+        for kind in OpKind:
+            assert (kind in SYNC_KINDS) != (kind in DATA_KINDS), kind
+
+    def test_blocking_kinds_are_sync(self):
+        assert BLOCKING_KINDS <= SYNC_KINDS
+
+    def test_context_builds_sites_automatically(self):
+        ctx = ThreadContext(0)
+        op = ctx.load(SharedVar(0, "v"))
+        assert op.site.startswith("test_runtime_objects.py:")
+
+    def test_explicit_site_wins(self):
+        ctx = ThreadContext(0)
+        op = ctx.store(SharedVar(0, "v"), 1, site="here")
+        assert op.site == "here"
+
+    def test_write_classification(self):
+        ctx = ThreadContext(0)
+        v, a = SharedVar(0, "v"), Atomic(0, "a")
+        assert ctx.store(v, 1).is_write
+        assert not ctx.load(v).is_write
+        assert ctx.fetch_add(a).is_write
+        assert ctx.cas(a, 0, 1).is_write
+
+    def test_engine_internal_constructors(self):
+        assert noop_op().kind is OpKind.NOOP
+        m = Mutex("m")
+        op = reacquire_op(m)
+        assert op.kind is OpKind.REACQUIRE
+        assert op.target is m
+
+    def test_spawn_many_specs(self):
+        def body(ctx, sh):
+            yield ctx.sched_yield()
+
+        ctx = ThreadContext(0)
+        op = ctx.spawn_many(body, (body, 1, 2))
+        assert op.kind is OpKind.SPAWN_MANY
+        assert op.arg[0] == (body, ())
+        assert op.arg[1] == (body, (1, 2))
+
+    def test_op_repr_smoke(self):
+        op = Op(OpKind.LOCK, target=Mutex("m"), site="s")
+        assert "LOCK" in repr(op)
+
+
+class TestCondVarAndRWLockState:
+    def test_condvar_waiters_list(self):
+        cv = CondVar("cv")
+        assert cv.waiters == []
+
+    def test_rwlock_state(self):
+        rw = RWLock("rw")
+        assert rw.readers == [] and rw.writer is None

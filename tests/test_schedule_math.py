@@ -1,0 +1,200 @@
+"""Schedule mathematics: paper section-2 definitions and worked examples.
+
+These tests pin our model to the paper's numbers:
+
+- ``distance``/``delays`` micro-example: last=3, enabled={0,2,3,4}, N=5
+  ⇒ delays(α,2) = 3;
+- Example 1/2 on Figure 1: the bug needs ≥1 preemption; a preemption bound
+  of one yields **11** terminal schedules while a delay bound of one yields
+  only **4**; with T2 cloned from T1 the bug needs two delays but still one
+  preemption, and each extra clone adds one required delay.
+"""
+
+import pytest
+
+from repro.core import (
+    DELAY,
+    PREEMPTION,
+    BoundedDFS,
+    Schedule,
+    delay_count,
+    delay_increment,
+    distance,
+    preemption_count,
+    preemption_increment,
+)
+from repro.core.schedule import context_switch_flags
+from repro.engine import Outcome, RoundRobinStrategy, execute
+
+from .programs import figure1
+
+
+def enumerate_bounded(program, cost_model, bound, max_runs=100_000):
+    """All terminal results with cost ≤ bound, via bounded DFS."""
+    out = []
+    dfs = BoundedDFS(program, cost_model, bound)
+    for record in dfs.runs():
+        if record.result.outcome.is_terminal_schedule:
+            out.append(record)
+        assert len(out) <= max_runs
+    return out
+
+
+class TestPrimitives:
+    def test_distance_paper_example(self):
+        # "given four threads {0,1,2,3}, distance(1,0) is 3"
+        assert distance(1, 0, 4) == 3
+
+    def test_distance_identity(self):
+        assert distance(2, 2, 5) == 0
+
+    def test_delay_increment_paper_example(self):
+        # last=3, enabled={0,2,3,4}, N=5: delays to 2 skips 3, 4, 0 (not 1,
+        # which is disabled) = 3.
+        assert delay_increment(3, 2, (0, 2, 3, 4), 5) == 3
+
+    def test_delay_increment_continue_same_thread_is_free(self):
+        assert delay_increment(1, 1, (0, 1, 2), 3) == 0
+
+    def test_delay_increment_skipping_disabled_is_free(self):
+        # last=0 disabled, next enabled is 2: no enabled thread skipped.
+        assert delay_increment(0, 2, (2, 3), 4) == 0
+
+    def test_preemption_increment(self):
+        # Switching away from an enabled thread is a preemption...
+        assert preemption_increment(0, 1, (0, 1)) == 1
+        # ...switching away from a disabled thread is not...
+        assert preemption_increment(0, 1, (1, 2)) == 0
+        # ...continuing is never a preemption.
+        assert preemption_increment(0, 0, (0, 1)) == 0
+
+    def test_counts_reject_bad_input(self):
+        with pytest.raises(ValueError):
+            distance(0, 1, 0)
+        with pytest.raises(ValueError):
+            Schedule([0, 1], [(0,)], [1, 1])
+
+
+class TestContextSwitchClassification:
+    def test_flags(self):
+        schedule = [0, 0, 1, 0]
+        enabled = [(0,), (0, 1), (0, 1), (0, 1)]
+        flags = context_switch_flags(schedule, enabled)
+        # step 0: no switch; step 1: same thread; step 2: 0 was enabled ->
+        # preemptive; step 3: 1 finished/disabled? enabled says (0,1) so
+        # preemptive again.
+        assert flags == [None, None, True, True]
+
+    def test_non_preemptive_switch(self):
+        schedule = [0, 1]
+        enabled = [(0,), (1,)]
+        assert context_switch_flags(schedule, enabled) == [None, False]
+
+
+class TestFigure1Examples:
+    """Example 1 and Example 2 from the paper, verbatim."""
+
+    def test_zero_preemption_schedule_has_no_bug(self):
+        result = execute(figure1(), RoundRobinStrategy())
+        assert result.outcome is Outcome.OK
+        sched = Schedule.from_result(result)
+        assert sched.preemptions == 0
+        assert sched.delays == 0
+
+    def test_bug_schedule_a_b_e_has_one_preemption(self):
+        # ⟨a, b, e⟩: T3's read at e preempts T1 (which is still enabled).
+        from repro.engine import FixedChoiceStrategy
+
+        result = execute(
+            figure1(), FixedChoiceStrategy([0, 1, 3], fallback=RoundRobinStrategy())
+        )
+        assert result.outcome is Outcome.ASSERTION
+        sched = Schedule.from_result(result)
+        assert sched.preemptions == 1
+        # e skips enabled T1 and T2 going round-robin from T1: two delays.
+        assert sched.delays == 2
+
+    def test_bug_schedule_a_b_d_e_has_one_delay(self):
+        # Example 2: "The assertion can also fail via ⟨a,b,d,e⟩, with one
+        # delay/preemption at d."
+        from repro.engine import FixedChoiceStrategy
+
+        result = execute(
+            figure1(), FixedChoiceStrategy([0, 1, 2, 3], fallback=RoundRobinStrategy())
+        )
+        assert result.outcome is Outcome.ASSERTION
+        sched = Schedule.from_result(result)
+        assert sched.preemptions == 1
+        assert sched.delays == 1
+
+    def test_preemption_bound_one_yields_11_terminal_schedules(self):
+        # "a preemption bound of one yields 11 terminal schedules"
+        records = enumerate_bounded(figure1(), PREEMPTION, 1)
+        assert len(records) == 11
+
+    def test_delay_bound_one_yields_4_terminal_schedules(self):
+        # "...while a delay bound of one yields only 4"
+        records = enumerate_bounded(figure1(), DELAY, 1)
+        assert len(records) == 4
+
+    def test_delay_bound_zero_is_the_single_deterministic_schedule(self):
+        records = enumerate_bounded(figure1(), DELAY, 0)
+        assert len(records) == 1
+        assert records[0].result.schedule == [0, 1, 1, 2, 3]
+
+    def test_bug_not_found_with_preemption_bound_zero(self):
+        records = enumerate_bounded(figure1(), PREEMPTION, 0)
+        assert all(not r.result.is_buggy for r in records)
+
+    def test_bug_found_with_preemption_bound_one(self):
+        records = enumerate_bounded(figure1(), PREEMPTION, 1)
+        assert any(r.result.is_buggy for r in records)
+
+    def test_bug_found_with_delay_bound_one(self):
+        records = enumerate_bounded(figure1(), DELAY, 1)
+        assert any(r.result.is_buggy for r in records)
+
+
+class TestExample2Adversarial:
+    """Cloning T1 raises the required delay bound but not the preemption
+    bound (the CS.reorder_X_bad construction)."""
+
+    @pytest.mark.parametrize("clones", [1, 2, 3])
+    def test_required_delay_bound_grows_with_clones(self, clones):
+        program = figure1(clone_count=clones)
+        # Not found at delay bound = clones ...
+        records = enumerate_bounded(program, DELAY, clones)
+        assert all(not r.result.is_buggy for r in records)
+        # ... but found at delay bound = clones + 1.
+        records = enumerate_bounded(program, DELAY, clones + 1)
+        assert any(r.result.is_buggy for r in records)
+
+    @pytest.mark.parametrize("clones", [1, 2])
+    def test_preemption_bound_one_still_suffices(self, clones):
+        records = enumerate_bounded(figure1(clone_count=clones), PREEMPTION, 1)
+        assert any(r.result.is_buggy for r in records)
+
+
+class TestCostModelConsistency:
+    """The DFS's incremental cost equals the post-hoc schedule count."""
+
+    @pytest.mark.parametrize("bound", [0, 1, 2])
+    def test_preemption_cost_matches_schedule(self, bound):
+        for record in BoundedDFS(figure1(), PREEMPTION, bound).runs():
+            if record.result.outcome.is_terminal_schedule:
+                sched = Schedule.from_result(record.result)
+                assert record.cost == sched.preemptions
+
+    @pytest.mark.parametrize("bound", [0, 1, 2])
+    def test_delay_cost_matches_schedule(self, bound):
+        for record in BoundedDFS(figure1(), DELAY, bound).runs():
+            if record.result.outcome.is_terminal_schedule:
+                sched = Schedule.from_result(record.result)
+                assert record.cost == sched.delays
+
+    def test_delay_dominates_preemption_on_enumerated_schedules(self):
+        # {α : DC ≤ c} ⊆ {α : PC ≤ c} because DC(α) ≥ PC(α).
+        for record in BoundedDFS(figure1(), DELAY, 3).runs():
+            if record.result.outcome.is_terminal_schedule:
+                sched = Schedule.from_result(record.result)
+                assert sched.delays >= sched.preemptions

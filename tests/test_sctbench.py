@@ -1,0 +1,258 @@
+"""Integration tests for the SCTBench port — all 52 benchmarks.
+
+Every benchmark gets: a build/terminate/determinism check, and a
+*witness* check — the cheapest technique our tuning measurements show
+exposes the bug does so within a measured schedule budget, and the
+resulting schedule replays to the same bug.  Benchmarks the paper reports
+as missed by everything are asserted *not* found by quick probes.
+"""
+
+import pytest
+
+from repro.core import DFSExplorer, MapleAlgExplorer, RandomExplorer, make_idb, make_ipb
+from repro.engine import Outcome, RandomStrategy, RoundRobinStrategy, execute, replay
+from repro.racedetect import detect_races
+from repro.sctbench import BENCHMARKS, SUITE_OVERVIEW, get, suite_of, total_used
+
+ALL_NAMES = [b.name for b in BENCHMARKS]
+
+#: witness technique and schedule budget per benchmark (measured; roughly
+#: 2x the observed schedules-to-first-bug for headroom).
+WITNESSES = {
+    "CB.aget-bug2": ("IDB", 10),
+    "CB.pbzip2-0.9.4": ("IDB", 20),
+    "CB.stringbuffer-jdk1.4": ("IDB", 40),
+    "CS.account_bad": ("IDB", 30),
+    "CS.arithmetic_prog_bad": ("IDB", 5),
+    "CS.bluetooth_driver_bad": ("IDB", 40),
+    "CS.carter01_bad": ("IDB", 60),
+    "CS.circular_buffer_bad": ("IDB", 60),
+    "CS.deadlock01_bad": ("IDB", 40),
+    "CS.din_phil2_sat": ("IDB", 5),
+    "CS.din_phil3_sat": ("IDB", 5),
+    "CS.din_phil4_sat": ("IDB", 5),
+    "CS.din_phil5_sat": ("IDB", 5),
+    "CS.din_phil6_sat": ("IDB", 5),
+    "CS.din_phil7_sat": ("IDB", 5),
+    "CS.fsbench_bad": ("IDB", 5),
+    "CS.lazy01_bad": ("IDB", 5),
+    "CS.phase01_bad": ("IDB", 5),
+    "CS.queue_bad": ("IDB", 120),
+    "CS.reorder_3_bad": ("IDB", 120),
+    "CS.reorder_4_bad": ("IDB", 600),
+    "CS.reorder_5_bad": ("Rand", 1000),
+    "CS.stack_bad": ("IDB", 80),
+    "CS.sync01_bad": ("IDB", 5),
+    "CS.sync02_bad": ("IDB", 5),
+    "CS.token_ring_bad": ("IDB", 40),
+    "CS.twostage_bad": ("IDB", 40),
+    "CS.wronglock_3_bad": ("IDB", 60),
+    "CS.wronglock_bad": ("IDB", 120),
+    "chess.WSQ": ("IDB", 400),
+    "chess.SWSQ": ("IDB", 2600),
+    "chess.IWSQ": ("IDB", 2600),
+    "chess.IWSQWS": ("IDB", 3800),
+    "inspect.qsort_mt": ("IDB", 120),
+    "misc.ctrace-test": ("IDB", 60),
+    "parsec.ferret": ("IDB", 120),
+    "parsec.streamcluster": ("IDB", 120),
+    "parsec.streamcluster2": ("IDB", 300),
+    "parsec.streamcluster3": ("IPB", 10),
+    "radbench.bug2": ("IDB", 5000),
+    "radbench.bug3": ("IDB", 5),
+    "radbench.bug4": ("Rand", 2500),
+    "radbench.bug5": ("MapleAlg", 100),
+    "radbench.bug6": ("IDB", 80),
+    "splash2.barnes": ("IDB", 10),
+    "splash2.fft": ("IDB", 10),
+    "splash2.lu": ("IDB", 10),
+}
+
+#: benchmarks the paper (and our port) report as missed by every technique;
+#: asserted not-found by quick probes.
+EXPECTED_MISS = {
+    "CS.reorder_10_bad",
+    "CS.reorder_20_bad",
+    "CS.twostage_100_bad",
+    "misc.safestack",
+    "radbench.bug1",
+}
+
+_filter_cache = {}
+
+
+def racy_filter(name):
+    """Race-detection phase result, cached per benchmark for test speed."""
+    if name not in _filter_cache:
+        program = get(name).make()
+        report = detect_races(program, runs=10, seed=0)
+        if report.has_races:
+            _filter_cache[name] = report.visible_filter()
+        else:
+            _filter_cache[name] = lambda op: False
+    return _filter_cache[name]
+
+
+def make_explorer(tech, name):
+    filt = racy_filter(name)
+    if tech == "IDB":
+        return make_idb(visible_filter=filt)
+    if tech == "IPB":
+        return make_ipb(visible_filter=filt)
+    if tech == "DFS":
+        return DFSExplorer(visible_filter=filt)
+    if tech == "Rand":
+        return RandomExplorer(seed=42, visible_filter=filt)
+    if tech == "MapleAlg":
+        return MapleAlgExplorer(seed=42)
+    raise ValueError(tech)
+
+
+class TestRegistry:
+    def test_exactly_52_benchmarks(self):
+        assert len(BENCHMARKS) == 52
+        assert total_used() == 52
+
+    def test_ids_are_table3_order(self):
+        assert [b.bench_id for b in BENCHMARKS] == list(range(52))
+
+    def test_suite_counts_match_table1(self):
+        for suite, _types, used, _skipped, _r in SUITE_OVERVIEW:
+            assert len(suite_of(suite)) == used, suite
+
+    def test_names_unique(self):
+        assert len({b.name for b in BENCHMARKS}) == 52
+
+    def test_factories_produce_named_programs(self):
+        for b in BENCHMARKS:
+            assert b.make().name == b.name
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_round_robin_terminates(self, name):
+        result = execute(get(name).make(), RoundRobinStrategy(), max_steps=20_000)
+        assert result.outcome.is_terminal_schedule, result.outcome
+
+    def test_deterministic_replay(self, name):
+        program = get(name).make()
+        first = execute(program, RandomStrategy(seed=3), max_steps=20_000)
+        if not first.outcome.is_terminal_schedule:
+            pytest.skip("random run hit the step budget")
+        again = replay(program, first.schedule, max_steps=20_000)
+        assert again.outcome is first.outcome
+        assert again.schedule == first.schedule
+
+    def test_thread_count_matches_paper(self, name):
+        # Structural deviations (documented in DESIGN.md section 9): the
+        # chess lock-free variants use a second thief and bug5 extra noise
+        # threads to reproduce the paper's bounded-space asymmetries; bug2
+        # keeps a dedicated prober thread so its three-bound is exact.
+        deviations = {
+            "chess.SWSQ": 4,
+            "chess.IWSQ": 4,
+            "chess.IWSQWS": 4,
+            "radbench.bug2": 3,
+            "radbench.bug5": 10,
+        }
+        info = get(name)
+        result = execute(info.make(), RoundRobinStrategy(), max_steps=20_000)
+        expected = deviations.get(name, info.paper.threads)
+        assert result.threads_created == expected, (
+            f"{name}: created {result.threads_created}, expected {expected} "
+            f"(paper says {info.paper.threads})"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(WITNESSES))
+def test_bug_found_by_witness_technique(name):
+    tech, budget = WITNESSES[name]
+    info = get(name)
+    program = info.make()
+    stats = make_explorer(tech, name).explore(program, budget)
+    assert stats.found_bug, f"{name}: {tech} missed within {budget} schedules"
+    # The witness schedule must replay to the same buggy outcome (MapleAlg
+    # runs without the racy-site filter, so replay must match it).
+    filt = None if tech == "MapleAlg" else racy_filter(name)
+    again = replay(program, stats.first_bug.schedule, visible_filter=filt)
+    assert again.outcome is stats.first_bug.outcome
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MISS))
+def test_hard_benchmarks_resist_quick_probes(name):
+    program = get(name).make()
+    filt = racy_filter(name)
+    assert not make_idb(visible_filter=filt).explore(program, 60).found_bug
+    assert not RandomExplorer(seed=9, visible_filter=filt).explore(
+        program, 60
+    ).found_bug
+
+
+class TestDocumentedBounds:
+    """Smallest exposing bounds the paper documents explicitly."""
+
+    def test_reorder_family_delay_bounds_grow(self):
+        # Section 6: "the smallest delay bound required ... is incremented
+        # as the thread count is incremented", while IPB stays at bound 1.
+        for n, expected_db in ((3, 2), (4, 3)):
+            name = f"CS.reorder_{n}_bad"
+            stats = make_idb(visible_filter=racy_filter(name)).explore(
+                get(name).make(), 2_000
+            )
+            assert stats.found_bug and stats.bound == expected_db, name
+            ipb = make_ipb(visible_filter=racy_filter(name)).explore(
+                get(name).make(), 2_000
+            )
+            assert ipb.found_bug and ipb.bound == 1, name
+
+    def test_radbench_bug2_needs_three(self):
+        # "the bug in radbench.bug2 requires at least three delays or
+        # preemptions" — bounds 0-2 must come up clean.
+        name = "radbench.bug2"
+        filt = racy_filter(name)
+        stats = make_idb(visible_filter=filt).explore(get(name).make(), 5_000)
+        assert stats.found_bug
+        assert stats.bound == 3
+
+    def test_safestack_out_of_reach(self):
+        # Vyukov: ≥3 threads and ≥5 preemptions; nothing should find it in
+        # a quick IPB pass up to bound 2.
+        name = "misc.safestack"
+        stats = make_ipb(visible_filter=racy_filter(name)).explore(
+            get(name).make(), 400
+        )
+        assert not stats.found_bug
+
+    def test_splash_found_on_second_schedule(self):
+        # "the bugs are found by all systematic techniques after just two
+        # schedules".
+        for name in ("splash2.barnes", "splash2.fft", "splash2.lu"):
+            filt = racy_filter(name)
+            for make in (make_ipb, make_idb):
+                stats = make(visible_filter=filt).explore(get(name).make(), 50)
+                assert stats.found_bug
+                assert stats.schedules_to_first_bug == 2, name
+
+    def test_streamcluster3_is_figure4_outlier(self):
+        # IPB finds it at bound 0 within a couple of schedules; IDB needs a
+        # delay and a far larger worst case (section 6's benchmark-42
+        # analysis).
+        name = "parsec.streamcluster3"
+        filt = racy_filter(name)
+        ipb = make_ipb(visible_filter=filt).explore(get(name).make(), 2_000)
+        idb = make_idb(visible_filter=filt).explore(get(name).make(), 2_000)
+        assert ipb.found_bug and ipb.bound == 0
+        assert idb.found_bug and idb.bound == 1
+        ipb_worst = ipb.schedules - ipb.buggy_schedules
+        idb_worst = idb.schedules - idb.buggy_schedules
+        assert idb_worst > ipb_worst
+
+    def test_bugs_found_with_db0_found_on_first_schedule(self):
+        # Table 2's derivation: a DB=0 bug is always found on the shared
+        # initial (round-robin) schedule.
+        for name in ("CS.lazy01_bad", "CS.din_phil4_sat", "radbench.bug3"):
+            filt = racy_filter(name)
+            stats = make_idb(visible_filter=filt).explore(get(name).make(), 50)
+            assert stats.found_bug
+            assert stats.bound == 0
+            assert stats.schedules_to_first_bug == 1

@@ -1,0 +1,198 @@
+"""Tests for the study harness: runner, tables, figures, report, CLI."""
+
+import json
+
+import pytest
+
+from repro.sctbench import get
+from repro.study import (
+    StudyConfig,
+    figure3_series,
+    figure4_series,
+    full_report,
+    headline_findings,
+    quick_config,
+    render_scatter,
+    render_venn,
+    run_benchmark,
+    run_study,
+    scatter_csv,
+    table1,
+    table2,
+    table2_rows,
+    table3,
+    venn_systematic,
+    venn_vs_random,
+)
+
+SMALL_SET = [
+    "CS.account_bad",
+    "CS.lazy01_bad",
+    "CS.reorder_3_bad",
+    "CS.din_phil2_sat",
+    "splash2.lu",
+]
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    config = quick_config(limit=200)
+    config.benchmarks = SMALL_SET
+    return run_study(config)
+
+
+class TestRunner:
+    def test_runs_every_requested_benchmark(self, small_study):
+        assert len(small_study) == len(SMALL_SET)
+        assert [r.info.name for r in small_study] == SMALL_SET
+
+    def test_every_technique_present(self, small_study):
+        for r in small_study:
+            assert set(r.stats) == {"IPB", "IDB", "DFS", "Rand", "MapleAlg"}
+
+    def test_easy_bugs_found_by_bounding(self, small_study):
+        for name in SMALL_SET:
+            r = small_study.by_name(name)
+            assert r.found_by("IDB"), name
+
+    def test_found_set(self, small_study):
+        assert small_study.found_set("IDB") == frozenset(SMALL_SET)
+
+    def test_json_roundtrips(self, small_study):
+        data = json.loads(small_study.to_json())
+        assert data["schedule_limit"] == 200
+        assert len(data["benchmarks"]) == len(SMALL_SET)
+        first = data["benchmarks"][0]
+        assert "techniques" in first and "IDB" in first["techniques"]
+
+    def test_single_benchmark_runner(self):
+        config = quick_config(limit=100)
+        result = run_benchmark(get("CS.lazy01_bad"), config)
+        assert result.found_by("IDB")
+        assert result.seconds >= 0
+
+    def test_limit_override_applies(self):
+        config = StudyConfig(schedule_limit=100)
+        config.limit_overrides = {"CS.lazy01_bad": 7}
+        assert config.limit_for("CS.lazy01_bad") == 7
+        assert config.limit_for("CS.account_bad") == 100
+
+    def test_extension_techniques_selectable(self):
+        config = quick_config(limit=100)
+        config.techniques = ["IDB", "PCT", "DPOR"]
+        result = run_benchmark(get("CS.lazy01_bad"), config)
+        assert set(result.stats) == {"IDB", "PCT", "DPOR"}
+        assert result.stats["DPOR"].found_bug
+        assert result.stats["PCT"].technique == "PCT"
+
+
+class TestTables:
+    def test_table1_shape(self):
+        text = table1()
+        assert "CHESS" in text and "SPLASH-2" in text
+        assert "52" in text  # total used
+
+    def test_table2_counts(self, small_study):
+        rows = dict(table2_rows(small_study))
+        # lazy01 and din_phil2 are DB=0 bugs; all five tiny benchmarks
+        # should be exhaustively explorable below the 200 limit.
+        assert rows["Bug found with DB = 0"] >= 2
+        text = table2(small_study)
+        assert "# benchmarks" in text
+
+    def test_table3_contains_all_rows(self, small_study):
+        text = table3(small_study)
+        for name in SMALL_SET:
+            assert name in text
+
+
+class TestFigures:
+    def test_venn_regions_sum_to_benchmark_count(self, small_study):
+        for regions in (venn_systematic(small_study), venn_vs_random(small_study)):
+            assert sum(regions.values()) == len(SMALL_SET)
+
+    def test_venn_renders(self, small_study):
+        text = render_venn(venn_systematic(small_study), ("IPB", "IDB", "DFS"))
+        assert "IPB & IDB & DFS" in text
+
+    def test_figure3_points(self, small_study):
+        points = figure3_series(small_study)
+        # every benchmark here is found by at least one bounding technique
+        assert len(points) == len(SMALL_SET)
+        for p in points:
+            assert 1 <= p.idb_first <= 200
+            assert 1 <= p.ipb_first <= 200
+
+    def test_figure4_worst_case_at_least_first(self, small_study):
+        f4 = {p.name: p for p in figure4_series(small_study)}
+        for p in figure3_series(small_study):
+            # worst case (non-buggy + 1) is >= best case cannot be asserted
+            # in general, but both must be within the limit
+            assert f4[p.name].idb_first <= 200
+
+    def test_scatter_csv_and_ascii(self, small_study):
+        points = figure3_series(small_study)
+        csv = scatter_csv(points)
+        assert csv.splitlines()[0].startswith("id,name")
+        assert len(csv.splitlines()) == len(points) + 1
+        art = render_scatter(points, 200, title="t")
+        assert "t" in art and "|" in art
+
+
+class TestReport:
+    def test_full_report_renders(self, small_study):
+        text = full_report(small_study)
+        for section in ("## Table 1", "## Table 3", "## Figure 2a", "Headline"):
+            assert section in text
+
+    def test_headline_findings_mentions_counts(self, small_study):
+        text = headline_findings(small_study)
+        assert "IDB found" in text
+
+
+class TestComparisons:
+    def test_found_pattern_table_lists_every_benchmark(self, small_study):
+        from repro.study import found_pattern_comparison
+
+        text = found_pattern_comparison(small_study)
+        for name in SMALL_SET:
+            assert name in text
+        assert "agreement:" in text
+
+    def test_bound_comparison_lists_bounds(self, small_study):
+        from repro.study import bound_comparison
+
+        text = bound_comparison(small_study)
+        assert "exact bound matches" in text
+        assert "CS.lazy01_bad" in text
+
+    def test_run_diff_on_same_study_is_clean(self, small_study, tmp_path):
+        import json
+
+        from repro.study import diff_runs
+
+        payload = json.loads(small_study.to_json())
+        diff = diff_runs(payload, payload)
+        assert diff.clean
+
+
+class TestCLI:
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        from repro.study.__main__ import main
+
+        rc = main(
+            [
+                "--quick",
+                "--quiet",
+                "--benchmarks",
+                "CS.lazy01_bad",
+                "splash2.fft",
+                "--out",
+                str(tmp_path / "results"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Study report" in out
+        produced = {p.name for p in (tmp_path / "results").iterdir()}
+        assert {"table3.txt", "figure2a.txt", "figure3.csv", "raw.json"} <= produced

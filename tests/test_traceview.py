@@ -1,0 +1,73 @@
+"""Counterexample rendering and trace simplification."""
+
+import pytest
+
+from repro.core import (
+    RandomExplorer,
+    preemptions_of,
+    render_trace,
+    simplify_trace,
+)
+from repro.engine import Outcome, replay
+
+from .programs import figure1, lock_order_deadlock, unsafe_counter
+
+
+class TestRenderTrace:
+    def test_renders_buggy_figure1_trace(self):
+        program = figure1()
+        text = render_trace(program, [0, 1, 3])
+        assert "3 steps" in text
+        assert "1 preemptions" in text
+        assert "assertion" in text
+        # The preemptive switch (T3 taking over from enabled T1) is marked.
+        assert ">>" in text
+        # All four threads get columns.
+        for t in range(4):
+            assert f"T{t}" in text
+
+    def test_renders_clean_trace(self):
+        program = figure1()
+        text = render_trace(program, [0, 1, 1, 2, 3])
+        assert "0 preemptions" in text
+        assert "outcome: ok" in text
+
+    def test_sites_included(self):
+        text = render_trace(figure1(), [0, 1, 3])
+        assert "e:assert" in text
+
+
+class TestSimplifyTrace:
+    def test_rejects_non_buggy_schedule(self):
+        with pytest.raises(ValueError):
+            simplify_trace(figure1(), [0, 1, 1, 2, 3])
+
+    def test_preserves_outcome_and_never_increases_preemptions(self):
+        program = unsafe_counter(workers=3)
+        stats = RandomExplorer(seed=12).explore(program, 2_000)
+        assert stats.found_bug
+        original = stats.first_bug.schedule
+        before = preemptions_of(program, original)
+        simplified = simplify_trace(program, original)
+        after = preemptions_of(program, simplified)
+        assert after <= before
+        result = replay(program, simplified)
+        assert result.outcome is stats.first_bug.outcome
+
+    def test_simplifies_gratuitous_switches(self):
+        # Build a deliberately choppy buggy schedule for figure1: the bug
+        # needs one preemption; a randomly-found trace often has more.
+        program = unsafe_counter(workers=2, increments=2)
+        stats = RandomExplorer(seed=5).explore(program, 3_000)
+        assert stats.found_bug
+        sched = stats.first_bug.schedule
+        simplified = simplify_trace(program, sched)
+        assert preemptions_of(program, simplified) <= preemptions_of(program, sched)
+
+    def test_deadlock_traces_simplify_too(self):
+        program = lock_order_deadlock()
+        stats = RandomExplorer(seed=8).explore(program, 2_000)
+        assert stats.found_bug
+        assert stats.first_bug.outcome is Outcome.DEADLOCK
+        simplified = simplify_trace(program, stats.first_bug.schedule)
+        assert replay(program, simplified).outcome is Outcome.DEADLOCK
