@@ -14,14 +14,14 @@ import pytest
 from repro.core import PCTExplorer, RandomExplorer, make_idb, make_ipb
 from repro.core.dfs import BoundedDFS
 from repro.core.bounds import NoBoundCost
-from repro.engine import RandomStrategy, RoundRobinStrategy, execute
+from repro.engine import RandomStrategy, RoundRobinStrategy, execute, sync_only_filter
 from repro.racedetect import detect_races
 from repro.sctbench import get
 
 
 def _filter(program):
     report = detect_races(program, runs=10, seed=0)
-    return report.visible_filter() if report.has_races else (lambda op: False)
+    return report.visible_filter() if report.has_races else sync_only_filter
 
 
 class TestRacePromotionAblation:
@@ -40,7 +40,7 @@ class TestRacePromotionAblation:
         promoted = benchmark.pedantic(run_promoted, rounds=1, iterations=1)
         unpromoted = list(
             BoundedDFS(
-                program, NoBoundCost(), None, visible_filter=lambda op: False
+                program, NoBoundCost(), None, visible_filter=sync_only_filter
             ).runs()
         )
         # Without promotion the only scheduling points are sync ops: the

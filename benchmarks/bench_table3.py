@@ -14,6 +14,7 @@ import pytest
 from repro.core import DFSExplorer, MapleAlgExplorer, RandomExplorer, make_idb, make_ipb
 from repro.racedetect import detect_races
 from repro.sctbench import get
+from repro.engine import sync_only_filter
 from repro.study import table3
 
 from conftest import BENCH_LIMIT
@@ -21,7 +22,7 @@ from conftest import BENCH_LIMIT
 
 def _filter(program):
     report = detect_races(program, runs=10, seed=0)
-    return report.visible_filter() if report.has_races else (lambda op: False)
+    return report.visible_filter() if report.has_races else sync_only_filter
 
 
 @pytest.mark.parametrize("technique", ["IPB", "IDB", "DFS", "Rand", "MapleAlg"])

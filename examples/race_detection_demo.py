@@ -12,6 +12,7 @@ Run:  python examples/race_detection_demo.py
 from types import SimpleNamespace
 
 from repro import Atomic, DFSExplorer, Program, SharedVar
+from repro.engine import sync_only_filter
 from repro.racedetect import detect_races
 
 
@@ -72,7 +73,7 @@ def main() -> None:
             print(f"  {race}")
 
         # SCT with only sync ops visible (no promotion):
-        blind = DFSExplorer(visible_filter=lambda op: False).explore(
+        blind = DFSExplorer(visible_filter=sync_only_filter).explore(
             program, 10_000
         )
         print(
@@ -81,7 +82,7 @@ def main() -> None:
         )
 
         # SCT with racy sites promoted to visible operations:
-        filt = report.visible_filter() if report.has_races else (lambda op: False)
+        filt = report.visible_filter() if report.has_races else sync_only_filter
         informed = DFSExplorer(visible_filter=filt).explore(program, 10_000)
         print(
             f"DFS with promotion:    {informed.schedules} schedules, "

@@ -20,6 +20,7 @@ from repro import (
     make_ipb,
     replay,
 )
+from repro.engine import sync_only_filter
 from repro.racedetect import detect_races
 from repro.sctbench import get
 
@@ -36,7 +37,7 @@ def main() -> None:
     print(f"  {len(report.races)} races over {len(report.racy_sites)} sites")
     for race in report.races[:5]:
         print(f"    {race}")
-    filt = report.visible_filter() if report.has_races else (lambda op: False)
+    filt = report.visible_filter() if report.has_races else sync_only_filter
 
     techniques = [
         ("IPB", make_ipb(visible_filter=filt)),

@@ -13,6 +13,7 @@ import sys
 import time
 
 from repro.core import DFSExplorer, MapleAlgExplorer, RandomExplorer, make_idb, make_ipb
+from repro.engine import sync_only_filter
 from repro.racedetect import detect_races
 from repro.sctbench import BENCHMARKS, get
 
@@ -23,7 +24,7 @@ def run_one(info):
     program = info.make()
     t0 = time.time()
     report = detect_races(program, runs=10, seed=0)
-    filt = report.visible_filter() if report.has_races else (lambda op: False)
+    filt = report.visible_filter() if report.has_races else sync_only_filter
     out = [f"[{info.bench_id:2d}] {info.name:28s} races={len(report.races):3d}"]
     results = {}
     for label, explorer in [

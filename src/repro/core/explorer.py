@@ -47,6 +47,28 @@ class BugReport:
             f"schedule #{self.index})"
         )
 
+    def to_payload(self) -> dict:
+        """JSON-safe full serialization (study checkpoint records)."""
+        return {
+            "program_name": self.program_name,
+            "outcome": self.outcome.value,
+            "message": self.message,
+            "schedule": list(self.schedule),
+            "bound": self.bound,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BugReport":
+        return cls(
+            payload["program_name"],
+            Outcome(payload["outcome"]),
+            payload["message"],
+            list(payload["schedule"]),
+            payload["bound"],
+            payload["index"],
+        )
+
 
 class ExplorationStats:
     """Aggregate statistics of one technique applied to one program."""
@@ -152,6 +174,45 @@ class ExplorationStats:
             "max_choice_points": self.max_choice_points,
             "threads_created": self.threads_created,
         }
+
+    def to_payload(self) -> dict:
+        """Lossless JSON-safe serialization, unlike :meth:`as_dict` which
+        is the (lossy) report-facing view.  Round-trips through
+        :meth:`from_payload` so parallel study runners can ship stats
+        across process boundaries and checkpoint files."""
+        return {
+            "technique": self.technique,
+            "program_name": self.program_name,
+            "limit": self.limit,
+            "schedules": self.schedules,
+            "buggy_schedules": self.buggy_schedules,
+            "first_bug": self.first_bug.to_payload() if self.first_bug else None,
+            "bound": self.bound,
+            "new_schedules_at_bound": self.new_schedules_at_bound,
+            "completed": self.completed,
+            "executions": self.executions,
+            "step_limit_hits": self.step_limit_hits,
+            "max_enabled": self.max_enabled,
+            "max_choice_points": self.max_choice_points,
+            "threads_created": self.threads_created,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExplorationStats":
+        stats = cls(payload["technique"], payload["program_name"], payload["limit"])
+        stats.schedules = payload["schedules"]
+        stats.buggy_schedules = payload["buggy_schedules"]
+        if payload["first_bug"] is not None:
+            stats.first_bug = BugReport.from_payload(payload["first_bug"])
+        stats.bound = payload["bound"]
+        stats.new_schedules_at_bound = payload["new_schedules_at_bound"]
+        stats.completed = payload["completed"]
+        stats.executions = payload["executions"]
+        stats.step_limit_hits = payload["step_limit_hits"]
+        stats.max_enabled = payload["max_enabled"]
+        stats.max_choice_points = payload["max_choice_points"]
+        stats.threads_created = payload["threads_created"]
+        return stats
 
     def __repr__(self) -> str:
         found = (

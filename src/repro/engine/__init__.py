@@ -6,7 +6,7 @@ the scheduler strategy is the only source of nondeterminism.
 """
 
 from .executor import DEFAULT_MAX_STEPS, execute, replay
-from .state import Kernel, ThreadState, ThreadStatus, VisibleFilter
+from .state import Kernel, ThreadState, ThreadStatus, VisibleFilter, sync_only_filter
 from .strategies import (
     CallbackStrategy,
     FixedChoiceStrategy,
@@ -27,6 +27,7 @@ __all__ = [
     "ThreadState",
     "ThreadStatus",
     "VisibleFilter",
+    "sync_only_filter",
     "SchedulerStrategy",
     "RoundRobinStrategy",
     "RandomStrategy",

@@ -53,51 +53,57 @@ def execute(
         Outcome, schedule, and recording data.  Never raises for bugs in
         the program under test — those become buggy outcomes.
     """
-    from ..runtime.objects import reset_anon_counter
+    from ..runtime.objects import NamingScope
 
-    reset_anon_counter()
-    shared = program.setup()
-    kernel = Kernel(shared, visible_filter, tuple(observers), spurious_wakeups)
-    kernel.spawn(program.main, (shared,))
-    strategy.on_execution_start()
-    for obs in observers:
-        obs.on_start(shared)
+    naming = NamingScope()
+    with naming:
+        # The scope stays active for the whole execution: threads may
+        # create shared objects mid-run, and their auto-names must come
+        # from this kernel's counter, not a process-global one.
+        shared = program.setup()
+        kernel = Kernel(
+            shared, visible_filter, tuple(observers), spurious_wakeups, naming
+        )
+        kernel.spawn(program.main, (shared,))
+        strategy.on_execution_start()
+        for obs in observers:
+            obs.on_start(shared)
 
-    schedule: list = []
-    enabled_sets: Optional[list] = [] if record_enabled else None
-    created_counts: Optional[list] = [] if record_enabled else None
-    choice_points = 0
-    max_enabled = 0
+        schedule: list = []
+        enabled_sets: Optional[list] = [] if record_enabled else None
+        created_counts: Optional[list] = [] if record_enabled else None
+        choice_points = 0
+        max_enabled = 0
 
-    outcome: Outcome
-    while True:
-        if kernel.bug is not None:
-            outcome = outcome_for_bug(kernel.bug)
-            break
-        enabled = kernel.enabled()
-        width = len(enabled)
-        if width == 0:
-            if kernel.all_finished:
-                outcome = Outcome.OK
-            else:
-                kernel.bug = DeadlockBug(
-                    "deadlock: " + kernel.blocked_description()
-                )
-                outcome = Outcome.DEADLOCK
-            break
-        if kernel.steps >= max_steps:
-            outcome = Outcome.STEP_LIMIT
-            break
-        if width > max_enabled:
-            max_enabled = width
-        if width > 1:
-            choice_points += 1
-        tid = strategy.choose(kernel.steps, enabled, kernel.last_tid, kernel)
-        if record_enabled:
-            enabled_sets.append(enabled)
-            created_counts.append(kernel.num_created)
-        schedule.append(tid)
-        kernel.step(tid)
+        outcome: Outcome
+        while True:
+            if kernel.bug is not None:
+                outcome = outcome_for_bug(kernel.bug)
+                break
+            enabled = kernel.enabled()
+            width = len(enabled)
+            if width == 0:
+                if kernel.all_finished:
+                    outcome = Outcome.OK
+                else:
+                    kernel.bug = DeadlockBug(
+                        "deadlock: " + kernel.blocked_description()
+                    )
+                    outcome = Outcome.DEADLOCK
+                break
+            if kernel.steps >= max_steps:
+                outcome = Outcome.STEP_LIMIT
+                break
+            if width > max_enabled:
+                max_enabled = width
+            if width > 1:
+                choice_points += 1
+            tid = strategy.choose(kernel.steps, enabled, kernel.last_tid, kernel)
+            if record_enabled:
+                enabled_sets.append(enabled)
+                created_counts.append(kernel.num_created)
+            schedule.append(tid)
+            kernel.step(tid)
 
     result = ExecutionResult(
         outcome=outcome,

@@ -33,6 +33,7 @@ from ..runtime.objects import (
     Barrier,
     CondVar,
     Mutex,
+    NamingScope,
     RWLock,
     Semaphore,
     SharedArray,
@@ -40,6 +41,16 @@ from ..runtime.objects import (
 from ..runtime.ops import DATA_KINDS, Op, OpKind, noop_op, reacquire_op
 
 VisibleFilter = Callable[[Op], bool]
+
+
+def sync_only_filter(op: Op) -> bool:
+    """Module-level "only synchronisation ops are visible" predicate.
+
+    Used when a benchmark has no racy sites: no data access is a scheduling
+    point.  Being a plain module-level function (not a closure) keeps it
+    picklable, so work cells carrying it can cross process boundaries.
+    """
+    return False
 
 #: Op kinds whose enabledness depends on shared state (everything else is
 #: always enabled — checked first on the hot path).
@@ -97,6 +108,7 @@ class Kernel:
         "last_tid",
         "steps",
         "spurious_wakeups",
+        "naming",
         "_finished_count",
     )
 
@@ -106,6 +118,7 @@ class Kernel:
         visible_filter: Optional[VisibleFilter],
         observers: Tuple[Any, ...],
         spurious_wakeups: int = 0,
+        naming: Optional[NamingScope] = None,
     ) -> None:
         self.threads: List[ThreadState] = []
         self.shared = shared
@@ -113,6 +126,9 @@ class Kernel:
         #: ``None`` means "everything visible" (race-detection phase).
         self.visible_filter = visible_filter
         self.observers = observers
+        #: This execution's auto-naming counter.  Owned per kernel so
+        #: concurrent executions in one process cannot interleave resets.
+        self.naming = naming if naming is not None else NamingScope()
         #: Remaining spurious-wakeup budget.  When positive, a thread
         #: parked in ``cond_wait`` may be scheduled at any point — it wakes
         #: without a signal (POSIX allows this; CHESS's

@@ -23,27 +23,86 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from .errors import MemorySafetyBug, RuntimeUsageError
 
-_anon_counter = itertools.count()
+
+class NamingScope:
+    """An isolated auto-naming counter.
+
+    Each controlled execution owns one scope (held by its
+    :class:`repro.engine.state.Kernel`), activated for the duration of the
+    execution.  A program that creates its shared objects in a fixed order
+    then gets identical names on every execution — which race detection and
+    MapleAlg rely on to match memory locations across runs — without any
+    process-global counter that concurrent executions (thread pools, nested
+    explorations) could interleave resets on.
+
+    Scopes nest per OS thread: entering one pushes it on a thread-local
+    stack, so an execution started from inside another execution's observer
+    cannot disturb the outer counter.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next_name(self, prefix: str) -> str:
+        return f"{prefix}#{next(self._counter)}"
+
+    def reset(self) -> None:
+        self._counter = itertools.count()
+
+    def __enter__(self) -> "NamingScope":
+        _scope_stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _scope_stack().pop()
+        return False
+
+
+_local = threading.local()
+
+
+def _scope_stack() -> List[NamingScope]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_naming_scope() -> NamingScope:
+    """The innermost active scope, or this thread's ambient default.
+
+    The default scope serves objects created outside any controlled
+    execution (module level, tests, interactive use).
+    """
+    stack = _scope_stack()
+    if stack:
+        return stack[-1]
+    scope = getattr(_local, "default", None)
+    if scope is None:
+        scope = _local.default = NamingScope()
+    return scope
 
 
 def _auto_name(prefix: str) -> str:
-    return f"{prefix}#{next(_anon_counter)}"
+    return current_naming_scope().next_name(prefix)
 
 
 def reset_anon_counter() -> None:
-    """Reset auto-naming so object names are deterministic per execution.
+    """Reset the current scope's auto-naming counter.
 
-    The engine calls this before each ``setup()`` run: a program that
-    creates its shared objects in a fixed order then gets identical names
-    on every execution, which race detection and MapleAlg rely on to match
-    memory locations across runs.
+    Kept for compatibility: the engine now activates a fresh per-kernel
+    :class:`NamingScope` around each execution instead of resetting a
+    global counter, so this only matters for code creating shared objects
+    outside an execution (e.g. tests asserting deterministic names).
     """
-    global _anon_counter
-    _anon_counter = itertools.count()
+    current_naming_scope().reset()
 
 
 class SharedObject:

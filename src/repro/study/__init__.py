@@ -19,7 +19,15 @@ from .report import (
     headline_findings,
 )
 from .compare import RunDiff, diff_runs
-from .runner import BenchmarkResult, StudyResult, run_benchmark, run_study
+from .config import derive_seed
+from .parallel import ParallelStudyRunner, run_study_parallel
+from .runner import (
+    BenchmarkResult,
+    StudyResult,
+    run_benchmark,
+    run_cell,
+    run_study,
+)
 from .tables import table1, table2, table2_rows, table3
 
 __all__ = [
@@ -30,6 +38,10 @@ __all__ = [
     "TECHNIQUES",
     "run_study",
     "run_benchmark",
+    "run_cell",
+    "run_study_parallel",
+    "ParallelStudyRunner",
+    "derive_seed",
     "diff_runs",
     "RunDiff",
     "StudyResult",

@@ -7,6 +7,12 @@ Runs the study and writes every regenerated artifact:
 produces ``table1.txt`` … ``table3.txt``, ``figure2a.txt``/``2b``,
 ``figure3.csv``/``figure3.txt``, ``figure4.csv``/``figure4.txt``,
 ``comparison.txt``, ``report.txt`` and ``raw.json``.
+
+``--jobs N`` fans the study's (benchmark, technique) cells over N worker
+processes; ``--run-id`` names a checkpoint journal so an interrupted run
+resumes where it stopped::
+
+    python -m repro.study --jobs 8 --run-id full-study --out results/
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from .figures import (
     venn_systematic,
     venn_vs_random,
 )
+from .parallel import DEFAULT_CHECKPOINT_DIR, ParallelStudyRunner
 from .report import bound_comparison, found_pattern_comparison, full_report, headline_findings
 from .runner import run_study
 from .tables import table1, table2, table3
@@ -52,6 +59,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-technique progress"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for (benchmark, technique) cells (default: 1)",
+    )
+    parser.add_argument(
+        "--run-id", default=None,
+        help="checkpoint id; re-use to resume an interrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+        help=f"cell checkpoint directory (default: {DEFAULT_CHECKPOINT_DIR})",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -59,10 +78,25 @@ def main(argv=None) -> int:
     else:
         config = StudyConfig(schedule_limit=args.limit)
     config.benchmarks = args.benchmarks
+    config.jobs = max(1, args.jobs)
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
     t0 = time.time()
-    study = run_study(config, progress)
+    if config.jobs > 1 or args.run_id:
+        runner = ParallelStudyRunner(
+            config,
+            jobs=config.jobs,
+            run_id=args.run_id,
+            checkpoint_dir=args.checkpoint_dir,
+            progress=progress,
+        )
+        try:
+            study = runner.run()
+        except ValueError as exc:  # e.g. checkpoint fingerprint mismatch
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        study = run_study(config, progress)
     elapsed = time.time() - t0
 
     report = full_report(study)

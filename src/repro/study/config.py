@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: The paper's per-benchmark budget: "a limit of 10,000 terminal schedules".
@@ -12,9 +14,33 @@ PAPER_SCHEDULE_LIMIT = 10_000
 TECHNIQUES = ("IPB", "IDB", "DFS", "Rand", "MapleAlg")
 
 
+def derive_seed(base_seed: int, technique: str, bench_name: str) -> int:
+    """A stable, independent seed for one (technique, benchmark) pair.
+
+    Seeding every randomised technique directly from ``rand_seed`` gives
+    ``Rand`` and ``PCT`` *correlated* random streams (they would draw the
+    same sequence of variates), biasing any Rand-vs-PCT comparison.  We
+    instead derive per-pair seeds by hashing ``(base_seed, technique,
+    bench_name)`` with SHA-256 — stable across processes and Python runs
+    (unlike the builtin ``hash``, which is randomised for strings), so
+    serial and parallel study runs agree byte-for-byte.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{technique}:{bench_name}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 @dataclass
 class StudyConfig:
-    """Parameters of one full study run."""
+    """Parameters of one full study run.
+
+    Randomised techniques (``Rand``, ``PCT``) are **not** seeded with
+    ``rand_seed`` directly: each (technique, benchmark) cell gets an
+    independent seed via :func:`derive_seed`, so their random streams are
+    uncorrelated and reproducible regardless of execution order or
+    parallelism.
+    """
 
     #: Terminal-schedule limit per benchmark per technique.
     schedule_limit: int = PAPER_SCHEDULE_LIMIT
@@ -32,6 +58,9 @@ class StudyConfig:
     benchmarks: Optional[List[str]] = None
     #: Techniques to run.
     techniques: List[str] = field(default_factory=lambda: list(TECHNIQUES))
+    #: Worker processes for the parallel study runner (``--jobs``).
+    #: ``1`` = run cells serially in-process (identical results, no pool).
+    jobs: int = 1
     #: Per-benchmark schedule-limit overrides.  The defaults trim the two
     #: entries whose *per-execution step counts* dominate wall-clock time
     #: while leaving their found/missed pattern unchanged (nothing finds
@@ -49,6 +78,24 @@ class StudyConfig:
             self.schedule_limit,
             self.limit_overrides.get(benchmark_name, self.schedule_limit),
         )
+
+    def seed_for(self, technique: str, bench_name: str) -> int:
+        """Independent seed for one (technique, benchmark) cell; see
+        :func:`derive_seed`."""
+        return derive_seed(self.rand_seed, technique, bench_name)
+
+    def fingerprint(self) -> str:
+        """A stable digest of every result-affecting parameter.
+
+        Checkpoint files record this so a resumed run refuses to mix cell
+        results computed under a different configuration.  ``jobs`` is
+        excluded: the worker count never affects cell results, and resuming
+        with a different ``--jobs`` is explicitly supported.
+        """
+        payload = asdict(self)
+        payload.pop("jobs", None)
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def quick_config(limit: int = 300) -> StudyConfig:

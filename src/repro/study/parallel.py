@@ -1,0 +1,334 @@
+"""Parallel study execution with durable checkpoint/resume.
+
+The study is a grid of independent (benchmark, technique) *cells* (see
+:func:`repro.study.runner.run_cell`).  :class:`ParallelStudyRunner` fans
+the grid out over a ``ProcessPoolExecutor`` and journals every completed
+cell as one JSON line under ``results/checkpoints/<run-id>.jsonl``:
+
+* line 1 is a header record binding the file to a
+  :meth:`StudyConfig.fingerprint`, so a resume with a different
+  configuration is rejected instead of silently mixing results;
+* each further line is one cell record, appended (and flushed to disk)
+  the moment the cell finishes.
+
+Killing a run therefore loses at most the cells still in flight.
+Re-invoking with the same ``run_id`` loads the journal, skips every
+recorded cell — including ``ERROR`` cells; delete their lines (or pick a
+new run id) to retry them — and computes only what is missing.  A
+truncated trailing line (the kill landed mid-write) is ignored.
+
+A cell that raises is retried once; a second failure is recorded as an
+``ERROR`` cell (empty stats + the traceback) rather than aborting the
+study.  A crashed worker process (which breaks the pool) is handled the
+same way: the pool is rebuilt and the in-flight cells re-queued.
+
+With ``jobs=1`` the cells run serially in-process — same code path, no
+pool — and produce results identical to :func:`repro.study.run_study`
+(cell order cannot matter: every cell is seeded independently).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from ..sctbench import get as get_benchmark
+from .config import StudyConfig
+from .runner import (
+    BenchmarkResult,
+    ProgressFn,
+    StudyResult,
+    run_cell,
+    study_benchmarks,
+)
+
+#: Default journal location, relative to the working directory.
+DEFAULT_CHECKPOINT_DIR = os.path.join("results", "checkpoints")
+
+#: Total tries per cell: one run plus one retry, then ``ERROR``.
+MAX_ATTEMPTS = 2
+
+CHECKPOINT_VERSION = 1
+
+CellKey = Tuple[str, str]  # (benchmark name, technique)
+
+
+def _cell_worker(bench_name: str, technique: str, config: StudyConfig) -> dict:
+    """Pool entry point (module-level, hence picklable).
+
+    Never raises: a failing cell becomes an error record, so one bad cell
+    cannot poison the executor or lose the traceback.
+    """
+    try:
+        return run_cell(bench_name, technique, config)
+    except BaseException:
+        return error_record(bench_name, technique, traceback.format_exc())
+
+
+def error_record(bench_name: str, technique: str, error: str) -> dict:
+    """A cell record for a failed (benchmark, technique) execution."""
+    try:
+        info = get_benchmark(bench_name)
+        bench_id, suite = info.bench_id, info.suite
+    except KeyError:
+        bench_id, suite = -1, "?"
+    return {
+        "kind": "cell",
+        "bench": bench_name,
+        "bench_id": bench_id,
+        "suite": suite,
+        "technique": technique,
+        "status": "error",
+        "races": 0,
+        "racy_sites": 0,
+        "seconds": 0.0,
+        "stats": None,
+        "error": error,
+    }
+
+
+def load_checkpoint(path: str, config: StudyConfig) -> Dict[CellKey, dict]:
+    """Completed cells recorded in ``path`` (empty dict if absent).
+
+    Raises ``ValueError`` when the journal belongs to a run with a
+    different configuration fingerprint.  A malformed trailing line —
+    the previous run was killed mid-write — is skipped.
+    """
+    completed: Dict[CellKey, dict] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated write from an interrupted run
+            if rec.get("kind") == "header":
+                their = rec.get("fingerprint")
+                ours = config.fingerprint()
+                if their != ours:
+                    raise ValueError(
+                        f"checkpoint {path} was produced under a different "
+                        f"study configuration (fingerprint {their} != {ours}); "
+                        "use a new --run-id or delete the file"
+                    )
+            elif rec.get("kind") == "cell":
+                completed[(rec["bench"], rec["technique"])] = rec
+    return completed
+
+
+class ParallelStudyRunner:
+    """Fan the study's (benchmark, technique) cells over worker processes.
+
+    Parameters
+    ----------
+    config:
+        Study parameters; ``config.jobs`` is the default worker count.
+    jobs:
+        Worker processes (overrides ``config.jobs``).  ``1`` runs cells
+        serially in-process.
+    run_id:
+        Names the checkpoint journal; re-use an id to resume.  Defaults
+        to a timestamped id (fresh run, no resume).
+    checkpoint_dir:
+        Journal directory; ``None`` disables checkpointing entirely.
+    """
+
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        jobs: Optional[int] = None,
+        run_id: Optional[str] = None,
+        checkpoint_dir: Optional[str] = DEFAULT_CHECKPOINT_DIR,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.config = config or StudyConfig()
+        self.jobs = max(1, jobs if jobs is not None else self.config.jobs)
+        self.run_id = run_id or time.strftime("study-%Y%m%d-%H%M%S")
+        self.checkpoint_dir = checkpoint_dir
+        self.progress = progress
+        #: Cells executed (not resumed) by the last :meth:`run` call.
+        self.executed_cells: List[CellKey] = []
+
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"{self.run_id}.jsonl")
+
+    def cells(self) -> List[CellKey]:
+        """The full work grid, in deterministic (bench, technique) order."""
+        return [
+            (info.name, tech)
+            for info in study_benchmarks(self.config)
+            for tech in self.config.techniques
+        ]
+
+    # -- checkpoint journal ------------------------------------------------
+
+    def _open_journal(self) -> Optional[TextIO]:
+        path = self.checkpoint_path
+        if path is None:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        fh = open(path, "a", encoding="utf-8")
+        if fresh:
+            header = {
+                "kind": "header",
+                "version": CHECKPOINT_VERSION,
+                "run_id": self.run_id,
+                "fingerprint": self.config.fingerprint(),
+            }
+            fh.write(json.dumps(header) + "\n")
+            fh.flush()
+        return fh
+
+    def _record(
+        self,
+        completed: Dict[CellKey, dict],
+        journal: Optional[TextIO],
+        record: dict,
+    ) -> None:
+        completed[(record["bench"], record["technique"])] = record
+        if journal is not None:
+            journal.write(json.dumps(record) + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+        if self.progress:
+            if record["status"] == "ok":
+                st = record["stats"]
+                bug = st["first_bug"]
+                found = f"bug@{bug['index']}" if bug else "no bug"
+                self.progress(
+                    f"  {record['bench']}: {record['technique']}: {found} "
+                    f"({st['schedules']} schedules)"
+                )
+            else:
+                self.progress(
+                    f"  {record['bench']}: {record['technique']}: ERROR"
+                )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        config = self.config
+        grid = self.cells()
+        path = self.checkpoint_path
+        completed = load_checkpoint(path, config) if path else {}
+        pending = [key for key in grid if key not in completed]
+        self.executed_cells = list(pending)
+        if self.progress and len(pending) < len(grid):
+            self.progress(
+                f"resuming {self.run_id}: {len(grid) - len(pending)} of "
+                f"{len(grid)} cells already complete"
+            )
+
+        journal = self._open_journal()
+        try:
+            if self.jobs == 1:
+                self._run_serial(pending, completed, journal)
+            else:
+                self._run_pool(pending, completed, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        results = []
+        for info in study_benchmarks(config):
+            records = [
+                completed[(info.name, tech)]
+                for tech in config.techniques
+                if (info.name, tech) in completed
+            ]
+            results.append(BenchmarkResult.from_cells(info, records, config))
+        return StudyResult(config, results)
+
+    def _run_serial(
+        self,
+        pending: List[CellKey],
+        completed: Dict[CellKey, dict],
+        journal: Optional[TextIO],
+    ) -> None:
+        for bench, tech in pending:
+            record = _cell_worker(bench, tech, self.config)
+            if record["status"] == "error":
+                record = _cell_worker(bench, tech, self.config)  # one retry
+            self._record(completed, journal, record)
+
+    def _run_pool(
+        self,
+        pending: List[CellKey],
+        completed: Dict[CellKey, dict],
+        journal: Optional[TextIO],
+    ) -> None:
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        in_flight: Dict[object, CellKey] = {}
+        attempts: Dict[CellKey, int] = {key: 0 for key in pending}
+
+        def submit(pool_, key: CellKey):
+            attempts[key] += 1
+            fut = pool_.submit(_cell_worker, key[0], key[1], self.config)
+            in_flight[fut] = key
+
+        try:
+            for key in pending:
+                submit(pool, key)
+            while in_flight:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    key = in_flight.pop(fut)
+                    try:
+                        record = fut.result()
+                    except BrokenProcessPool:
+                        # A worker died hard (segfault/OOM-kill): every
+                        # in-flight future is lost.  Rebuild the pool and
+                        # re-queue what still has attempts left.
+                        retry = [key] + list(in_flight.values())
+                        in_flight.clear()
+                        pool.shutdown(wait=False)
+                        pool = ProcessPoolExecutor(max_workers=self.jobs)
+                        for k in retry:
+                            if attempts[k] >= MAX_ATTEMPTS:
+                                self._record(
+                                    completed,
+                                    journal,
+                                    error_record(
+                                        k[0], k[1], "worker process crashed"
+                                    ),
+                                )
+                            else:
+                                submit(pool, k)
+                        break
+                    except BaseException as exc:
+                        record = error_record(
+                            key[0], key[1], f"{type(exc).__name__}: {exc}"
+                        )
+                    if record["status"] == "error" and attempts[key] < MAX_ATTEMPTS:
+                        submit(pool, key)
+                    else:
+                        self._record(completed, journal, record)
+        finally:
+            pool.shutdown(wait=True)
+
+
+def run_study_parallel(
+    config: Optional[StudyConfig] = None,
+    jobs: Optional[int] = None,
+    run_id: Optional[str] = None,
+    checkpoint_dir: Optional[str] = DEFAULT_CHECKPOINT_DIR,
+    progress: Optional[ProgressFn] = None,
+) -> StudyResult:
+    """Convenience wrapper: build a :class:`ParallelStudyRunner` and run it."""
+    return ParallelStudyRunner(
+        config, jobs=jobs, run_id=run_id,
+        checkpoint_dir=checkpoint_dir, progress=progress,
+    ).run()

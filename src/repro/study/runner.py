@@ -4,13 +4,19 @@ For each benchmark: a data-race-detection phase builds the shared visible-
 operation filter, then each technique runs with the same filter (IPB, IDB,
 DFS, Rand) or its own instrumentation (MapleAlg observes every access, as
 the real Maple does).
+
+The unit of work is a *cell* — one (benchmark, technique) pair.  Cells are
+independent and picklable, which is what lets
+:class:`repro.study.parallel.ParallelStudyRunner` fan them out over a
+process pool; :func:`run_benchmark` and :func:`run_study` remain the serial
+reference implementation and produce identical per-technique statistics.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import (
     DFSExplorer,
@@ -20,6 +26,7 @@ from ..core import (
     make_idb,
     make_ipb,
 )
+from ..engine import sync_only_filter
 from ..racedetect import RaceDetectionReport, detect_races
 from ..sctbench import BENCHMARKS, BenchmarkInfo
 from ..sctbench import get as get_benchmark
@@ -31,7 +38,7 @@ ProgressFn = Callable[[str], None]
 class BenchmarkResult:
     """Everything measured for one benchmark."""
 
-    __slots__ = ("info", "races", "racy_sites", "stats", "seconds")
+    __slots__ = ("info", "races", "racy_sites", "stats", "seconds", "errors")
 
     def __init__(
         self,
@@ -39,12 +46,16 @@ class BenchmarkResult:
         race_report: Optional[RaceDetectionReport],
         stats: Dict[str, ExplorationStats],
         seconds: float,
+        errors: Optional[Dict[str, str]] = None,
     ) -> None:
         self.info = info
         self.races = len(race_report.races) if race_report else 0
         self.racy_sites = len(race_report.racy_sites) if race_report else 0
         self.stats = stats
         self.seconds = seconds
+        #: technique -> error message, for cells that crashed (parallel
+        #: runner only; the serial runner propagates exceptions).
+        self.errors: Dict[str, str] = dict(errors) if errors else {}
 
     @property
     def has_races(self) -> bool:
@@ -55,7 +66,7 @@ class BenchmarkResult:
         return bool(st and st.found_bug)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "id": self.info.bench_id,
             "name": self.info.name,
             "suite": self.info.suite,
@@ -64,6 +75,48 @@ class BenchmarkResult:
             "seconds": round(self.seconds, 2),
             "techniques": {k: v.as_dict() for k, v in self.stats.items()},
         }
+        if self.errors:
+            out["errors"] = dict(self.errors)
+        return out
+
+    @classmethod
+    def from_cells(
+        cls,
+        info: BenchmarkInfo,
+        records: List[dict],
+        config: StudyConfig,
+    ) -> "BenchmarkResult":
+        """Assemble one benchmark's result from per-cell records.
+
+        ``records`` are cell dicts (see :func:`run_cell`); stats appear in
+        ``config.techniques`` order so the aggregate serializes exactly
+        like a serially-produced result.  An ``ERROR`` cell contributes an
+        empty :class:`ExplorationStats` (no schedules, no bug) plus an
+        entry in :attr:`errors`.
+        """
+        by_tech = {rec["technique"]: rec for rec in records}
+        stats: Dict[str, ExplorationStats] = {}
+        errors: Dict[str, str] = {}
+        races = racy_sites = 0
+        seconds = 0.0
+        for tech in config.techniques:
+            rec = by_tech.get(tech)
+            if rec is None:
+                continue
+            seconds += rec.get("seconds") or 0.0
+            if rec.get("status") == "ok":
+                stats[tech] = ExplorationStats.from_payload(rec["stats"])
+                races = max(races, rec.get("races", 0))
+                racy_sites = max(racy_sites, rec.get("racy_sites", 0))
+            else:
+                stats[tech] = ExplorationStats(
+                    tech, info.name, config.limit_for(info.name)
+                )
+                errors[tech] = rec.get("error") or "unknown error"
+        result = cls(info, None, stats, seconds, errors)
+        result.races = races
+        result.racy_sites = racy_sites
+        return result
 
 
 class StudyResult:
@@ -101,33 +154,137 @@ class StudyResult:
         )
 
 
-def make_technique_explorers(config: StudyConfig, visible_filter):
-    """The study's five techniques (section 5), plus the extensions
-    (``PCT``, ``DPOR``) selectable via ``config.techniques``."""
-    from ..core import PCTExplorer
-    from ..core.dpor import DPORExplorer
+def make_technique_explorers(
+    config: StudyConfig,
+    visible_filter,
+    bench_name: str = "",
+    techniques: Optional[List[str]] = None,
+):
+    """Build explorers for the *requested* techniques only.
 
-    return {
-        "IPB": make_ipb(visible_filter=visible_filter, max_steps=config.max_steps),
-        "IDB": make_idb(visible_filter=visible_filter, max_steps=config.max_steps),
-        "DFS": DFSExplorer(visible_filter=visible_filter, max_steps=config.max_steps),
-        "Rand": RandomExplorer(
-            seed=config.rand_seed,
-            visible_filter=visible_filter,
-            max_steps=config.max_steps,
-        ),
-        "MapleAlg": MapleAlgExplorer(
-            seed=config.maple_seed, max_steps=config.max_steps
-        ),
-        "PCT": PCTExplorer(
+    The study's five techniques (section 5), plus the extensions (``PCT``,
+    ``DPOR``).  Factories are lazy: an excluded technique is neither
+    instantiated nor imported.  ``Rand`` and ``PCT`` get independent
+    per-(technique, benchmark) seeds via :meth:`StudyConfig.seed_for`, so
+    their random streams are uncorrelated (seeding both straight from
+    ``rand_seed`` made them draw identical variate sequences, biasing the
+    Rand-vs-PCT comparison).
+    """
+
+    def _pct():
+        from ..core import PCTExplorer
+
+        return PCTExplorer(
             depth=3,
-            seed=config.rand_seed,
+            seed=config.seed_for("PCT", bench_name),
             visible_filter=visible_filter,
             max_steps=config.max_steps,
-        ),
-        "DPOR": DPORExplorer(
+        )
+
+    def _dpor():
+        from ..core.dpor import DPORExplorer
+
+        return DPORExplorer(
+            visible_filter=visible_filter, max_steps=config.max_steps
+        )
+
+    factories = {
+        "IPB": lambda: make_ipb(
             visible_filter=visible_filter, max_steps=config.max_steps
         ),
+        "IDB": lambda: make_idb(
+            visible_filter=visible_filter, max_steps=config.max_steps
+        ),
+        "DFS": lambda: DFSExplorer(
+            visible_filter=visible_filter, max_steps=config.max_steps
+        ),
+        "Rand": lambda: RandomExplorer(
+            seed=config.seed_for("Rand", bench_name),
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+        ),
+        "MapleAlg": lambda: MapleAlgExplorer(
+            seed=config.maple_seed, max_steps=config.max_steps
+        ),
+        "PCT": _pct,
+        "DPOR": _dpor,
+    }
+    wanted = config.techniques if techniques is None else techniques
+    return {name: factories[name]() for name in wanted}
+
+
+#: Per-process cache of race-detection reports, keyed by every parameter
+#: that affects the outcome.  Detection is deterministic, so pool workers
+#: that receive several cells of the same benchmark run it once.
+_DETECTION_CACHE: Dict[Tuple[str, int, int, int], RaceDetectionReport] = {}
+
+
+def detect_races_cached(info: BenchmarkInfo, config: StudyConfig) -> RaceDetectionReport:
+    key = (info.name, config.detection_runs, config.detection_seed, config.max_steps)
+    report = _DETECTION_CACHE.get(key)
+    if report is None:
+        report = detect_races(
+            info.make(),
+            runs=config.detection_runs,
+            seed=config.detection_seed,
+            max_steps=config.max_steps,
+        )
+        _DETECTION_CACHE[key] = report
+    return report
+
+
+def _filter_for(report: RaceDetectionReport):
+    if report.has_races:
+        return report.visible_filter()
+    # No racy instructions: only synchronisation ops are visible.
+    return sync_only_filter
+
+
+def _run_technique(
+    program,
+    info: BenchmarkInfo,
+    technique: str,
+    config: StudyConfig,
+    visible_filter,
+) -> ExplorationStats:
+    """Run one technique on one benchmark — the shared core of the serial
+    runner and the parallel work cell."""
+    explorer = make_technique_explorers(
+        config, visible_filter, info.name, [technique]
+    )[technique]
+    limit = config.limit_for(info.name)
+    tech_limit = (
+        min(limit, config.maple_run_cap) if technique == "MapleAlg" else limit
+    )
+    return explorer.explore(program, tech_limit)
+
+
+def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
+    """Execute one independent (benchmark, technique) work cell.
+
+    Self-contained and picklable end to end: the benchmark is looked up by
+    name, race detection runs (or is served from the per-process cache)
+    inside the cell, and the result is a JSON-safe record.  Exceptions
+    propagate — retry/ERROR policy is the caller's job.
+    """
+    t0 = time.time()
+    info = get_benchmark(bench_name)
+    report = detect_races_cached(info, config)
+    stats = _run_technique(
+        info.make(), info, technique, config, _filter_for(report)
+    )
+    return {
+        "kind": "cell",
+        "bench": info.name,
+        "bench_id": info.bench_id,
+        "suite": info.suite,
+        "technique": technique,
+        "status": "ok",
+        "races": len(report.races),
+        "racy_sites": len(report.racy_sites),
+        "seconds": round(time.time() - t0, 6),
+        "stats": stats.to_payload(),
+        "error": None,
     }
 
 
@@ -147,25 +304,22 @@ def run_benchmark(
         seed=config.detection_seed,
         max_steps=config.max_steps,
     )
-    if report.has_races:
-        visible_filter = report.visible_filter()
-    else:
-        # No racy instructions: only synchronisation ops are visible.
-        def visible_filter(op):
-            return False
-
-    limit = config.limit_for(info.name)
-    explorers = make_technique_explorers(config, visible_filter)
+    visible_filter = _filter_for(report)
     stats: Dict[str, ExplorationStats] = {}
     for name in config.techniques:
-        explorer = explorers[name]
-        tech_limit = min(limit, config.maple_run_cap) if name == "MapleAlg" else limit
-        stats[name] = explorer.explore(program, tech_limit)
+        stats[name] = _run_technique(program, info, name, config, visible_filter)
         if progress:
             st = stats[name]
             found = f"bug@{st.schedules_to_first_bug}" if st.found_bug else "no bug"
             progress(f"  {info.name}: {name}: {found} ({st.schedules} schedules)")
     return BenchmarkResult(info, report, stats, time.time() - t0)
+
+
+def study_benchmarks(config: StudyConfig) -> List[BenchmarkInfo]:
+    """The benchmarks one study run covers, in Table 3 order."""
+    if config.benchmarks is None:
+        return list(BENCHMARKS)
+    return [get_benchmark(name) for name in config.benchmarks]
 
 
 def run_study(
@@ -174,12 +328,8 @@ def run_study(
 ) -> StudyResult:
     """Run the full study (all benchmarks × all techniques)."""
     config = config or StudyConfig()
-    if config.benchmarks is None:
-        infos = list(BENCHMARKS)
-    else:
-        infos = [get_benchmark(name) for name in config.benchmarks]
     results = []
-    for info in infos:
+    for info in study_benchmarks(config):
         if progress:
             progress(f"[{info.bench_id:2d}] {info.name}")
         results.append(run_benchmark(info, config, progress))
