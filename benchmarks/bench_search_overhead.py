@@ -1,0 +1,153 @@
+"""Search-overhead benchmark: restart-per-bound vs frontier resumption.
+
+For each subject the script runs iterative bounding twice — the classic
+restart backend (``resume_frontier=False``) and the frontier-resuming
+backend (default) — asserts their ``as_dict()`` stats are byte-identical,
+and records executions, visible steps, replayed steps, saved executions
+and wall-clock for both.  Results land in ``BENCH_search.json``.
+
+Subjects are chosen so both regimes show up:
+
+- the *exhaustive* group (fixed twins of sctbench programs — bug-free, so
+  iterative bounding drains the whole space through final bounds 3-8):
+  here restart re-execution dominates and frontier resumption must cut
+  ``executions`` by >= 2x (enforced unless ``--no-check``);
+- the *limit-hit* control (``chess.WSQ``): the schedule limit lands inside
+  bound 2, the final bound dominates, and the saving is structurally small
+  — recorded to keep the report honest, not subject to the 2x floor.
+
+Run:  PYTHONPATH=src python benchmarks/bench_search_overhead.py
+      [--limit N] [--out BENCH_search.json] [--subjects a,b,...]
+      [--techniques IPB,IDB] [--no-check]
+
+Exit status is non-zero when equivalence fails, when a frontier run
+executes more than its restart twin, or when an exhaustive subject misses
+the 2x floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import make_idb, make_ipb
+from repro.sctbench import get as get_benchmark
+from repro.sctbench.fixed import (
+    make_account_fixed,
+    make_counter_fixed,
+    make_ctrace_fixed,
+    make_reorder_fixed,
+    make_stack_fixed,
+)
+
+#: name -> (factory, exhaustive?).  Exhaustive subjects complete their
+#: whole schedule space below the limit, at a final bound >= 2.
+SUBJECTS = {
+    "fixed.account": (make_account_fixed, True),
+    "fixed.counter": (make_counter_fixed, True),
+    "fixed.stack": (make_stack_fixed, True),
+    "fixed.ctrace": (make_ctrace_fixed, True),
+    "fixed.reorder": (make_reorder_fixed, True),
+    "chess.WSQ": (lambda: get_benchmark("chess.WSQ").make(), False),
+}
+
+MAKERS = {"IPB": make_ipb, "IDB": make_idb}
+
+
+def run_cell(name: str, factory, technique: str, limit: int) -> dict:
+    make = MAKERS[technique]
+    t0 = time.perf_counter()
+    naive = make(resume_frontier=False, counters=True).explore(factory(), limit)
+    t1 = time.perf_counter()
+    frontier = make(resume_frontier=True, counters=True).explore(factory(), limit)
+    t2 = time.perf_counter()
+    ratio = naive.executions / max(1, frontier.executions)
+    return {
+        "subject": name,
+        "technique": technique,
+        "limit": limit,
+        "stats_identical": naive.as_dict() == frontier.as_dict(),
+        "final_bound": frontier.bound,
+        "completed": frontier.completed,
+        "schedules": frontier.schedules,
+        "naive": {
+            "executions": naive.executions,
+            "counters": naive.counters.to_payload(),
+            "seconds": round(t1 - t0, 4),
+        },
+        "frontier": {
+            "executions": frontier.executions,
+            "counters": frontier.counters.to_payload(),
+            "seconds": round(t2 - t1, 4),
+        },
+        "execution_ratio": round(ratio, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--limit", type=int, default=20_000)
+    parser.add_argument("--out", default="BENCH_search.json")
+    parser.add_argument(
+        "--subjects", default=",".join(SUBJECTS),
+        help="comma-separated subset of: " + ", ".join(SUBJECTS),
+    )
+    parser.add_argument("--techniques", default="IPB,IDB")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record results without enforcing the 2x floor",
+    )
+    args = parser.parse_args(argv)
+
+    cells = []
+    failures = []
+    for name in args.subjects.split(","):
+        factory, exhaustive = SUBJECTS[name.strip()]
+        for technique in args.techniques.split(","):
+            cell = run_cell(name.strip(), factory, technique.strip(), args.limit)
+            cell["exhaustive"] = exhaustive
+            cells.append(cell)
+            ratio = cell["execution_ratio"]
+            tag = f"{cell['subject']} {cell['technique']}"
+            print(
+                f"{tag:24s} bound={cell['final_bound']} "
+                f"schedules={cell['schedules']:>6} "
+                f"executions {cell['naive']['executions']:>6} -> "
+                f"{cell['frontier']['executions']:>6} "
+                f"(x{ratio:.2f}, saved "
+                f"{cell['frontier']['counters']['saved_executions']})"
+            )
+            if not cell["stats_identical"]:
+                failures.append(f"{tag}: as_dict() diverged between backends")
+            if cell["frontier"]["executions"] > cell["naive"]["executions"]:
+                failures.append(f"{tag}: frontier executed MORE than restart")
+            if exhaustive and not args.no_check and ratio < 2.0:
+                failures.append(f"{tag}: execution ratio {ratio:.2f} < 2.0")
+
+    exhaustive_ratios = [c["execution_ratio"] for c in cells if c["exhaustive"]]
+    payload = {
+        "bench": "search_overhead",
+        "limit": args.limit,
+        "cells": cells,
+        "summary": {
+            "subjects": len({c["subject"] for c in cells}),
+            "all_stats_identical": all(c["stats_identical"] for c in cells),
+            "min_exhaustive_ratio": min(exhaustive_ratios, default=None),
+            "max_exhaustive_ratio": max(exhaustive_ratios, default=None),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,17 @@ from .bounds import (
     NoBoundCost,
     PreemptionBoundCost,
 )
-from .dfs import BoundedDFS, RunRecord
+from .dfs import BoundedDFS, PrunedEdge, RunRecord
 from .dpor import DPORExplorer, IterativeBPORExplorer, dependent
-from .explorer import BugReport, ExplorationStats, Explorer
-from .iterative import DFSExplorer, IterativeBoundingExplorer, make_idb, make_ipb
+from .explorer import BugReport, EngineCounters, ExplorationStats, Explorer
+from .iterative import (
+    DFSExplorer,
+    FrontierSearch,
+    IterativeBoundingExplorer,
+    RestartSearch,
+    make_idb,
+    make_ipb,
+)
 from .maple_alg import MapleAlgExplorer
 from .pct import PCTExplorer, PCTStrategy
 from .random_walk import RandomExplorer
@@ -40,15 +47,19 @@ __all__ = [
     "PREEMPTION",
     "DELAY",
     "BoundedDFS",
+    "PrunedEdge",
     "RunRecord",
     "DPORExplorer",
     "IterativeBPORExplorer",
     "dependent",
     "BugReport",
+    "EngineCounters",
     "ExplorationStats",
     "Explorer",
     "DFSExplorer",
+    "FrontierSearch",
     "IterativeBoundingExplorer",
+    "RestartSearch",
     "make_ipb",
     "make_idb",
     "MapleAlgExplorer",

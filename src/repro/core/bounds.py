@@ -23,6 +23,14 @@ class BoundCost:
 
     name = "none"
 
+    #: Whether ``increment`` is a pure function of ``(step_index == 0,
+    #: last_tid, chosen, enabled, num_created)`` — true for every shipped
+    #: model.  When set, the DFS interns candidate orderings and their
+    #: increments per scheduling state instead of recomputing them.
+    #: Custom models that read ``step_index`` beyond the ``== 0`` check
+    #: must leave this ``False``.
+    cacheable = False
+
     def increment(
         self,
         step_index: int,
@@ -38,6 +46,7 @@ class NoBoundCost(BoundCost):
     """Unbounded search: every choice is free."""
 
     name = "none"
+    cacheable = True
 
     def increment(
         self,
@@ -54,6 +63,7 @@ class PreemptionBoundCost(BoundCost):
     """Preemption bounding (Musuvathi & Qadeer, PLDI'07)."""
 
     name = "preemption"
+    cacheable = True
 
     def increment(
         self,
@@ -73,6 +83,7 @@ class DelayBoundCost(BoundCost):
     non-preemptive round-robin deterministic scheduler."""
 
     name = "delay"
+    cacheable = True
 
     def increment(
         self,

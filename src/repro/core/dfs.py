@@ -15,24 +15,73 @@ Properties the tests rely on:
 - every terminal schedule within the bound is enumerated exactly once;
 - a candidate is pruned iff its cumulative bound cost would exceed the
   bound, so the enumerated set is exactly ``{α terminal : cost(α) ≤ c}``.
+
+Two perf features extend the classic search without changing the
+enumerated set (DESIGN.md, "Frontier resumption"):
+
+- **rooted subtrees + a pruned-edge frontier**: ``BoundedDFS`` can search
+  only beneath a fixed schedule prefix (``root``) and report every pruned
+  candidate as a :class:`PrunedEdge` (``frontier``).  Iterative bounding
+  carries these edges from bound ``c`` to ``c + 1`` and resumes beneath
+  them instead of rebuilding the whole tree from scratch — see
+  :class:`repro.core.iterative.FrontierSearch`.
+- **replay fast path** (``fast_replay=True``): the replayed prefix of each
+  execution skips enabled-set recording entirely (the executor's
+  ``record_from_step`` cut-over); each choice point stores the cumulative
+  width statistics of its path so full-run ``choice_points``/
+  ``max_enabled`` are reconstructed exactly.  With the fast path on,
+  ``result.enabled_sets`` covers only the post-replay suffix —
+  :meth:`repro.core.schedule.Schedule.from_result` refuses such results,
+  so keep the default (off) when post-hoc bound math is needed.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..engine.executor import DEFAULT_MAX_STEPS, execute
-from ..engine.state import Kernel, VisibleFilter
+from ..engine.state import Kernel, VisibleFilter, coerce_spurious_budget
 from ..engine.strategies import SchedulerStrategy, round_robin_choice
 from ..engine.trace import ExecutionResult
 from ..runtime.program import Program
 from .bounds import BoundCost, NoBoundCost
 
+#: Interning table for candidate orderings: (enabled, last_tid, num_created,
+#: step_index == 0) → (ordered candidates, their bound-cost increments).
+OrderCache = Dict[Tuple[Tuple[int, ...], int, int, bool], Tuple[Tuple[int, ...], Tuple[int, ...]]]
+
+
+class _PathNode:
+    """One immutable link in a persistent path through the schedule tree.
+
+    Chains share structure (each node points at its parent), so recording
+    a path costs O(1) — crucial for pruned-edge recording, which happens
+    for *every* candidate the bound cuts off.  Paths are materialized into
+    tuples only for the few edges the next bound actually resumes.
+    """
+
+    __slots__ = ("parent", "order_pos", "tid")
+
+    def __init__(self, parent, order_pos: int, tid: int) -> None:
+        self.parent = parent
+        self.order_pos = order_pos
+        self.tid = tid
+
 
 class _ChoicePoint:
     """One scheduling point on the current DFS path."""
 
-    __slots__ = ("candidates", "increments", "idx", "cost_before")
+    __slots__ = (
+        "candidates",
+        "increments",
+        "idx",
+        "cost_before",
+        "order_positions",
+        "cp_after",
+        "maxen_after",
+        "parent_link",
+        "link",
+    )
 
     def __init__(
         self,
@@ -40,15 +89,36 @@ class _ChoicePoint:
         increments: List[int],
         idx: int,
         cost_before: int,
+        order_positions: List[int],
+        cp_after: int,
+        maxen_after: int,
+        parent_link,
     ) -> None:
         self.candidates = candidates
         self.increments = increments
         self.idx = idx
         self.cost_before = cost_before
+        #: Position of each candidate in the *full* deterministic ordering
+        #: (pruned candidates included).  Bound-independent, so the
+        #: sequence of positions along a path is a stable DFS sort key.
+        self.order_positions = order_positions
+        #: Cumulative width statistics of the path through this step
+        #: (choice points with >1 enabled thread / max enabled-set width),
+        #: used to re-seed run stats when the replay prefix is skipped.
+        self.cp_after = cp_after
+        self.maxen_after = maxen_after
+        #: Persistent path up to (excluding) this step; ``link`` extends it
+        #: with the *current* choice and is rebuilt on every backtrack.
+        self.parent_link = parent_link
+        self.link = _PathNode(parent_link, order_positions[idx], candidates[idx])
 
     @property
     def chosen(self) -> int:
         return self.candidates[self.idx]
+
+    @property
+    def order_pos(self) -> int:
+        return self.order_positions[self.idx]
 
     @property
     def cost_after(self) -> int:
@@ -56,6 +126,86 @@ class _ChoicePoint:
 
     def has_untried(self) -> bool:
         return self.idx + 1 < len(self.candidates)
+
+
+class PrunedEdge:
+    """A candidate the bound cut off, with everything needed to resume
+    the search beneath it at a later (higher) bound.
+
+    The edge doubles as the terminal :class:`_PathNode` of its path
+    (``parent``/``order_pos``/``tid`` slots), so recording one is O(1);
+    ``order_path`` and ``schedule`` materialize the chain on first use.
+
+    ``order_path`` is the sequence of full-ordering positions from the
+    root through the pruned candidate; lexicographic order on it equals
+    the DFS visiting order of the whole tree at *any* bound, which is what
+    lets :class:`repro.core.iterative.FrontierSearch` enumerate resumed
+    schedules in exactly the order a from-scratch search would.
+    """
+
+    __slots__ = (
+        "parent",
+        "order_pos",
+        "tid",
+        "cost_after",
+        "cp",
+        "maxen",
+        "_order_path",
+        "_schedule",
+    )
+
+    def __init__(
+        self,
+        parent,
+        order_pos: int,
+        tid: int,
+        cost_after: int,
+        cp: int,
+        maxen: int,
+    ) -> None:
+        self.parent = parent
+        self.order_pos = order_pos
+        self.tid = tid
+        #: Cumulative bound cost including the pruned step — the smallest
+        #: bound at which this edge becomes explorable.
+        self.cost_after = cost_after
+        #: Width statistics of the prefix (see ``_ChoicePoint.cp_after``).
+        self.cp = cp
+        self.maxen = maxen
+        self._order_path: Optional[Tuple[int, ...]] = None
+        self._schedule: Optional[List[int]] = None
+
+    def _materialize(self) -> None:
+        path: List[int] = []
+        sched: List[int] = []
+        node = self
+        while node is not None:
+            path.append(node.order_pos)
+            sched.append(node.tid)
+            node = node.parent
+        path.reverse()
+        sched.reverse()
+        self._order_path = tuple(path)
+        self._schedule = sched
+
+    @property
+    def order_path(self) -> Tuple[int, ...]:
+        if self._order_path is None:
+            self._materialize()
+        return self._order_path
+
+    @property
+    def schedule(self) -> List[int]:
+        """Replayable prefix: the path to the pruning point plus the pruned
+        candidate itself as the final step."""
+        if self._schedule is None:
+            self._materialize()
+        return self._schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrunedEdge(len={len(self.schedule)}, cost={self.cost_after})"
+        )
 
 
 class RunRecord:
@@ -74,8 +224,8 @@ class RunRecord:
 
 
 class _DFSStrategy(SchedulerStrategy):
-    """Replays the stack prefix, then extends with the default policy,
-    pushing new choice points as it goes."""
+    """Replays the root prefix and then the stack prefix, then extends
+    with the default policy, pushing new choice points as it goes."""
 
     __slots__ = ("dfs", "replay_len")
 
@@ -83,43 +233,111 @@ class _DFSStrategy(SchedulerStrategy):
         self.dfs = dfs
         self.replay_len = replay_len
 
+    def prefix_choice(self, step_index: int) -> Optional[int]:
+        dfs = self.dfs
+        root_len = dfs._root_len
+        if step_index < root_len:
+            return dfs._root_schedule[step_index]
+        k = step_index - root_len
+        if k < self.replay_len:
+            return dfs._stack[k].chosen
+        return None
+
     def choose(
         self, step_index: int, enabled: Tuple[int, ...], last_tid: int, kernel: Kernel
     ) -> int:
         dfs = self.dfs
+        root_len = dfs._root_len
+        if step_index < root_len:
+            # Root-prefix replay on the slow path (fast_replay off, or the
+            # hint was rejected — impossible for a deterministic program).
+            return dfs._root_schedule[step_index]
         stack = dfs._stack
-        if step_index < self.replay_len:
-            return stack[step_index].chosen
+        k = step_index - root_len
+        if k < self.replay_len:
+            return stack[k].chosen
         # New frontier: enumerate candidates (default policy first), prune
         # by bound, push a fresh choice point.
-        cost_before = stack[step_index - 1].cost_after if step_index > 0 else 0
+        if k > 0:
+            prev = stack[k - 1]
+            cost_before = prev.cost_after
+            cp_before = prev.cp_after
+            maxen_before = prev.maxen_after
+            parent_link = prev.link
+        else:
+            cost_before = dfs._root_cost
+            cp_before = dfs._root_cp
+            maxen_before = dfs._root_maxen
+            parent_link = dfs._root_node
         n = kernel.num_created
-        default = round_robin_choice(enabled, last_tid, n)
-        ordered = [default]
-        # Remaining candidates in round-robin order from last_tid, a fixed
-        # deterministic order (the specific order only affects which
-        # schedule is found first, not the enumerated set).
-        enabled_set = set(enabled)
-        for off in range(n):
-            tid = (last_tid + off) % n
-            if tid in enabled_set and tid != default:
-                ordered.append(tid)
+        cost = dfs.cost_model
+        cache = dfs._order_cache if cost.cacheable else None
+        key = (enabled, last_tid, n, step_index == 0)
+        cached = None if cache is None else cache.get(key)
+        if cached is None:
+            default = round_robin_choice(enabled, last_tid, n)
+            ordered = [default]
+            # Remaining candidates in round-robin order from last_tid, a
+            # fixed deterministic order independent of the bound (it only
+            # affects which schedule is found first, not the enumerated
+            # set) — which is what makes ordering positions a stable DFS
+            # sort key across bounds.
+            enabled_set = set(enabled)
+            for off in range(n):
+                tid = (last_tid + off) % n
+                if tid in enabled_set and tid != default:
+                    ordered.append(tid)
+            increments = tuple(
+                cost.increment(step_index, last_tid, tid, enabled, n)
+                for tid in ordered
+            )
+            cached = (tuple(ordered), increments)
+            if cache is not None:
+                cache[key] = cached
+        ordered, all_increments = cached
+        width = len(enabled)
+        cp_here = cp_before + 1 if width > 1 else cp_before
+        maxen_here = maxen_before if maxen_before >= width else width
+        bound = dfs.bound
         candidates: List[int] = []
         increments: List[int] = []
-        cost = dfs.cost_model
-        bound = dfs.bound
-        for tid in ordered:
-            inc = cost.increment(step_index, last_tid, tid, enabled, n)
+        positions: List[int] = []
+        for pos, tid in enumerate(ordered):
+            inc = all_increments[pos]
             if bound is not None and cost_before + inc > bound:
                 dfs._pruned_this_run = True
+                frontier = dfs._frontier
+                if frontier is not None:
+                    frontier.append(
+                        PrunedEdge(
+                            parent_link,
+                            pos,
+                            tid,
+                            cost_before + inc,
+                            cp_here,
+                            maxen_here,
+                        )
+                    )
                 continue
             candidates.append(tid)
             increments.append(inc)
+            positions.append(pos)
         if not candidates:
             # The default round-robin continuation always has cost 0, so
             # this cannot happen; guard for future cost models.
             raise AssertionError("bound pruned every enabled successor")
-        stack.append(_ChoicePoint(candidates, increments, 0, cost_before))
+        stack.append(
+            _ChoicePoint(
+                candidates,
+                increments,
+                0,
+                cost_before,
+                positions,
+                cp_here,
+                maxen_here,
+                parent_link,
+            )
+        )
         return candidates[0]
 
 
@@ -129,6 +347,27 @@ class BoundedDFS:
     ``bound=None`` (with :class:`~repro.core.bounds.NoBoundCost`) is the
     paper's unbounded DFS.  Iterate :meth:`runs`; the caller decides when
     to stop (schedule limits live in the explorer wrappers).
+
+    Keyword extensions (all optional; defaults reproduce the classic
+    search exactly):
+
+    root:
+        A :class:`PrunedEdge` to search beneath: every execution replays
+        ``root.schedule`` first and only the subtree below it is
+        enumerated.  Used by iterative bounding's frontier resumption.
+    frontier:
+        A list that collects a :class:`PrunedEdge` for every candidate the
+        bound cuts off (append-only sink, shared across subtrees).
+    order_cache:
+        Interning table for candidate orderings + cost increments, shared
+        across runs and bounds (they are pure functions of the scheduling
+        state for all shipped cost models).
+    fast_replay:
+        Skip enabled-set recording and scanning during replayed prefixes
+        (the executor's ``record_from_step`` cut-over).  Results then
+        carry suffix-only ``enabled_sets`` — full-run ``choice_points`` /
+        ``max_enabled`` are still exact, reconstructed from per-choice-
+        point cumulative stats.
     """
 
     def __init__(
@@ -139,17 +378,44 @@ class BoundedDFS:
         *,
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
-        spurious_wakeups: bool = False,
+        spurious_wakeups: int = 0,
+        root: Optional[PrunedEdge] = None,
+        frontier: Optional[List[PrunedEdge]] = None,
+        order_cache: Optional[OrderCache] = None,
+        fast_replay: bool = False,
     ) -> None:
         self.program = program
         self.cost_model = cost_model or NoBoundCost()
         self.bound = bound
         self.visible_filter = visible_filter
         self.max_steps = max_steps
-        self.spurious_wakeups = spurious_wakeups
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        self.fast_replay = fast_replay
         self._stack: List[_ChoicePoint] = []
         self._pruned_this_run = False
         self._exhausted = False
+        self._frontier = frontier
+        self._order_cache: OrderCache = order_cache if order_cache is not None else {}
+        if root is not None:
+            self._root_schedule = list(root.schedule)
+            self._root_node = root
+            self._root_cost = root.cost_after
+            self._root_cp = root.cp
+            self._root_maxen = root.maxen
+        else:
+            self._root_schedule = []
+            self._root_node = None
+            self._root_cost = 0
+            self._root_cp = 0
+            self._root_maxen = 0
+        self._root_len = len(self._root_schedule)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the (sub)tree has been fully enumerated.  Valid at every
+        :meth:`runs` yield: backtracking happens eagerly, so after the
+        final run this is already ``True``."""
+        return self._exhausted
 
     def runs(self) -> Iterator[RunRecord]:
         """Yield one :class:`RunRecord` per execution until the bounded
@@ -158,19 +424,41 @@ class BoundedDFS:
         while not self._exhausted:
             self._pruned_this_run = False
             strategy = _DFSStrategy(self, replay_len)
+            cut = self._root_len + replay_len if self.fast_replay else 0
             result = execute(
                 self.program,
                 strategy,
                 max_steps=self.max_steps,
                 visible_filter=self.visible_filter,
                 record_enabled=True,
+                record_from_step=cut,
                 spurious_wakeups=self.spurious_wakeups,
             )
-            final_cost = self._stack[-1].cost_after if self._stack else 0
-            yield RunRecord(result, final_cost, self._pruned_this_run)
-            replay_len = self._backtrack()
-            if replay_len is None:
+            if cut:
+                # Re-seed the width stats the skipped prefix would have
+                # contributed; every path's cumulative stats live on its
+                # deepest replayed choice point (or the root edge).
+                if replay_len > 0:
+                    pre = self._stack[replay_len - 1]
+                    cp0, maxen0 = pre.cp_after, pre.maxen_after
+                else:
+                    cp0, maxen0 = self._root_cp, self._root_maxen
+                result.choice_points += cp0
+                if maxen0 > result.max_enabled:
+                    result.max_enabled = maxen0
+            final_cost = (
+                self._stack[-1].cost_after if self._stack else self._root_cost
+            )
+            record = RunRecord(result, final_cost, self._pruned_this_run)
+            # Backtrack *before* yielding so ``exhausted`` is accurate the
+            # moment the caller sees the final run (a schedule limit can
+            # land exactly on space exhaustion — Table 2 accounting).
+            next_replay = self._backtrack()
+            if next_replay is None:
                 self._exhausted = True
+            else:
+                replay_len = next_replay
+            yield record
 
     def _backtrack(self) -> Optional[int]:
         """Advance the deepest choice point with an untried candidate.
@@ -183,6 +471,7 @@ class BoundedDFS:
             top = stack[-1]
             if top.has_untried():
                 top.idx += 1
+                top.link = _PathNode(top.parent_link, top.order_pos, top.chosen)
                 return len(stack)
             stack.pop()
         return None

@@ -70,6 +70,64 @@ class BugReport:
         )
 
 
+class EngineCounters:
+    """Opt-in engine-cost counters (implementation cost, not paper metrics).
+
+    Collected by the systematic explorers when constructed with
+    ``counters=True`` and surfaced via :meth:`ExplorationStats.to_payload`
+    and the study report.  ``executions``/``steps`` measure what actually
+    ran; ``replayed_steps`` is the share of steps spent re-walking known
+    prefixes (the replay fast path's target); ``saved_executions`` counts
+    the re-executions a restart-per-bound search would have performed that
+    frontier resumption skipped (computed per entered bound, so the final
+    bound is counted as if naive restart ran it to the same stopping
+    point's bound start — exact for every completed bound).
+    """
+
+    __slots__ = ("executions", "steps", "replayed_steps", "saved_executions")
+
+    def __init__(
+        self,
+        executions: int = 0,
+        steps: int = 0,
+        replayed_steps: int = 0,
+        saved_executions: int = 0,
+    ) -> None:
+        self.executions = executions
+        self.steps = steps
+        self.replayed_steps = replayed_steps
+        self.saved_executions = saved_executions
+
+    def observe(self, result: ExecutionResult) -> None:
+        """Fold one execution's cost in."""
+        self.executions += 1
+        self.steps += result.steps
+        self.replayed_steps += min(result.recorded_from, result.steps)
+
+    def to_payload(self) -> dict:
+        return {
+            "executions": self.executions,
+            "steps": self.steps,
+            "replayed_steps": self.replayed_steps,
+            "saved_executions": self.saved_executions,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EngineCounters":
+        return cls(
+            payload["executions"],
+            payload["steps"],
+            payload["replayed_steps"],
+            payload["saved_executions"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineCounters(executions={self.executions}, steps={self.steps}, "
+            f"replayed={self.replayed_steps}, saved={self.saved_executions})"
+        )
+
+
 class ExplorationStats:
     """Aggregate statistics of one technique applied to one program."""
 
@@ -88,6 +146,7 @@ class ExplorationStats:
         "max_choice_points",
         "threads_created",
         "limit",
+        "counters",
     )
 
     def __init__(self, technique: str, program_name: str, limit: int) -> None:
@@ -115,6 +174,9 @@ class ExplorationStats:
         self.max_choice_points = 0
         self.threads_created = 0
         self.limit = limit
+        #: Opt-in engine-cost counters (``None`` unless the explorer was
+        #: constructed with ``counters=True``).
+        self.counters: Optional[EngineCounters] = None
 
     @property
     def found_bug(self) -> bool:
@@ -195,6 +257,7 @@ class ExplorationStats:
             "max_enabled": self.max_enabled,
             "max_choice_points": self.max_choice_points,
             "threads_created": self.threads_created,
+            "counters": self.counters.to_payload() if self.counters else None,
         }
 
     @classmethod
@@ -212,6 +275,9 @@ class ExplorationStats:
         stats.max_enabled = payload["max_enabled"]
         stats.max_choice_points = payload["max_choice_points"]
         stats.threads_created = payload["threads_created"]
+        # Absent in pre-counter checkpoints — tolerate for resume.
+        if payload.get("counters"):
+            stats.counters = EngineCounters.from_payload(payload["counters"])
         return stats
 
     def __repr__(self) -> str:

@@ -7,28 +7,166 @@ schedule limit is exhausted.  This induces the partial order
 
 Accounting matches Table 3:
 
-- ``schedules`` counts *distinct* terminal schedules — at bound ``c`` the
-  bounded DFS re-executes schedules whose cost is below ``c`` (they were
-  counted at an earlier iteration) and only schedules with cost exactly
-  ``c`` are new;
+- ``schedules`` counts *distinct* terminal schedules — only schedules with
+  cost exactly ``c`` are new at bound ``c``;
 - when a bug is found at bound ``c``, the remaining schedules within bound
   ``c`` are still explored (the paper does this to report worst-case
   schedule counts robust to search-order luck — Figure 4), then the search
   stops;
 - ``bound`` reports the smallest bound exposing the bug, or the bound
   reached (not fully explored) when the limit was hit.
+
+Two interchangeable search backends produce that accounting:
+
+- :class:`RestartSearch` — the classic implementation: a fresh
+  :class:`~repro.core.dfs.BoundedDFS` per bound, re-executing every
+  schedule of cost < ``c`` on the way to cost ``c`` (CHESS does the same;
+  the paper treats this as implementation cost, not a metric);
+- :class:`FrontierSearch` — frontier resumption: bound ``c``'s search
+  records every candidate the bound pruned (:class:`PrunedEdge`), and
+  bound ``c + 1`` replays the minimal prefix to each unlocked edge and
+  searches only beneath it.  Every terminal schedule is executed exactly
+  once across all bounds; the enumerated set *and order* are identical to
+  the restart backend (pruned edges sort by their bound-independent
+  ``order_path``), so all Table 3 accounting is byte-identical — only
+  ``executions`` and wall-clock shrink.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, List, Optional
 
 from ..engine.executor import DEFAULT_MAX_STEPS
-from ..engine.state import VisibleFilter
+from ..engine.state import VisibleFilter, coerce_spurious_budget
 from ..runtime.program import Program
 from .bounds import DELAY, PREEMPTION, BoundCost, NoBoundCost
-from .dfs import BoundedDFS
-from .explorer import BugReport, ExplorationStats, Explorer
+from .dfs import BoundedDFS, OrderCache, PrunedEdge, RunRecord
+from .explorer import BugReport, EngineCounters, ExplorationStats, Explorer
+
+
+class RestartSearch:
+    """Per-bound search that restarts a fresh :class:`BoundedDFS` at every
+    bound — the reference (naive) backend for iterative bounding."""
+
+    #: Whether lower-bound runs are skipped (frontier resumption).
+    resumes = False
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: BoundCost,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        spurious_wakeups: int = 0,
+        fast_replay: bool = True,
+    ) -> None:
+        self.program = program
+        self.cost_model = cost_model
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        self.fast_replay = fast_replay
+        self._order_cache: OrderCache = {}
+        self._pruned = False
+
+    def runs_at_bound(self, bound: int) -> Iterator[RunRecord]:
+        self._pruned = False
+        dfs = BoundedDFS(
+            self.program,
+            self.cost_model,
+            bound,
+            visible_filter=self.visible_filter,
+            max_steps=self.max_steps,
+            spurious_wakeups=self.spurious_wakeups,
+            order_cache=self._order_cache,
+            fast_replay=self.fast_replay,
+        )
+        for record in dfs.runs():
+            if record.pruned_any:
+                self._pruned = True
+            yield record
+
+    def pruned_at_bound(self) -> bool:
+        """Whether the last fully-drained bound pruned anything (i.e. the
+        schedule space extends beyond it)."""
+        return self._pruned
+
+
+class FrontierSearch:
+    """Frontier-resuming backend: never re-executes an enumerated subtree.
+
+    The first bound runs a full bounded DFS that records every pruned
+    candidate as a :class:`PrunedEdge`.  Each later bound takes the edges
+    whose cost the new bound affords, sorts them into DFS order (their
+    ``order_path`` is bound-independent), and searches only the subtree
+    beneath each — replaying the minimal prefix via the executor's replay
+    fast path.  Edges still beyond the bound stay in the frontier.
+
+    Every schedule reached through an unlocked edge has cost exactly the
+    current bound (the prefix spends the whole budget; within-bound
+    continuations are free), which is precisely the "new at bound ``c``"
+    set the restart backend discovers among its re-executions — in the
+    same order, because disjoint subtrees sort the same way their roots
+    do.  ``pruned_at_bound`` is the frontier's non-emptiness: exactly the
+    restart backend's "anything pruned this bound" signal, since a
+    carried-over locked edge is re-pruned by every restart pass.
+    """
+
+    resumes = True
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: BoundCost,
+        *,
+        visible_filter: Optional[VisibleFilter] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        spurious_wakeups: int = 0,
+        fast_replay: bool = True,
+    ) -> None:
+        self.program = program
+        self.cost_model = cost_model
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        self.fast_replay = fast_replay
+        self._order_cache: OrderCache = {}
+        self._frontier: List[PrunedEdge] = []
+        self._started = False
+
+    def _subtree(self, bound: int, root: Optional[PrunedEdge]) -> BoundedDFS:
+        return BoundedDFS(
+            self.program,
+            self.cost_model,
+            bound,
+            visible_filter=self.visible_filter,
+            max_steps=self.max_steps,
+            spurious_wakeups=self.spurious_wakeups,
+            root=root,
+            frontier=self._frontier,
+            order_cache=self._order_cache,
+            fast_replay=self.fast_replay,
+        )
+
+    def runs_at_bound(self, bound: int) -> Iterator[RunRecord]:
+        if not self._started:
+            self._started = True
+            yield from self._subtree(bound, None).runs()
+            return
+        unlocked = [e for e in self._frontier if e.cost_after <= bound]
+        if not unlocked:
+            return
+        self._frontier = [e for e in self._frontier if e.cost_after > bound]
+        # Bound-independent DFS order: resumed subtrees are disjoint, so
+        # sorting their roots enumerates schedules exactly as a restart
+        # pass would encounter the new ones.
+        unlocked.sort(key=lambda e: e.order_path)
+        for entry in unlocked:
+            yield from self._subtree(bound, entry).runs()
+
+    def pruned_at_bound(self) -> bool:
+        return bool(self._frontier)
 
 
 class DFSExplorer(Explorer):
@@ -42,15 +180,19 @@ class DFSExplorer(Explorer):
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
-        spurious_wakeups: bool = False,
+        spurious_wakeups: int = 0,
+        counters: bool = False,
     ) -> None:
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
-        self.spurious_wakeups = spurious_wakeups
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        self.counters = counters
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         stats = ExplorationStats(self.technique, program.name, limit)
+        if self.counters:
+            stats.counters = EngineCounters()
         dfs = BoundedDFS(
             program,
             NoBoundCost(),
@@ -58,10 +200,13 @@ class DFSExplorer(Explorer):
             visible_filter=self.visible_filter,
             max_steps=self.max_steps,
             spurious_wakeups=self.spurious_wakeups,
+            fast_replay=True,
         )
         for record in dfs.runs():
             stats.executions += 1
             result = record.result
+            if stats.counters is not None:
+                stats.counters.observe(result)
             stats.observe_run(result)
             if not result.outcome.is_terminal_schedule:
                 continue
@@ -80,6 +225,11 @@ class DFSExplorer(Explorer):
                     if self.stop_at_first_bug:
                         return stats
             if stats.schedules >= limit:
+                # Hitting the limit on the very last schedule still means
+                # the space was exhausted (Table 2: "total terminal
+                # schedules < limit" distinguishes ≤ from <; backtracking
+                # is eager, so exhaustion is already known here).
+                stats.completed = dfs.exhausted
                 return stats
         stats.completed = True
         return stats
@@ -96,41 +246,57 @@ class IterativeBoundingExplorer(Explorer):
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         max_bound: int = 64,
-        spurious_wakeups: bool = False,
+        spurious_wakeups: int = 0,
+        resume_frontier: bool = True,
+        counters: bool = False,
     ) -> None:
         self.cost_model = cost_model
         self.technique = technique
         self.visible_filter = visible_filter
         self.max_steps = max_steps
-        self.spurious_wakeups = spurious_wakeups
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         #: Safety net: stop raising the bound past this (a benchmark whose
         #: space is exhausted stops earlier via the pruning signal).
         self.max_bound = max_bound
+        #: Carry the pruned frontier from bound ``c`` to ``c + 1`` instead
+        #: of restarting the DFS from scratch (identical accounting, far
+        #: fewer executions).  ``False`` selects the restart backend — the
+        #: equivalence baseline used by tests and the overhead benchmark.
+        self.resume_frontier = resume_frontier
+        self.counters = counters
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         stats = ExplorationStats(self.technique, program.name, limit)
+        if self.counters:
+            stats.counters = EngineCounters()
+        backend = FrontierSearch if self.resume_frontier else RestartSearch
+        search = backend(
+            program,
+            self.cost_model,
+            visible_filter=self.visible_filter,
+            max_steps=self.max_steps,
+            spurious_wakeups=self.spurious_wakeups,
+        )
+        runs_before_bound = 0
         for bound in range(self.max_bound + 1):
             stats.bound = bound
             stats.new_schedules_at_bound = 0
-            pruned_any = False
             bug_at_this_bound = False
-            dfs = BoundedDFS(
-                program,
-                self.cost_model,
-                bound,
-                visible_filter=self.visible_filter,
-                max_steps=self.max_steps,
-                spurious_wakeups=self.spurious_wakeups,
-            )
-            for record in dfs.runs():
+            if stats.counters is not None and search.resumes and bound > 0:
+                # A restart pass at this bound would begin by re-executing
+                # every run of the earlier bounds.
+                stats.counters.saved_executions += runs_before_bound
+            for record in search.runs_at_bound(bound):
                 stats.executions += 1
                 result = record.result
+                if stats.counters is not None:
+                    stats.counters.observe(result)
                 stats.observe_run(result)
-                pruned_any = pruned_any or record.pruned_any
                 if not result.outcome.is_terminal_schedule:
                     continue
                 if record.cost < bound:
                     # Re-explored from an earlier iteration; not counted.
+                    # (The frontier backend never yields these.)
                     continue
                 stats.schedules += 1
                 stats.new_schedules_at_bound += 1
@@ -148,10 +314,11 @@ class IterativeBoundingExplorer(Explorer):
                         )
                 if stats.schedules >= limit:
                     return stats
+            runs_before_bound = stats.executions
             if bug_at_this_bound:
                 # Bound c fully explored (modulo the limit) and buggy: stop.
                 return stats
-            if not pruned_any:
+            if not search.pruned_at_bound():
                 # Nothing was cut off by the bound, so the whole schedule
                 # space has been enumerated — "total terminal schedules
                 # < limit" in Table 2's terms.

@@ -12,7 +12,7 @@ import random
 from typing import Optional
 
 from ..engine.executor import DEFAULT_MAX_STEPS, execute
-from ..engine.state import VisibleFilter
+from ..engine.state import VisibleFilter, coerce_spurious_budget
 from ..engine.strategies import RandomStrategy
 from ..runtime.program import Program
 from .explorer import BugReport, ExplorationStats, Explorer
@@ -28,13 +28,13 @@ class RandomExplorer(Explorer):
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
-        spurious_wakeups: bool = False,
+        spurious_wakeups: int = 0,
     ) -> None:
         self.seed = seed
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
-        self.spurious_wakeups = spurious_wakeups
+        self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         """Run ``limit`` random-schedule executions (the paper runs 10,000)."""

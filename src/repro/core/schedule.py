@@ -141,6 +141,13 @@ class Schedule:
                 "execution was run with record_enabled=False; bounds "
                 "cannot be computed"
             )
+        if result.recorded_from > 0:
+            raise ValueError(
+                "execution took the replay fast path "
+                f"(recorded_from={result.recorded_from}); its enabled sets "
+                "cover only the suffix, so bounds cannot be computed — "
+                "re-run with recording from step 0"
+            )
         return cls(result.schedule, result.enabled_sets, result.created_counts)
 
     def __len__(self) -> int:

@@ -23,6 +23,7 @@ def execute(
     visible_filter: Optional[VisibleFilter] = None,
     observers: Sequence[ExecutionObserver] = (),
     record_enabled: bool = True,
+    record_from_step: int = 0,
     spurious_wakeups: int = 0,
 ) -> ExecutionResult:
     """Execute ``program`` once, fully controlling the schedule.
@@ -39,13 +40,21 @@ def execute(
     record_enabled:
         Record per-step enabled sets and thread counts (needed to compute
         preemption/delay counts post-hoc).  Disable for cheap runs.
+    record_from_step:
+        Replay fast-path cut-over: steps below this index are a known
+        replay prefix, so their enabled sets are neither recorded nor
+        folded into ``choice_points``/``max_enabled``, and when the
+        strategy's :meth:`~SchedulerStrategy.prefix_choice` names an
+        enabled thread the full enabled-set scan is skipped outright.
+        The caller owns re-seeding the width statistics for the skipped
+        prefix (the DFS stack stores them per choice point).  ``0``
+        (default) records everything, exactly as before.
     spurious_wakeups:
         Per-execution budget of signal-less condvar wake-ups (POSIX
-        permits them; CHESS's ``/spuriouswakeups``).  ``True`` means one.
-        While budget remains, waiting threads join the enabled set, so
-        schedules recorded with a budget only replay with the same
-        budget.  The budget keeps correct wait/recheck loops' schedule
-        trees finite.
+        permits them; CHESS's ``/spuriouswakeups``).  While budget
+        remains, waiting threads join the enabled set, so schedules
+        recorded with a budget only replay with the same budget.  The
+        budget keeps correct wait/recheck loops' schedule trees finite.
 
     Returns
     -------
@@ -80,6 +89,21 @@ def execute(
             if kernel.bug is not None:
                 outcome = outcome_for_bug(kernel.bug)
                 break
+            step_index = kernel.steps
+            in_prefix = step_index < record_from_step
+            if in_prefix:
+                hint = strategy.prefix_choice(step_index)
+                if hint is not None and kernel.tid_enabled(hint):
+                    # Fast path: the prefix decision is predetermined and
+                    # executable, so the full enabled set is never needed.
+                    # ``tid_enabled`` implies at least one enabled thread,
+                    # so the OK/DEADLOCK classification below cannot apply.
+                    if step_index >= max_steps:
+                        outcome = Outcome.STEP_LIMIT
+                        break
+                    schedule.append(hint)
+                    kernel.step(hint)
+                    continue
             enabled = kernel.enabled()
             width = len(enabled)
             if width == 0:
@@ -91,15 +115,16 @@ def execute(
                     )
                     outcome = Outcome.DEADLOCK
                 break
-            if kernel.steps >= max_steps:
+            if step_index >= max_steps:
                 outcome = Outcome.STEP_LIMIT
                 break
-            if width > max_enabled:
-                max_enabled = width
-            if width > 1:
-                choice_points += 1
-            tid = strategy.choose(kernel.steps, enabled, kernel.last_tid, kernel)
-            if record_enabled:
+            if not in_prefix:
+                if width > max_enabled:
+                    max_enabled = width
+                if width > 1:
+                    choice_points += 1
+            tid = strategy.choose(step_index, enabled, kernel.last_tid, kernel)
+            if record_enabled and not in_prefix:
                 enabled_sets.append(enabled)
                 created_counts.append(kernel.num_created)
             schedule.append(tid)
@@ -116,6 +141,7 @@ def execute(
         max_enabled=max_enabled,
         threads_created=kernel.num_created,
         shared=shared,
+        recorded_from=min(record_from_step, kernel.steps),
     )
     for obs in observers:
         obs.on_finish(result)
@@ -129,6 +155,7 @@ def replay(
     visible_filter: Optional[VisibleFilter] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     spurious_wakeups: int = 0,
+    record: bool = True,
 ) -> ExecutionResult:
     """Replay a recorded schedule (bug reproduction).
 
@@ -136,6 +163,12 @@ def replay(
     behaves differently than when the schedule was recorded — i.e. if the
     determinism assumption is violated.  Pass the same ``visible_filter``
     and ``spurious_wakeups`` the schedule was recorded with.
+
+    ``record=False`` takes the replay fast path for the whole schedule:
+    per-step enabled sets are neither computed nor recorded (divergence is
+    still detected — an unexecutable step falls back to the strict check).
+    The outcome/bug classification is unaffected; use it when only the
+    outcome matters, e.g. when re-confirming a bug report in bulk.
     """
     from .strategies import ReplayStrategy
 
@@ -144,5 +177,7 @@ def replay(
         ReplayStrategy(schedule, strict=True),
         visible_filter=visible_filter,
         max_steps=max_steps,
+        record_enabled=record,
+        record_from_step=0 if record else len(schedule),
         spurious_wakeups=spurious_wakeups,
     )

@@ -24,6 +24,8 @@ Semantics notes (mapping to the paper's model, section 2):
 from __future__ import annotations
 
 import enum
+import warnings
+from bisect import insort
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..runtime.context import ThreadContext, ThreadHandle
@@ -51,6 +53,26 @@ def sync_only_filter(op: Op) -> bool:
     picklable, so work cells carrying it can cross process boundaries.
     """
     return False
+
+
+def coerce_spurious_budget(value) -> int:
+    """Normalize a spurious-wakeups budget to ``int``.
+
+    Historically the explorers declared ``spurious_wakeups: bool = False``
+    while the executor took an int budget ("``True`` means one").  The
+    parameter is an ``int`` end to end now; passing a ``bool`` still works
+    (``True`` → 1, ``False`` → 0) but is deprecated.
+    """
+    if type(value) is bool:
+        warnings.warn(
+            "spurious_wakeups is an int budget; passing a bool is "
+            "deprecated (True means a budget of 1)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return int(value)
+    return int(value)
+
 
 #: Op kinds whose enabledness depends on shared state (everything else is
 #: always enabled — checked first on the hot path).
@@ -110,6 +132,7 @@ class Kernel:
         "spurious_wakeups",
         "naming",
         "_finished_count",
+        "_runnable",
     )
 
     def __init__(
@@ -144,6 +167,12 @@ class Kernel:
         self.last_tid = 0
         self.steps = 0
         self._finished_count = 0
+        #: Sorted tids with status ``RUNNABLE``, maintained incrementally on
+        #: spawn / park / wake / finish so ``enabled()`` never rescans parked
+        #: or finished threads.  The per-op precondition (mutex free, join
+        #: target finished, ...) is still checked fresh on every call — only
+        #: the block/unblock *status* transitions are dirty-tracked.
+        self._runnable: List[int] = []
 
     # -- thread lifecycle ---------------------------------------------------
 
@@ -164,6 +193,7 @@ class Kernel:
             )
         ts.gen = gen
         self.threads.append(ts)
+        self._runnable.append(tid)  # tids are monotonic: stays sorted
         self._advance(ts, None)
         return ts.handle
 
@@ -197,23 +227,43 @@ class Kernel:
 
     def enabled(self) -> Tuple[int, ...]:
         """Sorted tuple of tids whose pending op can execute now."""
+        if self.spurious_wakeups > 0:
+            # Parked condvar waiters join the enabled set, interleaved by
+            # tid with the runnable threads: full scan (rare mode).
+            out = []
+            for ts in self.threads:
+                if (
+                    ts.status is ThreadStatus.RUNNABLE
+                    and ts.pending is not None
+                    and self._op_enabled(ts.pending)
+                ):
+                    out.append(ts.tid)
+                elif ts.status is ThreadStatus.WAITING and isinstance(
+                    ts.wait_obj, CondVar
+                ):
+                    # Scheduling a condvar waiter wakes it spuriously.
+                    out.append(ts.tid)
+            return tuple(out)
         out = []
-        spurious = self.spurious_wakeups > 0
-        for ts in self.threads:
-            if (
-                ts.status is ThreadStatus.RUNNABLE
-                and ts.pending is not None
-                and self._op_enabled(ts.pending)
-            ):
-                out.append(ts.tid)
-            elif (
-                spurious
-                and ts.status is ThreadStatus.WAITING
-                and isinstance(ts.wait_obj, CondVar)
-            ):
-                # Scheduling a condvar waiter wakes it spuriously.
-                out.append(ts.tid)
+        threads = self.threads
+        for tid in self._runnable:
+            op = threads[tid].pending
+            if op is not None and self._op_enabled(op):
+                out.append(tid)
         return tuple(out)
+
+    def tid_enabled(self, tid: int) -> bool:
+        """Whether one specific thread could execute now — the replay fast
+        path's cheap membership test (``tid in self.enabled()`` without
+        materialising the whole set)."""
+        ts = self.threads[tid]
+        if ts.status is ThreadStatus.RUNNABLE:
+            return ts.pending is not None and self._op_enabled(ts.pending)
+        return (
+            self.spurious_wakeups > 0
+            and ts.status is ThreadStatus.WAITING
+            and isinstance(ts.wait_obj, CondVar)
+        )
 
     def live_unfinished(self) -> List[ThreadState]:
         return [t for t in self.threads if t.status is not ThreadStatus.FINISHED]
@@ -252,6 +302,7 @@ class Kernel:
             cond: CondVar = ts.wait_obj
             cond.waiters.remove(tid)
             ts.status = ThreadStatus.RUNNABLE
+            insort(self._runnable, tid)
             ts.pending = reacquire_op(ts.wait_data, site=f"<spurious:{cond.name}>")
             ts.wait_obj = None
             if ts.pending.target.owner is not None:
@@ -320,6 +371,7 @@ class Kernel:
         ts.handle.finished = True
         ts.handle.result = value
         self._finished_count += 1
+        self._runnable.remove(ts.tid)
 
     def _is_visible(self, op: Op) -> bool:
         if op.kind not in DATA_KINDS:
@@ -386,6 +438,7 @@ class Kernel:
             ts.status = ThreadStatus.WAITING
             ts.wait_obj = cond
             ts.wait_data = m
+            self._runnable.remove(tid)
             return None, True
         if k is OpKind.COND_SIGNAL:
             self._wake_waiters(ts.tid, op.target, limit=1)
@@ -404,11 +457,13 @@ class Kernel:
                     w.status = ThreadStatus.RUNNABLE
                     w.pending = noop_op(site=f"<barrier:{barrier.name}>")
                     w.wait_obj = None
+                    insort(self._runnable, wtid)
                     self._notify_wake(tid, wtid, barrier)
                 barrier.waiting = []
                 return True, False  # serial thread (last arriver)
             ts.status = ThreadStatus.WAITING
             ts.wait_obj = barrier
+            self._runnable.remove(tid)
             return False, True
         if k is OpKind.SEM_WAIT:
             sem: Semaphore = op.target
@@ -481,6 +536,7 @@ class Kernel:
             w.status = ThreadStatus.RUNNABLE
             w.pending = reacquire_op(w.wait_data, site=f"<reacquire:{cond.name}>")
             w.wait_obj = None
+            insort(self._runnable, wtid)
             self._notify_wake(waker, wtid, cond)
 
     # -- observer plumbing -------------------------------------------------------

@@ -23,6 +23,20 @@ class SchedulerStrategy:
     ) -> int:
         raise NotImplementedError
 
+    def prefix_choice(self, step_index: int) -> Optional[int]:
+        """The predetermined choice at a replayed step, or ``None``.
+
+        The executor's replay fast path (``execute(...,
+        record_from_step=N)``) consults this for steps below the cut-over:
+        when it returns a tid that is enabled, the full enabled set is
+        neither computed nor recorded and ``choose`` is not called.  If the
+        tid is *not* enabled the executor falls back to the slow path
+        (full enabled set + ``choose``), so divergence handling — e.g.
+        :class:`ReplayStrategy`'s strict check — is preserved exactly.
+        Strategies without a predetermined prefix return ``None``.
+        """
+        return None
+
     def on_execution_start(self) -> None:
         """Reset per-execution state (strategies may be reused across runs)."""
 
@@ -103,6 +117,11 @@ class ReplayStrategy(SchedulerStrategy):
                 return self.fallback.choose(step_index, enabled, last_tid, kernel)
             return tid
         return self.fallback.choose(step_index, enabled, last_tid, kernel)
+
+    def prefix_choice(self, step_index: int) -> Optional[int]:
+        if step_index < len(self.schedule):
+            return self.schedule[step_index]
+        return None
 
 
 class CallbackStrategy(SchedulerStrategy):

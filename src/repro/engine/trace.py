@@ -70,6 +70,7 @@ class ExecutionResult:
         "max_enabled",
         "threads_created",
         "shared",
+        "recorded_from",
     )
 
     def __init__(
@@ -84,6 +85,7 @@ class ExecutionResult:
         max_enabled: int,
         threads_created: int,
         shared: Any,
+        recorded_from: int = 0,
     ) -> None:
         self.outcome = outcome
         self.bug = bug
@@ -104,6 +106,14 @@ class ExecutionResult:
         self.threads_created = threads_created
         #: the shared-state object of this execution (for output checking).
         self.shared = shared
+        #: First step index covered by the per-step recordings and width
+        #: stats (the ``record_from_step`` cut-over of the replay fast
+        #: path).  ``0`` = everything was recorded; when positive,
+        #: ``enabled_sets``/``created_counts`` cover only
+        #: ``schedule[recorded_from:]`` and ``choice_points``/
+        #: ``max_enabled`` were seeded by the caller from stored prefix
+        #: statistics (see :class:`repro.core.dfs.BoundedDFS`).
+        self.recorded_from = recorded_from
 
     @property
     def is_buggy(self) -> bool:

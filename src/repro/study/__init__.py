@@ -14,6 +14,7 @@ from .figures import (
 )
 from .report import (
     bound_comparison,
+    engine_cost_summary,
     found_pattern_comparison,
     full_report,
     headline_findings,
@@ -60,6 +61,7 @@ __all__ = [
     "scatter_csv",
     "ScatterPoint",
     "full_report",
+    "engine_cost_summary",
     "found_pattern_comparison",
     "bound_comparison",
     "headline_findings",

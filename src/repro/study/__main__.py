@@ -68,6 +68,11 @@ def main(argv=None) -> int:
         help="checkpoint id; re-use to resume an interrupted run",
     )
     parser.add_argument(
+        "--engine-counters", action="store_true",
+        help="collect engine-cost counters for the systematic techniques "
+             "(report gains an 'Engine cost' section; results unchanged)",
+    )
+    parser.add_argument(
         "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
         help=f"cell checkpoint directory (default: {DEFAULT_CHECKPOINT_DIR})",
     )
@@ -79,6 +84,7 @@ def main(argv=None) -> int:
         config = StudyConfig(schedule_limit=args.limit)
     config.benchmarks = args.benchmarks
     config.jobs = max(1, args.jobs)
+    config.engine_counters = args.engine_counters
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
     t0 = time.time()

@@ -54,6 +54,11 @@ class StudyConfig:
     maple_run_cap: int = 500
     #: Per-execution visible-step budget (livelock guard).
     max_steps: int = 50_000
+    #: Attach :class:`repro.core.EngineCounters` to the systematic
+    #: techniques (IPB/IDB/DFS): engine-cost telemetry (executions, steps,
+    #: replayed steps, executions saved by frontier resumption) surfaced
+    #: in checkpoints and the study report.  Never affects results.
+    engine_counters: bool = False
     #: Benchmarks to run (names); ``None`` = all 52.
     benchmarks: Optional[List[str]] = None
     #: Techniques to run.
@@ -94,6 +99,9 @@ class StudyConfig:
         """
         payload = asdict(self)
         payload.pop("jobs", None)
+        # Telemetry-only: counters never change schedules/bugs/bounds, so
+        # a resume may toggle them freely.
+        payload.pop("engine_counters", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

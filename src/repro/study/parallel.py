@@ -208,9 +208,15 @@ class ParallelStudyRunner:
                 st = record["stats"]
                 bug = st["first_bug"]
                 found = f"bug@{bug['index']}" if bug else "no bug"
+                counters = st.get("counters")
+                saved = (
+                    f", saved {counters['saved_executions']} execs"
+                    if counters and counters.get("saved_executions")
+                    else ""
+                )
                 self.progress(
                     f"  {record['bench']}: {record['technique']}: {found} "
-                    f"({st['schedules']} schedules)"
+                    f"({st['schedules']} schedules{saved})"
                 )
             else:
                 self.progress(

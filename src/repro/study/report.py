@@ -133,6 +133,47 @@ def headline_findings(study: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def engine_cost_summary(study: StudyResult) -> str:
+    """Engine-cost counters per systematic technique, when collected.
+
+    Implementation cost, not a paper metric: raw executions, visible steps,
+    the share of steps spent replaying known prefixes, and the executions a
+    restart-per-bound search would have added that frontier resumption
+    skipped (``run with engine_counters=True to collect``).
+    """
+    totals = {}
+    for r in study:
+        for tech, st in r.stats.items():
+            if st.counters is None:
+                continue
+            agg = totals.setdefault(tech, [0, 0, 0, 0])
+            agg[0] += st.counters.executions
+            agg[1] += st.counters.steps
+            agg[2] += st.counters.replayed_steps
+            agg[3] += st.counters.saved_executions
+    if not totals:
+        return "engine counters not collected (StudyConfig.engine_counters=False)"
+    lines = [
+        f"{'technique':<10} {'executions':>12} {'steps':>14} "
+        f"{'replayed':>14} {'saved execs':>12}",
+        "-" * 66,
+    ]
+    for tech in sorted(totals, key=lambda t: TECH_ORDER.index(t) if t in TECH_ORDER else 99):
+        ex, steps, replayed, saved = totals[tech]
+        pct = 100 * replayed / steps if steps else 0.0
+        replayed_col = f"{replayed:,} ({pct:.1f}%)"
+        lines.append(
+            f"{tech:<10} {ex:>12,} {steps:>14,} "
+            f"{replayed_col:>14} {saved:>12,}"
+        )
+    lines.append("-" * 66)
+    lines.append(
+        "saved execs = restart-per-bound re-executions skipped by frontier "
+        "resumption"
+    )
+    return "\n".join(lines)
+
+
 def full_report(study: StudyResult) -> str:
     """Every table, figure, comparison and headline in one text report."""
     from .tables import table1, table2, table3
@@ -168,4 +209,8 @@ def full_report(study: StudyResult) -> str:
         "## Headline findings",
         headline_findings(study),
     ]
+    if any(
+        st.counters is not None for r in study for st in r.stats.values()
+    ):
+        parts += ["", "## Engine cost", engine_cost_summary(study)]
     return "\n".join(parts)

@@ -190,13 +190,19 @@ def make_technique_explorers(
 
     factories = {
         "IPB": lambda: make_ipb(
-            visible_filter=visible_filter, max_steps=config.max_steps
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+            counters=config.engine_counters,
         ),
         "IDB": lambda: make_idb(
-            visible_filter=visible_filter, max_steps=config.max_steps
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+            counters=config.engine_counters,
         ),
         "DFS": lambda: DFSExplorer(
-            visible_filter=visible_filter, max_steps=config.max_steps
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+            counters=config.engine_counters,
         ),
         "Rand": lambda: RandomExplorer(
             seed=config.seed_for("Rand", bench_name),
