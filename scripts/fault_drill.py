@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""End-to-end fault drill: prove the study runner degrades and recovers.
+
+Runs a tiny study under the pool runner with two injected faults — a cell
+that crashes its worker on every attempt and a cell that hangs past the
+watchdog limit — then asserts the run *completes* with those cells
+classified ``quarantined`` and ``timeout`` while every other cell
+succeeds.  A second pass with ``--retry-errors`` (faults disarmed) re-runs
+exactly the degraded cells and heals them.
+
+Faults are injected through the ``REPRO_STUDY_FAULTS`` environment
+variable, which is deliberately *not* part of the study fingerprint: the
+faulted pass and the healing pass share one checkpoint journal.
+
+This is the CI ``fault-smoke`` job; run it locally with::
+
+    PYTHONPATH=src python scripts/fault_drill.py
+
+Exit status 0 means every degradation path behaved; any assertion prints
+what went wrong and exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.study import ParallelStudyRunner, quick_config, taxonomy
+from repro.study.faults import ENV_FAULTS
+from repro.study.parallel import read_journal
+
+BENCHMARKS = ["CS.lazy01_bad", "CS.din_phil2_sat"]
+CRASH_CELL = ("CS.din_phil2_sat", "IDB")
+HANG_CELL = ("CS.lazy01_bad", "IPB")
+TECHNIQUES = ["IPB", "IDB", "DFS"]
+
+
+def drill_config():
+    config = quick_config(limit=60)
+    config.benchmarks = list(BENCHMARKS)
+    # Seed-independent techniques only: retries can never change results.
+    config.techniques = list(TECHNIQUES)
+    config.retry_backoff = 0.0
+    config.cell_hard_timeout = 4.0
+    return config
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {what}")
+    if not ok:
+        sys.exit(1)
+
+
+def main() -> int:
+    ckpt = tempfile.mkdtemp(prefix="fault-drill-")
+    progress = lambda m: print(f"    {m}", flush=True)  # noqa: E731
+    try:
+        print("pass 1: study under injected crash + hang (jobs=2)")
+        os.environ[ENV_FAULTS] = json.dumps(
+            [
+                {"cell": "/".join(CRASH_CELL), "kind": "crash",
+                 "attempts": [0, 1, 2, 3]},
+                # The hang re-arms on every attempt: a crash elsewhere may
+                # take the hung worker down as collateral and re-queue the
+                # cell, and it must hang again for the watchdog to catch.
+                {"cell": "/".join(HANG_CELL), "kind": "hang",
+                 "seconds": 300, "attempts": [0, 1, 2, 3]},
+            ]
+        )
+        t0 = time.monotonic()
+        study = ParallelStudyRunner(
+            drill_config(), jobs=2, run_id="drill",
+            checkpoint_dir=ckpt, progress=progress,
+        ).run()
+        elapsed = time.monotonic() - t0
+        check(elapsed < 200, f"completed despite a 300s hang ({elapsed:.1f}s)")
+
+        crash_bench = study.by_name(CRASH_CELL[0])
+        hang_bench = study.by_name(HANG_CELL[0])
+        check(
+            crash_bench.statuses.get(CRASH_CELL[1]) == taxonomy.QUARANTINED,
+            f"{'/'.join(CRASH_CELL)} quarantined after repeated crashes",
+        )
+        check(
+            hang_bench.statuses.get(HANG_CELL[1]) == taxonomy.TIMEOUT,
+            f"{'/'.join(HANG_CELL)} killed by the watchdog (timeout)",
+        )
+        healthy = [
+            (r.info.name, tech)
+            for r in study
+            for tech in TECHNIQUES
+            if (r.info.name, tech) not in (CRASH_CELL, HANG_CELL)
+        ]
+        bad = [
+            cell for cell in healthy
+            if study.by_name(cell[0]).statuses.get(cell[1]) is not None
+        ]
+        check(not bad, f"all {len(healthy)} other cells succeeded {bad or ''}")
+
+        info = read_journal(os.path.join(ckpt, "drill.jsonl"), None)
+        check(info.corrupt_lines == [], "journal has no corrupt lines")
+        check(info.header is not None, "journal header intact")
+
+        print("pass 2: --retry-errors with faults disarmed heals the cells")
+        del os.environ[ENV_FAULTS]
+        healer = ParallelStudyRunner(
+            drill_config(), jobs=2, run_id="drill",
+            checkpoint_dir=ckpt, retry_errors=True, progress=progress,
+        )
+        result = healer.run()
+        check(
+            set(healer.executed_cells) == {CRASH_CELL, HANG_CELL},
+            f"retry pass re-ran exactly the degraded cells "
+            f"({sorted(healer.executed_cells)})",
+        )
+        still_bad = [(r.info.name, t) for r in result for t in r.statuses]
+        check(not still_bad, f"all cells healthy after retry {still_bad or ''}")
+        print("fault drill passed")
+        return 0
+    finally:
+        os.environ.pop(ENV_FAULTS, None)
+        shutil.rmtree(ckpt, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

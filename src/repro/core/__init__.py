@@ -13,6 +13,7 @@ from .bounds import (
     NoBoundCost,
     PreemptionBoundCost,
 )
+from .budget import Budget, BudgetExceeded
 from .dfs import BoundedDFS, PrunedEdge, RunRecord
 from .dpor import DPORExplorer, IterativeBPORExplorer, dependent
 from .explorer import BugReport, EngineCounters, ExplorationStats, Explorer
@@ -46,6 +47,8 @@ __all__ = [
     "NO_BOUND",
     "PREEMPTION",
     "DELAY",
+    "Budget",
+    "BudgetExceeded",
     "BoundedDFS",
     "PrunedEdge",
     "RunRecord",

@@ -1,0 +1,186 @@
+"""Cooperative execution budgets: wall-clock deadlines and work ceilings.
+
+A :class:`Budget` bounds how much work one exploration may perform.  It is
+*cooperative*: nothing is interrupted asynchronously.  The executor polls
+the budget between visible steps (:func:`repro.engine.executor.execute`
+ends the execution with :attr:`~repro.engine.trace.Outcome.TIMEOUT` when
+the budget has expired) and the explorers poll it between executions, so a
+pathological subject ends with partial, well-formed statistics instead of
+stalling its worker forever.  Hard failure modes — a worker that ignores
+its deadline because it is stuck inside one step — are the job of the
+:class:`repro.study.parallel.ParallelStudyRunner` watchdog, which kills
+the worker process outright.
+
+Deadlines use :func:`time.monotonic`, never :func:`time.time`: a wall
+clock that steps (NTP adjustment, suspend/resume) must not extend or
+collapse a deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: Wall-clock reads are amortized: the deadline is polled once every this
+#: many step ticks (work ceilings are exact, checked on every tick).
+_CLOCK_STRIDE = 64
+
+
+class BudgetExceeded(Exception):
+    """Raised by callers that prefer an exception over polling."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Budget:
+    """A wall-clock deadline plus optional execution/step ceilings.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock allowance from :meth:`start` (lazily started on first
+        use).  ``None`` = no deadline.
+    max_executions:
+        Ceiling on started executions (``None`` = unlimited).
+    max_total_steps:
+        Ceiling on visible steps summed over all executions.
+    clock:
+        Injectable monotonic clock (tests); defaults to ``time.monotonic``.
+
+    The two poll entry points are :meth:`start_execution` (between
+    executions; counts one execution, always reads the clock) and
+    :meth:`tick` (between visible steps; counts one step, reads the clock
+    every ``_CLOCK_STRIDE`` ticks).  Both return ``True`` once the budget
+    is exhausted, and :attr:`reason` says why.
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_executions",
+        "max_total_steps",
+        "_clock",
+        "_t0",
+        "_executions",
+        "_total_steps",
+        "_tick_gas",
+        "_reason",
+    )
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_executions: Optional[int] = None,
+        max_total_steps: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.deadline_seconds = deadline_seconds
+        self.max_executions = max_executions
+        self.max_total_steps = max_total_steps
+        self._clock = clock
+        self._t0: Optional[float] = None
+        self._executions = 0
+        self._total_steps = 0
+        self._tick_gas = 0
+        self._reason: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Start the deadline clock (idempotent; implied by first poll)."""
+        if self._t0 is None:
+            self._t0 = self._clock()
+        return self
+
+    @property
+    def executions(self) -> int:
+        return self._executions
+
+    @property
+    def total_steps(self) -> int:
+        return self._total_steps
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the budget expired (``None`` while within budget)."""
+        return self._reason
+
+    @property
+    def expired(self) -> bool:
+        """Authoritative check: work ceilings and an exact clock read."""
+        if self._reason is not None:
+            return True
+        if (
+            self.max_executions is not None
+            and self._executions >= self.max_executions
+        ):
+            self._reason = f"execution ceiling ({self.max_executions}) reached"
+            return True
+        if (
+            self.max_total_steps is not None
+            and self._total_steps >= self.max_total_steps
+        ):
+            self._reason = f"step ceiling ({self.max_total_steps}) reached"
+            return True
+        return self._check_clock()
+
+    def _check_clock(self) -> bool:
+        if self.deadline_seconds is None:
+            return False
+        if self._t0 is None:
+            self._t0 = self._clock()
+            return False
+        if self._clock() - self._t0 >= self.deadline_seconds:
+            self._reason = (
+                f"wall-clock deadline ({self.deadline_seconds:g}s) exceeded"
+            )
+            return True
+        return False
+
+    # -- poll points -------------------------------------------------------
+
+    def start_execution(self) -> bool:
+        """Between-executions poll: count one started execution and return
+        ``True`` if the budget is already exhausted (the execution should
+        then not run at all)."""
+        if self.expired:
+            return True
+        self._executions += 1
+        return False
+
+    def tick(self) -> bool:
+        """Between-visible-steps poll: count one step and return ``True``
+        once the budget is exhausted.  Ceilings are exact; the wall clock
+        is read every ``_CLOCK_STRIDE`` ticks to keep the hot loop cheap.
+        """
+        if self._reason is not None:
+            return True
+        self._total_steps += 1
+        if (
+            self.max_total_steps is not None
+            and self._total_steps > self.max_total_steps
+        ):
+            self._reason = f"step ceiling ({self.max_total_steps}) reached"
+            return True
+        self._tick_gas -= 1
+        if self._tick_gas <= 0:
+            self._tick_gas = _CLOCK_STRIDE
+            return self._check_clock()
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if the budget has expired."""
+        if self.expired:
+            raise BudgetExceeded(self._reason or "budget exceeded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.deadline_seconds is not None:
+            parts.append(f"deadline={self.deadline_seconds:g}s")
+        if self.max_executions is not None:
+            parts.append(f"max_executions={self.max_executions}")
+        if self.max_total_steps is not None:
+            parts.append(f"max_total_steps={self.max_total_steps}")
+        state = self._reason or "within budget"
+        return f"Budget({', '.join(parts) or 'unbounded'}; {state})"

@@ -383,6 +383,7 @@ class BoundedDFS:
         frontier: Optional[List[PrunedEdge]] = None,
         order_cache: Optional[OrderCache] = None,
         fast_replay: bool = False,
+        budget=None,
     ) -> None:
         self.program = program
         self.cost_model = cost_model or NoBoundCost()
@@ -391,6 +392,10 @@ class BoundedDFS:
         self.max_steps = max_steps
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.fast_replay = fast_replay
+        #: Optional cooperative :class:`repro.core.budget.Budget`, polled by
+        #: the executor between visible steps; an expired budget surfaces as
+        #: a run with ``Outcome.TIMEOUT`` (callers stop the search there).
+        self.budget = budget
         self._stack: List[_ChoicePoint] = []
         self._pruned_this_run = False
         self._exhausted = False
@@ -433,6 +438,7 @@ class BoundedDFS:
                 record_enabled=True,
                 record_from_step=cut,
                 spurious_wakeups=self.spurious_wakeups,
+                budget=self.budget,
             )
             if cut:
                 # Re-seed the width stats the skipped prefix would have

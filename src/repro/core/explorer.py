@@ -147,6 +147,7 @@ class ExplorationStats:
         "threads_created",
         "limit",
         "counters",
+        "deadline_hit",
     )
 
     def __init__(self, technique: str, program_name: str, limit: int) -> None:
@@ -177,6 +178,10 @@ class ExplorationStats:
         #: Opt-in engine-cost counters (``None`` unless the explorer was
         #: constructed with ``counters=True``).
         self.counters: Optional[EngineCounters] = None
+        #: Whether a cooperative :class:`repro.core.budget.Budget` expired
+        #: before the exploration finished — everything above is then a
+        #: *partial* (but internally consistent) measurement.
+        self.deadline_hit = False
 
     @property
     def found_bug(self) -> bool:
@@ -222,7 +227,7 @@ class ExplorationStats:
             self.step_limit_hits += 1
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "technique": self.technique,
             "program": self.program_name,
             "schedules": self.schedules,
@@ -236,6 +241,11 @@ class ExplorationStats:
             "max_choice_points": self.max_choice_points,
             "threads_created": self.threads_created,
         }
+        # Emitted only when set: deadline-free output stays byte-identical
+        # to pre-taxonomy reports.
+        if self.deadline_hit:
+            out["deadline_hit"] = True
+        return out
 
     def to_payload(self) -> dict:
         """Lossless JSON-safe serialization, unlike :meth:`as_dict` which
@@ -258,6 +268,7 @@ class ExplorationStats:
             "max_choice_points": self.max_choice_points,
             "threads_created": self.threads_created,
             "counters": self.counters.to_payload() if self.counters else None,
+            "deadline_hit": self.deadline_hit,
         }
 
     @classmethod
@@ -278,6 +289,8 @@ class ExplorationStats:
         # Absent in pre-counter checkpoints — tolerate for resume.
         if payload.get("counters"):
             stats.counters = EngineCounters.from_payload(payload["counters"])
+        # Absent in v1 (pre-deadline) checkpoints.
+        stats.deadline_hit = bool(payload.get("deadline_hit", False))
         return stats
 
     def __repr__(self) -> str:
@@ -295,9 +308,30 @@ class Explorer:
 
     Subclasses implement :meth:`explore`; ``technique`` is the short name
     used in tables ("IPB", "IDB", "DFS", "Rand", "MapleAlg", "PCT").
+
+    ``budget`` (assignable on any instance) is an optional cooperative
+    :class:`repro.core.budget.Budget`.  Budget-aware explorers thread it
+    into every :func:`repro.engine.executor.execute` call and stop with
+    partial stats (``ExplorationStats.deadline_hit``) when it expires;
+    explorers that ignore it simply run to their limit.
     """
 
     technique = "?"
 
+    #: Optional cooperative budget (class-level default: none).
+    budget = None
+
     def explore(self, program: Any, limit: int) -> ExplorationStats:
         raise NotImplementedError
+
+    def _budget_spent(self, stats: ExplorationStats, result) -> bool:
+        """Shared deadline bookkeeping: ``True`` (and marks the stats) when
+        the last execution was abandoned because the budget expired.  An
+        expired budget also aborts the *next* execution immediately (the
+        executor polls it before setup), so checking the outcome alone
+        never spins: completed runs keep their full accounting and the
+        stop lands on the first abandoned one."""
+        if result.outcome is Outcome.TIMEOUT:
+            stats.deadline_hit = True
+            return True
+        return False

@@ -38,8 +38,10 @@ from typing import Iterator, List, Optional
 
 from ..engine.executor import DEFAULT_MAX_STEPS
 from ..engine.state import VisibleFilter, coerce_spurious_budget
+from ..engine.trace import Outcome
 from ..runtime.program import Program
 from .bounds import DELAY, PREEMPTION, BoundCost, NoBoundCost
+from .budget import Budget
 from .dfs import BoundedDFS, OrderCache, PrunedEdge, RunRecord
 from .explorer import BugReport, EngineCounters, ExplorationStats, Explorer
 
@@ -60,6 +62,7 @@ class RestartSearch:
         max_steps: int = DEFAULT_MAX_STEPS,
         spurious_wakeups: int = 0,
         fast_replay: bool = True,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.program = program
         self.cost_model = cost_model
@@ -67,6 +70,7 @@ class RestartSearch:
         self.max_steps = max_steps
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.fast_replay = fast_replay
+        self.budget = budget
         self._order_cache: OrderCache = {}
         self._pruned = False
 
@@ -81,6 +85,7 @@ class RestartSearch:
             spurious_wakeups=self.spurious_wakeups,
             order_cache=self._order_cache,
             fast_replay=self.fast_replay,
+            budget=self.budget,
         )
         for record in dfs.runs():
             if record.pruned_any:
@@ -124,6 +129,7 @@ class FrontierSearch:
         max_steps: int = DEFAULT_MAX_STEPS,
         spurious_wakeups: int = 0,
         fast_replay: bool = True,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.program = program
         self.cost_model = cost_model
@@ -131,6 +137,7 @@ class FrontierSearch:
         self.max_steps = max_steps
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.fast_replay = fast_replay
+        self.budget = budget
         self._order_cache: OrderCache = {}
         self._frontier: List[PrunedEdge] = []
         self._started = False
@@ -147,6 +154,7 @@ class FrontierSearch:
             frontier=self._frontier,
             order_cache=self._order_cache,
             fast_replay=self.fast_replay,
+            budget=self.budget,
         )
 
     def runs_at_bound(self, bound: int) -> Iterator[RunRecord]:
@@ -182,12 +190,14 @@ class DFSExplorer(Explorer):
         stop_at_first_bug: bool = False,
         spurious_wakeups: int = 0,
         counters: bool = False,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.counters = counters
+        self.budget = budget
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         stats = ExplorationStats(self.technique, program.name, limit)
@@ -201,6 +211,7 @@ class DFSExplorer(Explorer):
             max_steps=self.max_steps,
             spurious_wakeups=self.spurious_wakeups,
             fast_replay=True,
+            budget=self.budget,
         )
         for record in dfs.runs():
             stats.executions += 1
@@ -208,6 +219,8 @@ class DFSExplorer(Explorer):
             if stats.counters is not None:
                 stats.counters.observe(result)
             stats.observe_run(result)
+            if self._budget_spent(stats, result):
+                return stats
             if not result.outcome.is_terminal_schedule:
                 continue
             stats.schedules += 1
@@ -249,9 +262,11 @@ class IterativeBoundingExplorer(Explorer):
         spurious_wakeups: int = 0,
         resume_frontier: bool = True,
         counters: bool = False,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.cost_model = cost_model
         self.technique = technique
+        self.budget = budget
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
@@ -276,6 +291,7 @@ class IterativeBoundingExplorer(Explorer):
             visible_filter=self.visible_filter,
             max_steps=self.max_steps,
             spurious_wakeups=self.spurious_wakeups,
+            budget=self.budget,
         )
         runs_before_bound = 0
         for bound in range(self.max_bound + 1):
@@ -292,6 +308,8 @@ class IterativeBoundingExplorer(Explorer):
                 if stats.counters is not None:
                     stats.counters.observe(result)
                 stats.observe_run(result)
+                if self._budget_spent(stats, result):
+                    return stats
                 if not result.outcome.is_terminal_schedule:
                     continue
                 if record.cost < bound:

@@ -138,12 +138,14 @@ class MapleAlgExplorer(Explorer):
         *,
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = True,
+        budget=None,
     ) -> None:
         self.profile_runs = profile_runs
         self.attempts_per_idiom = attempts_per_idiom
         self.seed = seed
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
+        self.budget = budget
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         """``limit`` caps total runs defensively (MapleAlg's own heuristics
@@ -161,10 +163,12 @@ class MapleAlgExplorer(Explorer):
                 visible_filter=None,  # MapleAlg observes every access
                 observers=(recorder, *extra_observers),
                 record_enabled=False,
+                budget=self.budget,
             )
             tested.update(recorder.pairs)
             stats.executions += 1
             stats.observe_run(result)
+            self._budget_spent(stats, result)
             if result.outcome.is_terminal_schedule:
                 stats.schedules += 1
                 if result.is_buggy:
@@ -183,7 +187,7 @@ class MapleAlgExplorer(Explorer):
         # Phase 1: profiling -------------------------------------------------
         run_one(RoundRobinStrategy())
         for _ in range(self.profile_runs - 1):
-            if stats.schedules >= limit:
+            if stats.deadline_hit or stats.schedules >= limit:
                 return stats
             run_one(RandomStrategy(rng))
             if self.stop_at_first_bug and stats.first_bug is not None:
@@ -192,6 +196,8 @@ class MapleAlgExplorer(Explorer):
         # Phase 2: active idiom forcing --------------------------------------
         attempts: Dict[Idiom, int] = {}
         while stats.schedules < limit:
+            if stats.deadline_hit:
+                return stats
             if self.stop_at_first_bug and stats.first_bug is not None:
                 return stats
             untested: List[Idiom] = sorted(

@@ -76,12 +76,14 @@ class PCTExplorer(Explorer):
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
+        budget=None,
     ) -> None:
         self.depth = depth
         self.seed = seed
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
+        self.budget = budget
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         stats = ExplorationStats(self.technique, program.name, limit)
@@ -94,7 +96,10 @@ class PCTExplorer(Explorer):
             max_steps=self.max_steps,
             visible_filter=self.visible_filter,
             record_enabled=False,
+            budget=self.budget,
         )
+        if self._budget_spent(stats, calibration):
+            return stats
         k_estimate = max(1, calibration.steps)
         strategy = PCTStrategy(rng, k_estimate, self.depth)
         for _ in range(limit):
@@ -104,9 +109,12 @@ class PCTExplorer(Explorer):
                 max_steps=self.max_steps,
                 visible_filter=self.visible_filter,
                 record_enabled=False,
+                budget=self.budget,
             )
             stats.executions += 1
             stats.observe_run(result)
+            if self._budget_spent(stats, result):
+                return stats
             if not result.outcome.is_terminal_schedule:
                 continue
             stats.schedules += 1

@@ -29,12 +29,14 @@ class RandomExplorer(Explorer):
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
         spurious_wakeups: int = 0,
+        budget=None,
     ) -> None:
         self.seed = seed
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        self.budget = budget
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         """Run ``limit`` random-schedule executions (the paper runs 10,000)."""
@@ -49,9 +51,12 @@ class RandomExplorer(Explorer):
                 visible_filter=self.visible_filter,
                 record_enabled=False,
                 spurious_wakeups=self.spurious_wakeups,
+                budget=self.budget,
             )
             stats.executions += 1
             stats.observe_run(result)
+            if self._budget_spent(stats, result):
+                return stats
             if not result.outcome.is_terminal_schedule:
                 continue
             stats.schedules += 1

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..runtime.errors import DeadlockBug
 from ..runtime.program import Program
 from .state import Kernel, VisibleFilter
 from .strategies import SchedulerStrategy
 from .trace import ExecutionObserver, ExecutionResult, Outcome, outcome_for_bug
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> engine)
+    from ..core.budget import Budget
 
 #: Default per-execution visible-step budget.  Exceeding it classifies the
 #: execution as ``STEP_LIMIT`` (livelock guard; see DESIGN.md section 3).
@@ -25,6 +28,7 @@ def execute(
     record_enabled: bool = True,
     record_from_step: int = 0,
     spurious_wakeups: int = 0,
+    budget: Optional["Budget"] = None,
 ) -> ExecutionResult:
     """Execute ``program`` once, fully controlling the schedule.
 
@@ -55,6 +59,14 @@ def execute(
         remains, waiting threads join the enabled set, so schedules
         recorded with a budget only replay with the same budget.  The
         budget keeps correct wait/recheck loops' schedule trees finite.
+    budget:
+        Optional cooperative :class:`repro.core.budget.Budget`.  Polled
+        once before the execution starts and between visible steps; on
+        expiry the execution ends with :attr:`Outcome.TIMEOUT` (an
+        abandoned, non-terminal schedule, like ``STEP_LIMIT``).  The
+        program's completion/deadlock classification wins over the budget
+        at the final step, so a run that finishes as the deadline lands
+        still reports its true outcome.
 
     Returns
     -------
@@ -63,6 +75,23 @@ def execute(
         the program under test — those become buggy outcomes.
     """
     from ..runtime.objects import NamingScope
+
+    if budget is not None and budget.start_execution():
+        # The budget was spent before this execution began: report an
+        # empty abandoned run so callers uniformly stop on TIMEOUT.
+        return ExecutionResult(
+            outcome=Outcome.TIMEOUT,
+            bug=None,
+            schedule=[],
+            enabled_sets=[] if record_enabled else None,
+            created_counts=[] if record_enabled else None,
+            steps=0,
+            choice_points=0,
+            max_enabled=0,
+            threads_created=0,
+            shared=None,
+            recorded_from=0,
+        )
 
     naming = NamingScope()
     with naming:
@@ -101,6 +130,9 @@ def execute(
                     if step_index >= max_steps:
                         outcome = Outcome.STEP_LIMIT
                         break
+                    if budget is not None and budget.tick():
+                        outcome = Outcome.TIMEOUT
+                        break
                     schedule.append(hint)
                     kernel.step(hint)
                     continue
@@ -117,6 +149,9 @@ def execute(
                 break
             if step_index >= max_steps:
                 outcome = Outcome.STEP_LIMIT
+                break
+            if budget is not None and budget.tick():
+                outcome = Outcome.TIMEOUT
                 break
             if not in_prefix:
                 if width > max_enabled:

@@ -24,6 +24,7 @@ class Outcome(enum.Enum):
     CRASH = "crash"
     MEMORY = "memory"
     STEP_LIMIT = "step-limit"    # abandoned: step budget exhausted (livelock)
+    TIMEOUT = "timeout"          # abandoned: cooperative Budget expired mid-run
 
     @property
     def is_bug(self) -> bool:
@@ -34,15 +35,18 @@ class Outcome(enum.Enum):
         """Whether this execution counts as a *terminal schedule*.
 
         The paper counts buggy executions as terminal (an assertion failure
-        is a terminal state, section 2); only step-budget abandonment is
-        excluded.
+        is a terminal state, section 2); only abandonment — by the per-run
+        step budget (``STEP_LIMIT``) or a cooperative deadline
+        (``TIMEOUT``, see :class:`repro.core.budget.Budget`) — is excluded.
         """
-        return self is not Outcome.STEP_LIMIT
+        return self not in _ABANDONED_OUTCOMES
 
 
 _BUG_OUTCOMES = frozenset(
     {Outcome.ASSERTION, Outcome.DEADLOCK, Outcome.CRASH, Outcome.MEMORY}
 )
+
+_ABANDONED_OUTCOMES = frozenset({Outcome.STEP_LIMIT, Outcome.TIMEOUT})
 
 _BUGTYPE_TO_OUTCOME = {
     BugType.ASSERTION: Outcome.ASSERTION,

@@ -18,10 +18,13 @@ from .report import (
     found_pattern_comparison,
     full_report,
     headline_findings,
+    status_summary,
 )
 from .compare import RunDiff, diff_runs
 from .config import derive_seed
-from .parallel import ParallelStudyRunner, run_study_parallel
+from .faults import FaultPlan, FaultSpec
+from .parallel import ParallelStudyRunner, StudyInterrupted, run_study_parallel
+from . import taxonomy
 from .runner import (
     BenchmarkResult,
     StudyResult,
@@ -42,6 +45,10 @@ __all__ = [
     "run_cell",
     "run_study_parallel",
     "ParallelStudyRunner",
+    "StudyInterrupted",
+    "FaultPlan",
+    "FaultSpec",
+    "taxonomy",
     "derive_seed",
     "diff_runs",
     "RunDiff",
@@ -62,6 +69,7 @@ __all__ = [
     "ScatterPoint",
     "full_report",
     "engine_cost_summary",
+    "status_summary",
     "found_pattern_comparison",
     "bound_comparison",
     "headline_findings",

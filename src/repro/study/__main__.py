@@ -32,7 +32,7 @@ from .figures import (
     venn_systematic,
     venn_vs_random,
 )
-from .parallel import DEFAULT_CHECKPOINT_DIR, ParallelStudyRunner
+from .parallel import DEFAULT_CHECKPOINT_DIR, ParallelStudyRunner, StudyInterrupted
 from .report import bound_comparison, found_pattern_comparison, full_report, headline_findings
 from .runner import run_study
 from .tables import table1, table2, table3
@@ -76,6 +76,17 @@ def main(argv=None) -> int:
         "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
         help=f"cell checkpoint directory (default: {DEFAULT_CHECKPOINT_DIR})",
     )
+    parser.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock deadline per (benchmark, technique) "
+             "cell; an expired cell keeps its partial stats with status "
+             "'timeout' (default: no deadline)",
+    )
+    parser.add_argument(
+        "--retry-errors", action="store_true",
+        help="on resume, re-run journaled cells whose status is "
+             "timeout/diverged/error/quarantined instead of skipping them",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -85,22 +96,27 @@ def main(argv=None) -> int:
     config.benchmarks = args.benchmarks
     config.jobs = max(1, args.jobs)
     config.engine_counters = args.engine_counters
+    config.cell_deadline = args.cell_deadline
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
     t0 = time.time()
-    if config.jobs > 1 or args.run_id:
+    if config.jobs > 1 or args.run_id or args.retry_errors:
         runner = ParallelStudyRunner(
             config,
             jobs=config.jobs,
             run_id=args.run_id,
             checkpoint_dir=args.checkpoint_dir,
             progress=progress,
+            retry_errors=args.retry_errors,
         )
         try:
             study = runner.run()
         except ValueError as exc:  # e.g. checkpoint fingerprint mismatch
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except StudyInterrupted as exc:
+            print(f"\n{exc}", file=sys.stderr)
+            return 0
     else:
         study = run_study(config, progress)
     elapsed = time.time() - t0

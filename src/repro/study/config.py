@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 #: The paper's per-benchmark budget: "a limit of 10,000 terminal schedules".
@@ -66,6 +66,26 @@ class StudyConfig:
     #: Worker processes for the parallel study runner (``--jobs``).
     #: ``1`` = run cells serially in-process (identical results, no pool).
     jobs: int = 1
+    #: Cooperative per-cell wall-clock deadline in seconds (``None`` = no
+    #: deadline).  Checked between visible steps and between executions
+    #: (:class:`repro.core.budget.Budget`); an expired cell ends with
+    #: partial stats and status ``timeout`` instead of stalling a worker.
+    #: Affects results when hit, so it *is* part of the fingerprint when
+    #: set (and absent from it when ``None`` — old journals stay readable).
+    cell_deadline: Optional[float] = None
+    #: Hard watchdog limit: a pool worker whose cell is still running this
+    #: many seconds after it started is killed and the cell recorded as
+    #: ``timeout``.  ``None`` derives ``4 * cell_deadline + 30`` when a
+    #: deadline is set (generous: the cooperative deadline should fire
+    #: first), else no watchdog.  Never part of the fingerprint.
+    cell_hard_timeout: Optional[float] = None
+    #: Base seconds for exponential retry backoff (attempt ``k`` waits
+    #: ``retry_backoff * 2**(k-1)``).  Never part of the fingerprint.
+    retry_backoff: float = 0.5
+    #: Deterministic fault-injection plan (list of spec dicts, see
+    #: :mod:`repro.study.faults`).  Testing only; merged with the
+    #: ``REPRO_STUDY_FAULTS`` environment variable.
+    faults: Optional[List[dict]] = None
     #: Per-benchmark schedule-limit overrides.  The defaults trim the two
     #: entries whose *per-execution step counts* dominate wall-clock time
     #: while leaving their found/missed pattern unchanged (nothing finds
@@ -89,6 +109,33 @@ class StudyConfig:
         :func:`derive_seed`."""
         return derive_seed(self.rand_seed, technique, bench_name)
 
+    def for_attempt(self, attempt: int) -> "StudyConfig":
+        """The configuration a retry attempt runs under.
+
+        Attempt 0 is the configuration itself (byte-identical results).
+        Retries get a deterministic seed bump — a crash or divergence that
+        is a function of the exact random stream should not recur
+        verbatim, while the retried cell stays reproducible (re-running
+        attempt ``k`` always uses the same seeds).
+        """
+        if attempt <= 0:
+            return self
+        bump = 1_000_003 * attempt
+        return replace(
+            self,
+            rand_seed=self.rand_seed + bump,
+            maple_seed=self.maple_seed + bump,
+        )
+
+    def hard_timeout_for(self) -> Optional[float]:
+        """Watchdog limit in seconds, derived from the deadline when not
+        set explicitly (``None`` = watchdog disabled)."""
+        if self.cell_hard_timeout is not None:
+            return self.cell_hard_timeout
+        if self.cell_deadline is not None:
+            return 4.0 * self.cell_deadline + 30.0
+        return None
+
     def fingerprint(self) -> str:
         """A stable digest of every result-affecting parameter.
 
@@ -102,6 +149,15 @@ class StudyConfig:
         # Telemetry-only: counters never change schedules/bugs/bounds, so
         # a resume may toggle them freely.
         payload.pop("engine_counters", None)
+        # Fault-tolerance knobs that never change fault-free results; and
+        # result-affecting ones (deadline, faults) drop out when unused so
+        # journals from before these fields existed remain resumable.
+        payload.pop("cell_hard_timeout", None)
+        payload.pop("retry_backoff", None)
+        if payload.get("cell_deadline") is None:
+            payload.pop("cell_deadline", None)
+        if not payload.get("faults"):
+            payload.pop("faults", None)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

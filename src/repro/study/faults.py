@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the study runner.
+
+The resilience layer (deadlines, watchdog, retries, quarantine, journal
+CRC) is only trustworthy if every degradation path can be exercised end to
+end.  This module is that mechanism: a :class:`FaultPlan` — built from
+``StudyConfig.faults`` and/or the ``REPRO_STUDY_FAULTS`` environment
+variable (worker processes inherit the environment, so env-driven plans
+reach the pool) — names exact (benchmark, technique, attempt) cells and
+what should go wrong there.  Injection is fully deterministic: no clocks,
+no randomness, just declarative matching.
+
+A fault spec is a JSON object::
+
+    {"cell": "CS.lazy01_bad/IDB",   # "<benchmark>/<technique>"
+     "kind": "crash",               # crash | hang | diverge | corrupt-journal
+     "attempts": [0, 1],            # attempt numbers that fire (default [0])
+     "seconds": 3600}               # hang duration (hang only)
+
+Kinds:
+
+``crash``
+    The worker process dies hard (``os._exit``), breaking the process
+    pool — exercises pool rebuild, crash accounting, and quarantine.
+``hang``
+    The cell sleeps far past any deadline — exercises the watchdog
+    hard-kill and the ``timeout`` classification.
+``diverge``
+    Raises :class:`repro.engine.strategies.ReplayDivergence` — exercises
+    the ``diverged`` classification.
+``corrupt-journal``
+    The cell runs normally, but its journal line is written garbled —
+    exercises CRC detection and mid-file recovery on resume.
+
+``crash`` and ``hang`` are meaningful only under the pool runner
+(``jobs > 1``); in-process they would take the whole study down, which is
+exactly the behaviour the pool exists to contain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+#: Environment variable holding a JSON list of fault specs.
+ENV_FAULTS = "REPRO_STUDY_FAULTS"
+
+#: Exit status used by injected worker crashes (distinctive in logs).
+CRASH_EXIT_CODE = 66
+
+KINDS = ("crash", "hang", "diverge", "corrupt-journal")
+
+
+class FaultSpec:
+    """One declarative fault: where it fires and what it does."""
+
+    __slots__ = ("bench", "technique", "kind", "attempts", "seconds")
+
+    def __init__(
+        self,
+        bench: str,
+        technique: str,
+        kind: str,
+        attempts: Sequence[int] = (0,),
+        seconds: float = 3600.0,
+    ) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (one of {KINDS})")
+        self.bench = bench
+        self.technique = technique
+        self.kind = kind
+        self.attempts = tuple(attempts)
+        self.seconds = float(seconds)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FaultSpec":
+        cell = spec.get("cell", "")
+        bench, sep, technique = cell.rpartition("/")
+        if not sep or not bench or not technique:
+            raise ValueError(
+                f"fault spec cell {cell!r} must be '<benchmark>/<technique>'"
+            )
+        return cls(
+            bench,
+            technique,
+            spec.get("kind", ""),
+            attempts=spec.get("attempts", (0,)),
+            seconds=spec.get("seconds", 3600.0),
+        )
+
+    def matches(self, bench: str, technique: str, attempt: int) -> bool:
+        return (
+            self.bench == bench
+            and self.technique == technique
+            and attempt in self.attempts
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "cell": f"{self.bench}/{self.technique}",
+            "kind": self.kind,
+            "attempts": list(self.attempts),
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultSpec({self.bench}/{self.technique}: {self.kind} "
+            f"@attempts {list(self.attempts)})"
+        )
+
+
+class FaultPlan:
+    """The set of faults one study run injects (usually empty)."""
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def from_config(cls, config) -> "FaultPlan":
+        """Merge ``config.faults`` (list of spec dicts) with the
+        ``REPRO_STUDY_FAULTS`` environment variable."""
+        raw: List[dict] = list(getattr(config, "faults", None) or ())
+        env = os.environ.get(ENV_FAULTS)
+        if env:
+            try:
+                parsed = json.loads(env)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{ENV_FAULTS} is not valid JSON: {exc}")
+            if not isinstance(parsed, list):
+                raise ValueError(f"{ENV_FAULTS} must be a JSON list")
+            raw.extend(parsed)
+        return cls([FaultSpec.from_dict(spec) for spec in raw])
+
+    def match(
+        self, bench: str, technique: str, attempt: int
+    ) -> Optional[FaultSpec]:
+        """The first in-cell fault armed for this attempt (excluding
+        journal corruption, which fires at write time, not run time)."""
+        for spec in self.specs:
+            if spec.kind != "corrupt-journal" and spec.matches(
+                bench, technique, attempt
+            ):
+                return spec
+        return None
+
+    def corrupts_journal(self, bench: str, technique: str) -> bool:
+        """Whether this cell's journal line should be written garbled."""
+        return any(
+            spec.kind == "corrupt-journal"
+            and spec.bench == bench
+            and spec.technique == technique
+            for spec in self.specs
+        )
+
+
+def fire(spec: FaultSpec) -> None:
+    """Trigger an in-cell fault (never returns normally for crash/hang)."""
+    if spec.kind == "crash":
+        print(
+            f"[fault-injection] crashing worker for "
+            f"{spec.bench}/{spec.technique}",
+            file=sys.stderr,
+            flush=True,
+        )
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "hang":
+        # Sleep in slices so an injected hang is still terminate()-able
+        # promptly on every platform; the watchdog kills us well before
+        # the total elapses.
+        deadline = time.monotonic() + spec.seconds
+        while time.monotonic() < deadline:
+            time.sleep(min(0.1, spec.seconds))
+        return
+    if spec.kind == "diverge":
+        from ..engine.strategies import ReplayDivergence
+
+        raise ReplayDivergence(
+            f"injected fault: forced divergence in "
+            f"{spec.bench}/{spec.technique}"
+        )
+    raise AssertionError(f"unfireable fault kind {spec.kind!r}")
+
+
+def corrupt_line(line: str) -> str:
+    """Garble one journal line the way a torn/bit-rotted write would:
+    keep it one line, break both the JSON and the CRC."""
+    body = line.rstrip("\n")
+    keep = max(len(body) - 7, 1)
+    return body[:keep] + "\x00####"

@@ -1,4 +1,5 @@
-"""Parallel study execution with durable checkpoint/resume.
+"""Parallel study execution with durable checkpoint/resume and fault
+tolerance.
 
 The study is a grid of independent (benchmark, technique) *cells* (see
 :func:`repro.study.runner.run_cell`).  :class:`ParallelStudyRunner` fans
@@ -8,19 +9,31 @@ cell as one JSON line under ``results/checkpoints/<run-id>.jsonl``:
 * line 1 is a header record binding the file to a
   :meth:`StudyConfig.fingerprint`, so a resume with a different
   configuration is rejected instead of silently mixing results;
-* each further line is one cell record, appended (and flushed to disk)
-  the moment the cell finishes.
+* each further line is one cell record, appended (and fsynced) the moment
+  the cell finishes, with a CRC32 of the line's own JSON (journal v2) so
+  *any* corrupted line — torn tail, bit rot, injected garbage mid-file —
+  is detected and skipped on read (that cell simply re-runs).  v1
+  journals (no CRC) are read transparently.
 
-Killing a run therefore loses at most the cells still in flight.
-Re-invoking with the same ``run_id`` loads the journal, skips every
-recorded cell — including ``ERROR`` cells; delete their lines (or pick a
-new run id) to retry them — and computes only what is missing.  A
-truncated trailing line (the kill landed mid-write) is ignored.
+Failure taxonomy (:mod:`repro.study.taxonomy`): a cell ends ``ok``,
+``bug``, ``timeout`` (cooperative :class:`repro.core.budget.Budget`
+deadline, partial stats kept — or a watchdog hard-kill of a stuck
+worker), ``diverged`` (:class:`repro.engine.strategies.ReplayDivergence`
+classified, not crashed), ``error`` (exception; retried with exponential
+backoff and a deterministic seed bump first), or ``quarantined`` (the
+cell crashed its worker process twice — the study completes without it).
+Resuming with ``retry_errors=True`` (CLI ``--retry-errors``) re-runs
+every non-success cell instead of requiring manual journal surgery.
 
-A cell that raises is retried once; a second failure is recorded as an
-``ERROR`` cell (empty stats + the traceback) rather than aborting the
-study.  A crashed worker process (which breaks the pool) is handled the
-same way: the pool is rebuilt and the in-flight cells re-queued.
+SIGINT/SIGTERM trigger a graceful drain: stop submitting, give in-flight
+cells a short grace window, flush their records, and raise
+:class:`StudyInterrupted` (the CLI prints the resume command and exits
+0).  A second signal hard-exits.
+
+Deterministic fault injection (:mod:`repro.study.faults`) can crash a
+worker, hang a cell, force a divergence, or corrupt a journal line on an
+exact (cell, attempt) — the tests use it to prove every degradation path
+above end to end.
 
 With ``jobs=1`` the cells run serially in-process — same code path, no
 pool — and produce results identical to :func:`repro.study.run_study`
@@ -31,14 +44,22 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import sys
+import threading
 import time
 import traceback
+import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, Set, TextIO, Tuple
 
+from ..engine.strategies import ReplayDivergence
 from ..sctbench import get as get_benchmark
+from . import faults as faults_mod
+from . import taxonomy
 from .config import StudyConfig
+from .faults import FaultPlan
 from .runner import (
     BenchmarkResult,
     ProgressFn,
@@ -50,27 +71,95 @@ from .runner import (
 #: Default journal location, relative to the working directory.
 DEFAULT_CHECKPOINT_DIR = os.path.join("results", "checkpoints")
 
-#: Total tries per cell: one run plus one retry, then ``ERROR``.
+#: Total tries per cell for soft failures (``error``/``diverged``): one
+#: run plus one retry, then the failure is recorded.
 MAX_ATTEMPTS = 2
 
-CHECKPOINT_VERSION = 1
+#: Pool breaks a cell may be in flight for before it is ``quarantined``.
+QUARANTINE_CRASHES = 2
+
+CHECKPOINT_VERSION = 2
+
+#: Main-loop poll interval: how often the pool loop checks signals,
+#: watchdog deadlines, and due retries (seconds).
+POLL_SECONDS = 0.25
+
+#: Grace given to in-flight cells when draining after SIGINT/SIGTERM.
+DRAIN_GRACE_SECONDS = 5.0
 
 CellKey = Tuple[str, str]  # (benchmark name, technique)
 
 
-def _cell_worker(bench_name: str, technique: str, config: StudyConfig) -> dict:
+class StudyInterrupted(RuntimeError):
+    """Raised after a graceful SIGINT/SIGTERM drain.
+
+    The journal has been flushed; ``resume_command`` (when checkpointing
+    was on) re-runs the study and recovers every completed cell.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        run_id: Optional[str] = None,
+        resume_command: Optional[str] = None,
+        completed_cells: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+        self.resume_command = resume_command
+        self.completed_cells = completed_cells
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: reset inherited signal handling.
+
+    Workers are forked after the parent installs its graceful-drain
+    handlers, and would otherwise inherit them — a worker that *ignores*
+    SIGTERM is unkillable by the watchdog and un-drainable on exit.
+    SIGTERM goes back to the default (die, so ``terminate()`` works);
+    SIGINT is ignored (a terminal ^C hits the whole process group — the
+    parent alone runs the drain and then terminates the workers).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _cell_worker(
+    bench_name: str, technique: str, config: StudyConfig, attempt: int = 0
+) -> dict:
     """Pool entry point (module-level, hence picklable).
 
-    Never raises: a failing cell becomes an error record, so one bad cell
-    cannot poison the executor or lose the traceback.
+    ``attempt`` is the 0-based submission ordinal of this cell: retries
+    and crash re-queues run under :meth:`StudyConfig.for_attempt`'s
+    deterministic seed bump, and fault-injection specs are matched
+    against it.  Never raises: a failing cell becomes a classified record
+    (``diverged`` for replay divergence, ``error`` otherwise), so one bad
+    cell cannot poison the executor or lose the traceback.
     """
     try:
-        return run_cell(bench_name, technique, config)
+        plan = FaultPlan.from_config(config)
+        if plan:
+            spec = plan.match(bench_name, technique, attempt)
+            if spec is not None:
+                faults_mod.fire(spec)
+        return run_cell(bench_name, technique, config.for_attempt(attempt))
+    except ReplayDivergence:
+        return error_record(
+            bench_name,
+            technique,
+            traceback.format_exc(),
+            status=taxonomy.DIVERGED,
+        )
     except BaseException:
         return error_record(bench_name, technique, traceback.format_exc())
 
 
-def error_record(bench_name: str, technique: str, error: str) -> dict:
+def error_record(
+    bench_name: str,
+    technique: str,
+    error: str,
+    status: str = taxonomy.ERROR,
+) -> dict:
     """A cell record for a failed (benchmark, technique) execution."""
     try:
         info = get_benchmark(bench_name)
@@ -83,46 +172,120 @@ def error_record(bench_name: str, technique: str, error: str) -> dict:
         "bench_id": bench_id,
         "suite": suite,
         "technique": technique,
-        "status": "error",
+        "status": status,
         "races": 0,
         "racy_sites": 0,
         "seconds": 0.0,
+        "ts": round(time.time(), 3),
         "stats": None,
         "error": error,
     }
+
+
+# -- journal format ---------------------------------------------------------
+
+def encode_journal_line(record: dict) -> str:
+    """One v2 journal line: the record JSON with a ``crc`` field holding
+    the CRC32 (hex) of the record serialized *without* it.
+
+    Serialization is canonical (sorted keys, compact separators) on both
+    the write and the verify side, so the check is byte-exact.
+    """
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    rec = dict(record)
+    rec["crc"] = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+    return json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+def decode_journal_line(line: str) -> Optional[dict]:
+    """Parse and verify one journal line; ``None`` for any corruption.
+
+    v1 lines carry no ``crc`` and are accepted as-is (read-compat); v2
+    lines must round-trip their CRC exactly.
+    """
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(rec, dict):
+        return None
+    crc = rec.pop("crc", None)
+    if crc is not None:
+        body = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+        expect = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+        if crc != expect:
+            return None
+    return rec
+
+
+class JournalInfo:
+    """Everything one journal read learned (see :func:`read_journal`)."""
+
+    __slots__ = ("completed", "header", "corrupt_lines", "version")
+
+    def __init__(self) -> None:
+        #: Last record per cell key (a retried cell's newest record wins).
+        self.completed: Dict[CellKey, dict] = {}
+        self.header: Optional[dict] = None
+        #: 1-based line numbers that failed to parse or failed their CRC.
+        self.corrupt_lines: List[int] = []
+        self.version: Optional[int] = None
+
+
+def read_journal(path: str, config: Optional[StudyConfig] = None) -> JournalInfo:
+    """Read a checkpoint journal, skipping corrupted lines anywhere.
+
+    Raises ``ValueError`` when the journal belongs to a run with a
+    different configuration fingerprint (pass ``config=None`` to skip the
+    check), or when cell records exist but the header line is unreadable
+    — the fingerprint can then not be verified, so resuming would risk
+    mixing configurations.
+    """
+    info = JournalInfo()
+    if not os.path.exists(path):
+        return info
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = decode_journal_line(line)
+            if rec is None:
+                info.corrupt_lines.append(lineno)
+                continue
+            kind = rec.get("kind")
+            if kind == "header":
+                info.header = rec
+                info.version = rec.get("version")
+                if config is not None:
+                    theirs = rec.get("fingerprint")
+                    ours = config.fingerprint()
+                    if theirs != ours:
+                        raise ValueError(
+                            f"checkpoint {path} was produced under a "
+                            f"different study configuration (fingerprint "
+                            f"{theirs} != {ours}); use a new --run-id or "
+                            "delete the file"
+                        )
+            elif kind == "cell":
+                info.completed[(rec["bench"], rec["technique"])] = rec
+    if info.completed and info.header is None:
+        raise ValueError(
+            f"checkpoint {path} has cell records but no readable header "
+            "line — its configuration fingerprint cannot be verified; "
+            "use a new --run-id or delete the file"
+        )
+    return info
 
 
 def load_checkpoint(path: str, config: StudyConfig) -> Dict[CellKey, dict]:
     """Completed cells recorded in ``path`` (empty dict if absent).
 
     Raises ``ValueError`` when the journal belongs to a run with a
-    different configuration fingerprint.  A malformed trailing line —
-    the previous run was killed mid-write — is skipped.
+    different configuration fingerprint.  Corrupted lines *anywhere* in
+    the file — not just a torn tail — are skipped; those cells re-run.
     """
-    completed: Dict[CellKey, dict] = {}
-    if not os.path.exists(path):
-        return completed
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # truncated write from an interrupted run
-            if rec.get("kind") == "header":
-                their = rec.get("fingerprint")
-                ours = config.fingerprint()
-                if their != ours:
-                    raise ValueError(
-                        f"checkpoint {path} was produced under a different "
-                        f"study configuration (fingerprint {their} != {ours}); "
-                        "use a new --run-id or delete the file"
-                    )
-            elif rec.get("kind") == "cell":
-                completed[(rec["bench"], rec["technique"])] = rec
-    return completed
+    return read_journal(path, config).completed
 
 
 class ParallelStudyRunner:
@@ -131,7 +294,10 @@ class ParallelStudyRunner:
     Parameters
     ----------
     config:
-        Study parameters; ``config.jobs`` is the default worker count.
+        Study parameters; ``config.jobs`` is the default worker count,
+        ``config.cell_deadline``/``cell_hard_timeout`` arm the
+        cooperative deadline and the watchdog, ``config.retry_backoff``
+        paces retries.
     jobs:
         Worker processes (overrides ``config.jobs``).  ``1`` runs cells
         serially in-process.
@@ -140,6 +306,11 @@ class ParallelStudyRunner:
         to a timestamped id (fresh run, no resume).
     checkpoint_dir:
         Journal directory; ``None`` disables checkpointing entirely.
+    retry_errors:
+        On resume, re-run journaled cells whose status is retryable
+        (``timeout``/``diverged``/``error``/``quarantined``) instead of
+        skipping them.  The journal is append-only: the re-run's record
+        supersedes the old line (last record per cell wins on read).
     """
 
     def __init__(
@@ -149,14 +320,19 @@ class ParallelStudyRunner:
         run_id: Optional[str] = None,
         checkpoint_dir: Optional[str] = DEFAULT_CHECKPOINT_DIR,
         progress: Optional[ProgressFn] = None,
+        retry_errors: bool = False,
     ) -> None:
         self.config = config or StudyConfig()
         self.jobs = max(1, jobs if jobs is not None else self.config.jobs)
         self.run_id = run_id or time.strftime("study-%Y%m%d-%H%M%S")
         self.checkpoint_dir = checkpoint_dir
         self.progress = progress
+        self.retry_errors = retry_errors
         #: Cells executed (not resumed) by the last :meth:`run` call.
         self.executed_cells: List[CellKey] = []
+        self._fault_plan = FaultPlan.from_config(self.config)
+        self._interrupts = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
     def checkpoint_path(self) -> Optional[str]:
@@ -187,8 +363,9 @@ class ParallelStudyRunner:
                 "version": CHECKPOINT_VERSION,
                 "run_id": self.run_id,
                 "fingerprint": self.config.fingerprint(),
+                "ts": round(time.time(), 3),
             }
-            fh.write(json.dumps(header) + "\n")
+            fh.write(encode_journal_line(header) + "\n")
             fh.flush()
         return fh
 
@@ -200,11 +377,17 @@ class ParallelStudyRunner:
     ) -> None:
         completed[(record["bench"], record["technique"])] = record
         if journal is not None:
-            journal.write(json.dumps(record) + "\n")
+            line = encode_journal_line(record)
+            if self._fault_plan and self._fault_plan.corrupts_journal(
+                record["bench"], record["technique"]
+            ):
+                line = faults_mod.corrupt_line(line)
+            journal.write(line + "\n")
             journal.flush()
             os.fsync(journal.fileno())
         if self.progress:
-            if record["status"] == "ok":
+            status = taxonomy.status_of(record)
+            if taxonomy.is_success(status):
                 st = record["stats"]
                 bug = st["first_bug"]
                 found = f"bug@{bug['index']}" if bug else "no bug"
@@ -220,8 +403,73 @@ class ParallelStudyRunner:
                 )
             else:
                 self.progress(
-                    f"  {record['bench']}: {record['technique']}: ERROR"
+                    f"  {record['bench']}: {record['technique']}: "
+                    f"{status.upper()}"
                 )
+
+    # -- signal handling ---------------------------------------------------
+
+    def _interrupted(self) -> bool:
+        return self._interrupts > 0
+
+    def _install_signals(self):
+        """Install graceful-drain handlers; returns an uninstall callback.
+
+        First SIGINT/SIGTERM sets the drain flag (the run loop notices at
+        its next poll); the second hard-exits.  No-op outside the main
+        thread (``signal.signal`` would raise there).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return lambda: None
+        previous = {}
+
+        def handler(signum, frame):
+            self._interrupts += 1
+            if self._interrupts >= 2:
+                os._exit(130)
+            sys.stderr.write(
+                "\ninterrupt received — draining in-flight cells "
+                "(interrupt again to hard-exit)...\n"
+            )
+            sys.stderr.flush()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+        def uninstall():
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+        return uninstall
+
+    def _resume_command(self) -> Optional[str]:
+        if self.checkpoint_path is None:
+            return None
+        cmd = f"python -m repro.study --run-id {self.run_id}"
+        if self.jobs > 1:
+            cmd += f" --jobs {self.jobs}"
+        if self.checkpoint_dir != DEFAULT_CHECKPOINT_DIR:
+            cmd += f" --checkpoint-dir {self.checkpoint_dir}"
+        return cmd + "  # plus your original study flags"
+
+    def _raise_interrupted(self, completed: Dict[CellKey, dict]) -> None:
+        resume = self._resume_command()
+        message = (
+            f"study interrupted: {len(completed)} cell(s) journaled"
+        )
+        if resume:
+            message += f"; resume with: {resume}"
+        else:
+            message += "; checkpointing was disabled, results not saved"
+        raise StudyInterrupted(
+            message,
+            run_id=self.run_id,
+            resume_command=resume,
+            completed_cells=len(completed),
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -230,23 +478,59 @@ class ParallelStudyRunner:
         grid = self.cells()
         path = self.checkpoint_path
         completed = load_checkpoint(path, config) if path else {}
+        retried: List[CellKey] = []
+        if self.retry_errors:
+            retried = [
+                key
+                for key in grid
+                if key in completed
+                and taxonomy.is_retryable(taxonomy.status_of(completed[key]))
+            ]
+            for key in retried:
+                del completed[key]
         pending = [key for key in grid if key not in completed]
         self.executed_cells = list(pending)
         if self.progress and len(pending) < len(grid):
-            self.progress(
-                f"resuming {self.run_id}: {len(grid) - len(pending)} of "
-                f"{len(grid)} cells already complete"
+            by_status: Dict[str, int] = {}
+            for rec in completed.values():
+                st = taxonomy.status_of(rec)
+                by_status[st] = by_status.get(st, 0) + 1
+            summary = ", ".join(
+                f"{n} {st}" for st, n in sorted(by_status.items())
             )
+            msg = (
+                f"resuming {self.run_id}: {len(grid) - len(pending)} of "
+                f"{len(grid)} cells already complete ({summary})"
+            )
+            if retried:
+                msg += f"; retrying {len(retried)} non-success cell(s)"
+            else:
+                n_retryable = sum(
+                    1
+                    for rec in completed.values()
+                    if taxonomy.is_retryable(taxonomy.status_of(rec))
+                )
+                if n_retryable:
+                    msg += (
+                        f"; {n_retryable} non-success cell(s) kept "
+                        "(--retry-errors re-runs them)"
+                    )
+            self.progress(msg)
 
         journal = self._open_journal()
+        uninstall = self._install_signals()
         try:
             if self.jobs == 1:
                 self._run_serial(pending, completed, journal)
             else:
                 self._run_pool(pending, completed, journal)
         finally:
+            uninstall()
             if journal is not None:
                 journal.close()
+
+        if self._interrupted():
+            self._raise_interrupted(completed)
 
         results = []
         for info in study_benchmarks(config):
@@ -258,6 +542,14 @@ class ParallelStudyRunner:
             results.append(BenchmarkResult.from_cells(info, records, config))
         return StudyResult(config, results)
 
+    def _backoff(self, attempt: int) -> float:
+        """Seconds to wait before submission ``attempt`` (0-based): the
+        first run is immediate, retry ``k`` waits ``backoff * 2**(k-1)``.
+        """
+        if attempt <= 0:
+            return 0.0
+        return self.config.retry_backoff * (2 ** (attempt - 1))
+
     def _run_serial(
         self,
         pending: List[CellKey],
@@ -265,9 +557,21 @@ class ParallelStudyRunner:
         journal: Optional[TextIO],
     ) -> None:
         for bench, tech in pending:
-            record = _cell_worker(bench, tech, self.config)
-            if record["status"] == "error":
-                record = _cell_worker(bench, tech, self.config)  # one retry
+            if self._interrupted():
+                return
+            attempt = 0
+            record = _cell_worker(bench, tech, self.config, attempt)
+            while (
+                taxonomy.status_of(record)
+                in (taxonomy.ERROR, taxonomy.DIVERGED)
+                and attempt + 1 < MAX_ATTEMPTS
+                and not self._interrupted()
+            ):
+                attempt += 1
+                delay = self._backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                record = _cell_worker(bench, tech, self.config, attempt)
             self._record(completed, journal, record)
 
     def _run_pool(
@@ -276,54 +580,239 @@ class ParallelStudyRunner:
         completed: Dict[CellKey, dict],
         journal: Optional[TextIO],
     ) -> None:
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        config = self.config
+        hard_limit = config.hard_timeout_for()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_worker_init
+        )
         in_flight: Dict[object, CellKey] = {}
+        running_since: Dict[object, float] = {}
+        #: Submissions per cell (0-based attempt ordinal for the worker).
         attempts: Dict[CellKey, int] = {key: 0 for key in pending}
+        #: Pool breaks each cell was in flight for (quarantine counter).
+        crashes: Dict[CellKey, int] = {}
+        #: Cells the watchdog killed, pending their ``timeout`` record.
+        overdue: Set[CellKey] = set()
+        #: Cells waiting for a normal submission slot.  At most ``jobs``
+        #: cells are outstanding at once, so one pool break loses at most
+        #: one worker-load of cells, not the whole remaining study.
+        ready: List[CellKey] = list(pending)
+        #: Crash suspects, probed ONE at a time with nothing else in
+        #: flight: a pool break can only be attributed to the single cell
+        #: that was running, so an innocent neighbour of a crashy cell is
+        #: never quarantined by association.
+        suspects: List[CellKey] = []
+        #: Delayed (backoff) resubmissions: (due monotonic time, key).
+        backlog: List[Tuple[float, CellKey]] = []
+        watchdog_fired = False
 
-        def submit(pool_, key: CellKey):
+        def submit(key: CellKey) -> None:
+            fut = self._pool.submit(
+                _cell_worker, key[0], key[1], config, attempts[key]
+            )
             attempts[key] += 1
-            fut = pool_.submit(_cell_worker, key[0], key[1], self.config)
             in_flight[fut] = key
 
+        def requeue(key: CellKey) -> None:
+            delay = self._backoff(attempts[key])
+            if delay > 0:
+                backlog.append((time.monotonic() + delay, key))
+            else:
+                ready.append(key)
+
+        def handle_record(key: CellKey, record: dict) -> None:
+            status = taxonomy.status_of(record)
+            if (
+                status in (taxonomy.ERROR, taxonomy.DIVERGED)
+                and attempts[key] < MAX_ATTEMPTS
+            ):
+                requeue(key)
+            else:
+                self._record(completed, journal, record)
+
+        def rebuild_pool(lost: List[CellKey]) -> None:
+            """A worker died hard: these in-flight cells are lost.  Kill
+            the pool, classify each lost cell, and re-queue survivors."""
+            nonlocal watchdog_fired
+            was_watchdog = watchdog_fired
+            watchdog_fired = False
+            self._pool.shutdown(wait=False)
+            self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_worker_init
+        )
+            sole_suspect = len(lost) == 1
+            for k in lost:
+                if k in overdue:
+                    overdue.discard(k)
+                    self._record(
+                        completed,
+                        journal,
+                        error_record(
+                            k[0],
+                            k[1],
+                            f"cell exceeded the hard watchdog limit "
+                            f"({hard_limit:g}s); worker killed",
+                            status=taxonomy.TIMEOUT,
+                        ),
+                    )
+                elif was_watchdog:
+                    # Collateral of a watchdog kill, not a crash suspect.
+                    ready.append(k)
+                else:
+                    # Attribute the crash only when this cell was provably
+                    # alone; otherwise it is merely a suspect to probe.
+                    if sole_suspect:
+                        crashes[k] = crashes.get(k, 0) + 1
+                    if crashes.get(k, 0) >= QUARANTINE_CRASHES:
+                        self._record(
+                            completed,
+                            journal,
+                            error_record(
+                                k[0],
+                                k[1],
+                                f"worker process crashed with this cell "
+                                f"in flight {crashes[k]} times; cell "
+                                "quarantined",
+                                status=taxonomy.QUARANTINED,
+                            ),
+                        )
+                    else:
+                        if not sole_suspect:
+                            crashes[k] = crashes.get(k, 0) + 1
+                        suspects.append(k)
+
         try:
-            for key in pending:
-                submit(pool, key)
-            while in_flight:
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            while in_flight or backlog or ready or suspects:
+                if self._interrupted():
+                    backlog.clear()
+                    ready.clear()
+                    suspects.clear()
+                    self._drain(in_flight, completed, journal)
+                    return
+                now = time.monotonic()
+                if backlog:
+                    due = [k for (t, k) in backlog if t <= now]
+                    backlog = [(t, k) for (t, k) in backlog if t > now]
+                    ready.extend(due)
+                if suspects:
+                    # Isolation mode: one suspect at a time, nothing else.
+                    if not in_flight:
+                        submit(suspects.pop(0))
+                else:
+                    while ready and len(in_flight) < self.jobs:
+                        submit(ready.pop(0))
+                if not in_flight:
+                    time.sleep(POLL_SECONDS)
+                    continue
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                lost: List[CellKey] = []
                 for fut in done:
                     key = in_flight.pop(fut)
+                    running_since.pop(fut, None)
                     try:
                         record = fut.result()
                     except BrokenProcessPool:
-                        # A worker died hard (segfault/OOM-kill): every
-                        # in-flight future is lost.  Rebuild the pool and
-                        # re-queue what still has attempts left.
-                        retry = [key] + list(in_flight.values())
-                        in_flight.clear()
-                        pool.shutdown(wait=False)
-                        pool = ProcessPoolExecutor(max_workers=self.jobs)
-                        for k in retry:
-                            if attempts[k] >= MAX_ATTEMPTS:
-                                self._record(
-                                    completed,
-                                    journal,
-                                    error_record(
-                                        k[0], k[1], "worker process crashed"
-                                    ),
-                                )
-                            else:
-                                submit(pool, k)
-                        break
+                        lost.append(key)
+                        continue
                     except BaseException as exc:
                         record = error_record(
                             key[0], key[1], f"{type(exc).__name__}: {exc}"
                         )
-                    if record["status"] == "error" and attempts[key] < MAX_ATTEMPTS:
-                        submit(pool, key)
-                    else:
-                        self._record(completed, journal, record)
+                    handle_record(key, record)
+                if lost:
+                    # The pool is broken: every other in-flight future is
+                    # doomed too — salvage the ones that raced to a result
+                    # before the break, count the rest as lost with them.
+                    for fut in list(in_flight):
+                        key = in_flight.pop(fut)
+                        running_since.pop(fut, None)
+                        record = None
+                        if fut.done():
+                            try:
+                                record = fut.result()
+                            except BaseException:
+                                record = None
+                        if record is not None:
+                            handle_record(key, record)
+                        else:
+                            lost.append(key)
+                    rebuild_pool(lost)
+                    continue
+                if hard_limit is None:
+                    continue
+                # Watchdog: kill workers whose cell has been *running*
+                # (not just queued) past the hard limit.  The kill breaks
+                # the pool; the next loop iteration lands in
+                # ``rebuild_pool``, which records the overdue cells as
+                # ``timeout`` and re-queues the collateral.
+                now = time.monotonic()
+                newly_overdue = False
+                for fut, key in in_flight.items():
+                    if not fut.running():
+                        continue
+                    t0 = running_since.setdefault(fut, now)
+                    if now - t0 > hard_limit and key not in overdue:
+                        overdue.add(key)
+                        newly_overdue = True
+                        if self.progress:
+                            self.progress(
+                                f"  {key[0]}: {key[1]}: watchdog — cell "
+                                f"still running after {hard_limit:g}s, "
+                                "killing worker"
+                            )
+                if newly_overdue:
+                    watchdog_fired = True
+                    self._kill_workers()
         finally:
-            pool.shutdown(wait=True)
+            pool = self._pool
+            self._pool = None
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _kill_workers(self) -> None:
+        """Hard-kill every pool worker (the pool then reports broken)."""
+        procs = list(getattr(self._pool, "_processes", {}).values())
+        for proc in procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+
+    def _drain(
+        self,
+        in_flight: Dict[object, CellKey],
+        completed: Dict[CellKey, dict],
+        journal: Optional[TextIO],
+    ) -> None:
+        """Graceful-stop path: cancel what never started, give running
+        cells a short grace window, journal whatever finishes, then tear
+        the pool down without waiting on stuck workers."""
+        for fut in list(in_flight):
+            if fut.cancel():
+                in_flight.pop(fut)
+        if in_flight:
+            done, _ = wait(set(in_flight), timeout=DRAIN_GRACE_SECONDS)
+            for fut in done:
+                key = in_flight.pop(fut)
+                try:
+                    record = fut.result()
+                except BaseException:
+                    continue
+                self._record(completed, journal, record)
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc is not None:
+                proc.join(timeout=2.0)
 
 
 def run_study_parallel(
@@ -332,9 +821,11 @@ def run_study_parallel(
     run_id: Optional[str] = None,
     checkpoint_dir: Optional[str] = DEFAULT_CHECKPOINT_DIR,
     progress: Optional[ProgressFn] = None,
+    retry_errors: bool = False,
 ) -> StudyResult:
     """Convenience wrapper: build a :class:`ParallelStudyRunner` and run it."""
     return ParallelStudyRunner(
         config, jobs=jobs, run_id=run_id,
         checkpoint_dir=checkpoint_dir, progress=progress,
+        retry_errors=retry_errors,
     ).run()

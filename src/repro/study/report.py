@@ -133,6 +133,42 @@ def headline_findings(study: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def status_summary(study: StudyResult) -> str:
+    """Non-success cells (timeout/diverged/error/quarantined), when any.
+
+    A fault-free study emits nothing here (and the section is omitted from
+    :func:`full_report` entirely); a degraded one lists exactly which
+    (benchmark, technique) cells did not complete and why, so partial
+    results stay interpretable instead of silently blending into the
+    found/missed pattern.
+    """
+    rows = []
+    counts = {}
+    for r in study:
+        for tech, status in sorted(r.statuses.items()):
+            counts[status] = counts.get(status, 0) + 1
+            detail = r.errors.get(tech, "")
+            detail = detail.strip().splitlines()[-1] if detail else ""
+            rows.append(
+                f"{r.info.bench_id:>2} {r.info.name:<26} {tech:<9} "
+                f"{status:<11} {detail[:60]}"
+            )
+    if not rows:
+        return "all cells completed (ok/bug)"
+    lines = [
+        f"{'id':>2} {'benchmark':<26} {'technique':<9} {'status':<11} detail",
+        "-" * 70,
+    ]
+    lines.extend(rows)
+    lines.append("-" * 70)
+    summary = ", ".join(f"{n} {st}" for st, n in sorted(counts.items()))
+    lines.append(
+        f"{len(rows)} non-success cell(s): {summary} — these cells count "
+        "as 'bug not found'; re-run with --retry-errors to retry them"
+    )
+    return "\n".join(lines)
+
+
 def engine_cost_summary(study: StudyResult) -> str:
     """Engine-cost counters per systematic technique, when collected.
 
@@ -209,6 +245,8 @@ def full_report(study: StudyResult) -> str:
         "## Headline findings",
         headline_findings(study),
     ]
+    if any(r.statuses for r in study):
+        parts += ["", "## Incomplete cells", status_summary(study)]
     if any(
         st.counters is not None for r in study for st in r.stats.values()
     ):

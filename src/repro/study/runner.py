@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import (
+    Budget,
     DFSExplorer,
     ExplorationStats,
     MapleAlgExplorer,
@@ -30,6 +31,7 @@ from ..engine import sync_only_filter
 from ..racedetect import RaceDetectionReport, detect_races
 from ..sctbench import BENCHMARKS, BenchmarkInfo
 from ..sctbench import get as get_benchmark
+from . import taxonomy
 from .config import StudyConfig
 
 ProgressFn = Callable[[str], None]
@@ -38,7 +40,15 @@ ProgressFn = Callable[[str], None]
 class BenchmarkResult:
     """Everything measured for one benchmark."""
 
-    __slots__ = ("info", "races", "racy_sites", "stats", "seconds", "errors")
+    __slots__ = (
+        "info",
+        "races",
+        "racy_sites",
+        "stats",
+        "seconds",
+        "errors",
+        "statuses",
+    )
 
     def __init__(
         self,
@@ -47,6 +57,7 @@ class BenchmarkResult:
         stats: Dict[str, ExplorationStats],
         seconds: float,
         errors: Optional[Dict[str, str]] = None,
+        statuses: Optional[Dict[str, str]] = None,
     ) -> None:
         self.info = info
         self.races = len(race_report.races) if race_report else 0
@@ -56,6 +67,10 @@ class BenchmarkResult:
         #: technique -> error message, for cells that crashed (parallel
         #: runner only; the serial runner propagates exceptions).
         self.errors: Dict[str, str] = dict(errors) if errors else {}
+        #: technique -> non-success cell status (see
+        #: :mod:`repro.study.taxonomy`); empty when every cell succeeded,
+        #: so fault-free output is unchanged.
+        self.statuses: Dict[str, str] = dict(statuses) if statuses else {}
 
     @property
     def has_races(self) -> bool:
@@ -77,6 +92,8 @@ class BenchmarkResult:
         }
         if self.errors:
             out["errors"] = dict(self.errors)
+        if self.statuses:
+            out["statuses"] = dict(self.statuses)
         return out
 
     @classmethod
@@ -90,13 +107,17 @@ class BenchmarkResult:
 
         ``records`` are cell dicts (see :func:`run_cell`); stats appear in
         ``config.techniques`` order so the aggregate serializes exactly
-        like a serially-produced result.  An ``ERROR`` cell contributes an
-        empty :class:`ExplorationStats` (no schedules, no bug) plus an
-        entry in :attr:`errors`.
+        like a serially-produced result.  Success cells (``ok``/``bug`` —
+        v1 journals say ``ok`` for both) contribute their full stats;
+        ``timeout`` cells contribute whatever partial stats the deadline
+        left behind; every other status contributes empty stats plus an
+        entry in :attr:`errors`.  Non-success statuses land in
+        :attr:`statuses` so partial studies stay interpretable.
         """
         by_tech = {rec["technique"]: rec for rec in records}
         stats: Dict[str, ExplorationStats] = {}
         errors: Dict[str, str] = {}
+        statuses: Dict[str, str] = {}
         races = racy_sites = 0
         seconds = 0.0
         for tech in config.techniques:
@@ -104,7 +125,10 @@ class BenchmarkResult:
             if rec is None:
                 continue
             seconds += rec.get("seconds") or 0.0
-            if rec.get("status") == "ok":
+            status = taxonomy.status_of(rec)
+            if taxonomy.is_success(status) or (
+                status == taxonomy.TIMEOUT and rec.get("stats")
+            ):
                 stats[tech] = ExplorationStats.from_payload(rec["stats"])
                 races = max(races, rec.get("races", 0))
                 racy_sites = max(racy_sites, rec.get("racy_sites", 0))
@@ -113,7 +137,9 @@ class BenchmarkResult:
                     tech, info.name, config.limit_for(info.name)
                 )
                 errors[tech] = rec.get("error") or "unknown error"
-        result = cls(info, None, stats, seconds, errors)
+            if not taxonomy.is_success(status):
+                statuses[tech] = status
+        result = cls(info, None, stats, seconds, errors, statuses)
         result.races = races
         result.racy_sites = racy_sites
         return result
@@ -252,17 +278,29 @@ def _run_technique(
     technique: str,
     config: StudyConfig,
     visible_filter,
+    budget: Optional[Budget] = None,
 ) -> ExplorationStats:
     """Run one technique on one benchmark — the shared core of the serial
     runner and the parallel work cell."""
     explorer = make_technique_explorers(
         config, visible_filter, info.name, [technique]
     )[technique]
+    if budget is not None:
+        explorer.budget = budget
     limit = config.limit_for(info.name)
     tech_limit = (
         min(limit, config.maple_run_cap) if technique == "MapleAlg" else limit
     )
     return explorer.explore(program, tech_limit)
+
+
+def _cell_budget(config: StudyConfig) -> Optional[Budget]:
+    """The cooperative per-cell budget, or ``None`` when no deadline is
+    configured (the fault-free fast path: zero overhead, zero behaviour
+    change)."""
+    if config.cell_deadline is None:
+        return None
+    return Budget(deadline_seconds=config.cell_deadline).start()
 
 
 def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
@@ -271,24 +309,41 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     Self-contained and picklable end to end: the benchmark is looked up by
     name, race detection runs (or is served from the per-process cache)
     inside the cell, and the result is a JSON-safe record.  Exceptions
-    propagate — retry/ERROR policy is the caller's job.
+    propagate — retry/classification policy is the caller's job
+    (:class:`repro.study.parallel.ParallelStudyRunner`).
+
+    The record's ``status`` follows :mod:`repro.study.taxonomy`: ``bug``
+    when the exploration found one, ``timeout`` when the cooperative
+    ``config.cell_deadline`` expired first (``stats`` then hold the
+    partial measurement), ``ok`` otherwise.  ``seconds`` is measured with
+    :func:`time.monotonic` (immune to wall-clock steps); ``ts`` is a
+    display-only :func:`time.time` timestamp.
     """
-    t0 = time.time()
+    t0 = time.monotonic()
+    started_at = time.time()
     info = get_benchmark(bench_name)
     report = detect_races_cached(info, config)
+    budget = _cell_budget(config)
     stats = _run_technique(
-        info.make(), info, technique, config, _filter_for(report)
+        info.make(), info, technique, config, _filter_for(report), budget
     )
+    if stats.deadline_hit:
+        status = taxonomy.TIMEOUT
+    elif stats.found_bug:
+        status = taxonomy.BUG
+    else:
+        status = taxonomy.OK
     return {
         "kind": "cell",
         "bench": info.name,
         "bench_id": info.bench_id,
         "suite": info.suite,
         "technique": technique,
-        "status": "ok",
+        "status": status,
         "races": len(report.races),
         "racy_sites": len(report.racy_sites),
-        "seconds": round(time.time() - t0, 6),
+        "seconds": round(time.monotonic() - t0, 6),
+        "ts": round(started_at, 3),
         "stats": stats.to_payload(),
         "error": None,
     }
@@ -300,7 +355,7 @@ def run_benchmark(
     progress: Optional[ProgressFn] = None,
 ) -> BenchmarkResult:
     """Run the full per-benchmark pipeline: race phase, then each technique."""
-    t0 = time.time()
+    t0 = time.monotonic()
     program = info.make()
 
     # Phase 1: data race detection (shared by IPB/IDB/DFS/Rand).
@@ -312,13 +367,24 @@ def run_benchmark(
     )
     visible_filter = _filter_for(report)
     stats: Dict[str, ExplorationStats] = {}
+    statuses: Dict[str, str] = {}
     for name in config.techniques:
-        stats[name] = _run_technique(program, info, name, config, visible_filter)
+        st = _run_technique(
+            program, info, name, config, visible_filter, _cell_budget(config)
+        )
+        stats[name] = st
+        if st.deadline_hit:
+            statuses[name] = taxonomy.TIMEOUT
         if progress:
-            st = stats[name]
             found = f"bug@{st.schedules_to_first_bug}" if st.found_bug else "no bug"
-            progress(f"  {info.name}: {name}: {found} ({st.schedules} schedules)")
-    return BenchmarkResult(info, report, stats, time.time() - t0)
+            note = " [deadline]" if st.deadline_hit else ""
+            progress(
+                f"  {info.name}: {name}: {found} "
+                f"({st.schedules} schedules){note}"
+            )
+    return BenchmarkResult(
+        info, report, stats, time.monotonic() - t0, statuses=statuses
+    )
 
 
 def study_benchmarks(config: StudyConfig) -> List[BenchmarkInfo]:

@@ -1,0 +1,177 @@
+"""Cooperative budgets: deadline semantics, engine TIMEOUT, partial stats."""
+
+import pytest
+
+from repro.core import Budget, BudgetExceeded, DFSExplorer, RandomExplorer
+from repro.core.budget import _CLOCK_STRIDE
+from repro.core.iterative import IterativeBoundingExplorer, make_idb, make_ipb
+from repro.engine import Outcome, RoundRobinStrategy, execute
+
+from .programs import figure1, unsafe_counter
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic deadline tests."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestBudgetUnit:
+    def test_no_limits_never_expires(self):
+        b = Budget()
+        b.start()
+        for _ in range(1000):
+            assert not b.tick()
+        assert not b.start_execution()
+        assert not b.expired
+        assert b.reason is None
+
+    def test_deadline_expires_with_fake_clock(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=10.0, clock=clock).start()
+        assert not b.expired
+        clock.advance(9.999)
+        assert not b.expired
+        clock.advance(0.001)
+        assert b.expired
+        assert "deadline" in b.reason
+
+    def test_tick_amortizes_clock_reads(self):
+        reads = []
+
+        class CountingClock(FakeClock):
+            def __call__(self):
+                reads.append(1)
+                return self.t
+
+        clock = CountingClock()
+        b = Budget(deadline_seconds=100.0, clock=clock).start()
+        reads.clear()
+        for _ in range(_CLOCK_STRIDE * 4):
+            b.tick()
+        assert len(reads) == 4  # one read per stride, not per tick
+
+    def test_tick_detects_deadline_within_a_stride(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=5.0, clock=clock).start()
+        clock.advance(10.0)
+        # Expiry surfaces within one stride of ticks, not immediately.
+        assert any(b.tick() for _ in range(_CLOCK_STRIDE))
+        assert b.expired
+
+    def test_execution_ceiling(self):
+        b = Budget(max_executions=2).start()
+        assert not b.start_execution()
+        assert not b.start_execution()
+        assert b.start_execution()  # third execution refused
+        assert "execution ceiling" in b.reason
+
+    def test_step_ceiling_is_exact(self):
+        b = Budget(max_total_steps=10).start()
+        ticks = [b.tick() for _ in range(11)]
+        assert ticks[:10] == [False] * 10
+        assert ticks[10] is True
+        assert "step ceiling" in b.reason
+
+    def test_expired_is_sticky(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=1.0, clock=clock).start()
+        clock.advance(2.0)
+        assert b.expired
+        clock.advance(-2.0)  # even if the clock could rewind
+        assert b.expired
+
+    def test_check_raises(self):
+        b = Budget(max_executions=0).start()
+        with pytest.raises(BudgetExceeded, match="execution ceiling"):
+            b.check()
+
+    def test_start_is_lazy_and_idempotent(self):
+        clock = FakeClock(100.0)
+        b = Budget(deadline_seconds=1.0, clock=clock)
+        clock.advance(50.0)  # before any poll: deadline not running yet
+        assert not b.expired  # first poll starts the clock
+        clock.advance(0.5)
+        assert not b.expired
+        clock.advance(0.6)
+        assert b.expired
+
+
+class TestExecutorTimeout:
+    def test_expired_budget_refuses_execution(self):
+        b = Budget(max_executions=0).start()
+        res = execute(figure1(), RoundRobinStrategy(), budget=b)
+        assert res.outcome is Outcome.TIMEOUT
+        assert res.schedule == []
+
+    def test_mid_execution_timeout(self):
+        b = Budget(max_total_steps=3).start()
+        res = execute(figure1(), RoundRobinStrategy(), budget=b)
+        assert res.outcome is Outcome.TIMEOUT
+        assert not res.outcome.is_terminal_schedule
+        assert 0 < len(res.schedule) <= 4
+
+    def test_no_budget_unchanged(self):
+        res = execute(figure1(), RoundRobinStrategy())
+        assert res.outcome is not Outcome.TIMEOUT
+
+
+class ScriptedBudget(Budget):
+    """Deterministic deadline: expires once ``after`` executions started."""
+
+    __slots__ = ("after",)
+
+    def __init__(self, after):
+        super().__init__(deadline_seconds=1.0, clock=lambda: 0.0)
+        self.after = after
+
+    def start_execution(self):
+        if self.executions >= self.after and self._reason is None:
+            self._reason = "wall-clock deadline (1s) exceeded [scripted]"
+        return super().start_execution()
+
+
+class TestExplorerDeadline:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda b: DFSExplorer(budget=b),
+            lambda b: make_ipb(budget=b),
+            lambda b: make_idb(budget=b),
+            lambda b: RandomExplorer(seed=1, budget=b),
+        ],
+        ids=["DFS", "IPB", "IDB", "Rand"],
+    )
+    def test_partial_stats_on_deadline(self, make):
+        budget = ScriptedBudget(after=3).start()
+        explorer = make(budget)
+        stats = explorer.explore(unsafe_counter(), 10_000)
+        assert stats.deadline_hit
+        assert 0 < stats.schedules < 10_000
+        payload = stats.to_payload()
+        assert payload["deadline_hit"] is True
+
+    def test_deadline_hit_round_trips_payload(self):
+        stats = DFSExplorer().explore(figure1(), 5)
+        assert not stats.deadline_hit
+        assert "deadline_hit" not in stats.as_dict()  # fault-free unchanged
+        from repro.core import ExplorationStats
+
+        stats.deadline_hit = True
+        again = ExplorationStats.from_payload(stats.to_payload())
+        assert again.deadline_hit
+        assert again.as_dict()["deadline_hit"] is True
+
+    def test_unexpired_budget_changes_nothing(self):
+        plain = DFSExplorer().explore(figure1(), 10_000)
+        budgeted = DFSExplorer(
+            budget=Budget(deadline_seconds=3600.0).start()
+        ).explore(figure1(), 10_000)
+        assert plain.as_dict() == budgeted.as_dict()

@@ -81,7 +81,7 @@ class TestPicklability:
         config = small_config()
         assert pickle.loads(pickle.dumps(config)) == config
         record = run_cell("CS.lazy01_bad", "IDB", config)
-        assert record["status"] == "ok"
+        assert record["status"] == "bug"  # taxonomy: success with a bug found
         json.dumps(record)  # JSON-safe for the checkpoint journal
 
 
