@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Chaos smoke: the adversarial corpus against every technique.
+
+Runs each program in :data:`repro.sctbench.ADVERSARIAL` — the corpus that
+attacks the harness itself (garbage yields, foreign unlocks, impossible
+joins, leaked resources, true livelocks) — under all five of the study's
+techniques with the paranoid engine self-checks armed
+(``REPRO_ENGINE_CHECK=1``), and asserts the hardening contract
+(DESIGN.md section 12):
+
+- no exploration ever escapes an exception: program-API misuse is
+  contained as ``Outcome.ABORT`` and the explorer keeps going;
+- every program produces exactly the hardening signal its ``EXPECTED``
+  entry promises (a tallied misuse kind, audited leaks, or a
+  lasso-confirmed livelock);
+- no adversarial program is ever misreported as a *concurrency* bug.
+
+This is the CI ``chaos-smoke`` job; run it locally with::
+
+    REPRO_ENGINE_CHECK=1 PYTHONPATH=src python scripts/chaos_smoke.py
+
+Exit status 0 means the engine shrugged off the whole corpus; any
+violation prints the (program, technique) cell and exits 1.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+
+from repro.core import (
+    DFSExplorer,
+    MapleAlgExplorer,
+    RandomExplorer,
+    make_idb,
+    make_ipb,
+)
+from repro.engine import engine_check_enabled
+from repro.sctbench import ADVERSARIAL
+from repro.sctbench.adversarial import EXPECTED
+
+MAX_STEPS = 400
+LIMIT = 30
+
+EXPLORERS = {
+    "IPB": lambda: make_ipb(max_steps=MAX_STEPS),
+    "IDB": lambda: make_idb(max_steps=MAX_STEPS),
+    "DFS": lambda: DFSExplorer(max_steps=MAX_STEPS),
+    "Rand": lambda: RandomExplorer(seed=3, max_steps=MAX_STEPS),
+    "MapleAlg": lambda: MapleAlgExplorer(seed=3, max_steps=MAX_STEPS),
+}
+
+
+def signal_of(stats) -> set:
+    """The hardening signals one exploration actually produced."""
+    signals = set()
+    for kind, count in sorted(stats.abort_kinds.items()):
+        if count:
+            signals.add(f"abort:{kind}")
+    if stats.leaks:
+        signals.add("leaks")
+    if stats.livelock_hits:
+        signals.add("livelock")
+    return signals
+
+
+def main() -> int:
+    if not engine_check_enabled():
+        print("note: REPRO_ENGINE_CHECK is not set; self-checks are off")
+    failures = []
+    t0 = time.monotonic()
+    for info in ADVERSARIAL:
+        expected = EXPECTED[info.name]
+        for tech, factory in EXPLORERS.items():
+            cell = f"{info.name}/{tech}"
+            try:
+                stats = factory().explore(info.factory(), LIMIT)
+            except Exception:
+                failures.append(f"{cell}: exploration raised\n{traceback.format_exc()}")
+                print(f"  [FAIL] {cell}: escaped exception")
+                continue
+            produced = signal_of(stats)
+            problems = []
+            if expected not in produced:
+                problems.append(f"expected {expected!r}, produced {sorted(produced)}")
+            if stats.found_bug:
+                problems.append(
+                    f"misreported as concurrency bug: {stats.first_bug}"
+                )
+            if problems:
+                failures.append(f"{cell}: " + "; ".join(problems))
+                print(f"  [FAIL] {cell}: " + "; ".join(problems))
+            else:
+                print(f"  [ok]   {cell}: {expected}")
+    elapsed = time.monotonic() - t0
+    cells = len(ADVERSARIAL) * len(EXPLORERS)
+    if failures:
+        print(f"\nchaos smoke FAILED: {len(failures)}/{cells} cells ({elapsed:.1f}s)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nchaos smoke passed: {cells} cells clean ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -450,16 +450,12 @@ class DPORExplorer(Explorer):
                 stats.observe_run(result)
                 if result.outcome.is_terminal_schedule:
                     stats.schedules += 1
+                    stats.observe_leaks(result)
                     if result.is_buggy:
                         stats.buggy_schedules += 1
                         if stats.first_bug is None:
-                            stats.first_bug = BugReport(
-                                program.name,
-                                result.outcome,
-                                str(result.bug),
-                                result.schedule,
-                                None,
-                                stats.schedules,
+                            stats.first_bug = BugReport.from_result(
+                                program.name, result, None, stats.schedules
                             )
                             if self.stop_at_first_bug:
                                 return stats
@@ -540,6 +536,15 @@ class IterativeBPORExplorer(Explorer):
             stats.new_schedules_at_bound = sub.schedules
             stats.buggy_schedules += sub.buggy_schedules
             stats.step_limit_hits += sub.step_limit_hits
+            stats.livelock_hits += sub.livelock_hits
+            stats.max_lasso = max(stats.max_lasso, sub.max_lasso)
+            stats.aborts += sub.aborts
+            for kind, count in sub.abort_kinds.items():
+                stats.abort_kinds[kind] = stats.abort_kinds.get(kind, 0) + count
+            if stats.first_abort is None:
+                stats.first_abort = sub.first_abort
+            for label, count in sub.leaks.items():
+                stats.leaks[label] = stats.leaks.get(label, 0) + count
             stats.max_enabled = max(stats.max_enabled, sub.max_enabled)
             stats.max_choice_points = max(
                 stats.max_choice_points, sub.max_choice_points
@@ -553,6 +558,7 @@ class IterativeBPORExplorer(Explorer):
                     sub.first_bug.schedule,
                     bound,
                     stats.schedules,
+                    traceback=sub.first_bug.traceback,
                 )
                 return stats
             if stats.schedules >= limit:

@@ -18,7 +18,15 @@ from ..engine.trace import ExecutionResult, Outcome
 class BugReport:
     """A reproducible bug: outcome + the schedule that triggers it."""
 
-    __slots__ = ("program_name", "outcome", "message", "schedule", "bound", "index")
+    __slots__ = (
+        "program_name",
+        "outcome",
+        "message",
+        "schedule",
+        "bound",
+        "index",
+        "traceback",
+    )
 
     def __init__(
         self,
@@ -28,6 +36,7 @@ class BugReport:
         schedule: List[int],
         bound: Optional[int],
         index: int,
+        traceback: Optional[str] = None,
     ) -> None:
         self.program_name = program_name
         self.outcome = outcome
@@ -39,6 +48,31 @@ class BugReport:
         self.bound = bound
         #: 1-based count of terminal schedules up to and including this one.
         self.index = index
+        #: Normalized traceback of the program exception behind a CRASH
+        #: (:func:`repro.runtime.errors.normalize_traceback`); ``None`` for
+        #: bug types that carry no exception.
+        self.traceback = traceback
+
+    @classmethod
+    def from_result(
+        cls,
+        program_name: str,
+        result: "ExecutionResult",
+        bound: Optional[int],
+        index: int,
+    ) -> "BugReport":
+        """Build a report from a buggy :class:`ExecutionResult` — the one
+        construction path every explorer shares, so the traceback (when the
+        bug carries one) is never dropped."""
+        return cls(
+            program_name,
+            result.outcome,
+            str(result.bug),
+            list(result.schedule),
+            bound,
+            index,
+            traceback=getattr(result.bug, "traceback", None),
+        )
 
     def __repr__(self) -> str:
         where = f" at bound {self.bound}" if self.bound is not None else ""
@@ -56,6 +90,7 @@ class BugReport:
             "schedule": list(self.schedule),
             "bound": self.bound,
             "index": self.index,
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -67,6 +102,7 @@ class BugReport:
             list(payload["schedule"]),
             payload["bound"],
             payload["index"],
+            traceback=payload.get("traceback"),
         )
 
 
@@ -148,6 +184,12 @@ class ExplorationStats:
         "limit",
         "counters",
         "deadline_hit",
+        "aborts",
+        "abort_kinds",
+        "first_abort",
+        "livelock_hits",
+        "max_lasso",
+        "leaks",
     )
 
     def __init__(self, technique: str, program_name: str, limit: int) -> None:
@@ -182,6 +224,23 @@ class ExplorationStats:
         #: before the exploration finished — everything above is then a
         #: *partial* (but internally consistent) measurement.
         self.deadline_hit = False
+        #: Executions contained as ``ABORT`` (program-API misuse) — these
+        #: are abandoned, not terminal, so they never count in ``schedules``.
+        self.aborts = 0
+        #: Misuse-kind value -> count (e.g. ``{"unlock-not-owner": 3}``).
+        self.abort_kinds: dict = {}
+        #: :class:`~repro.runtime.errors.MisuseReport` payload of the first
+        #: contained abort (kind, message, traceback), for diagnostics.
+        self.first_abort: Optional[dict] = None
+        #: ``STEP_LIMIT`` hits that the lasso detector refined to
+        #: ``LIVELOCK`` (also counted in ``step_limit_hits`` — LIVELOCK is
+        #: a refinement, not a separate budget category).
+        self.livelock_hits = 0
+        #: Longest confirmed non-progress cycle, in visible steps.
+        self.max_lasso = 0
+        #: Leak label -> count, aggregated over ``OK`` terminal-state audits
+        #: (e.g. ``{"mutex-held:m": 12}``).
+        self.leaks: dict = {}
 
     @property
     def found_bug(self) -> bool:
@@ -223,8 +282,36 @@ class ExplorationStats:
             self.max_choice_points = result.choice_points
         if result.threads_created > self.threads_created:
             self.threads_created = result.threads_created
-        if result.outcome is Outcome.STEP_LIMIT:
+        outcome = result.outcome
+        if outcome is Outcome.STEP_LIMIT:
             self.step_limit_hits += 1
+        elif outcome is Outcome.LIVELOCK:
+            # A lasso-confirmed step-limit hit: keeps the historical
+            # ``executions == schedules + step_limit_hits`` accounting.
+            self.step_limit_hits += 1
+            self.livelock_hits += 1
+            if result.lasso_len and result.lasso_len > self.max_lasso:
+                self.max_lasso = result.lasso_len
+        elif outcome is Outcome.ABORT:
+            self.aborts += 1
+            if result.misuse is not None:
+                kind = result.misuse.kind.value
+                self.abort_kinds[kind] = self.abort_kinds.get(kind, 0) + 1
+                if self.first_abort is None:
+                    self.first_abort = result.misuse.to_payload()
+
+    def observe_leaks(self, result: ExecutionResult) -> None:
+        """Fold an ``OK`` schedule's terminal-state audit in.
+
+        Called where terminal schedules are *counted*, not once per
+        execution: a leak is a property of the schedule, so restart-style
+        backends that re-execute lower-bound schedules must not count the
+        same schedule's leaks twice (the frontier/restart equivalence
+        contract covers ``as_dict``, which includes ``leaks``).
+        """
+        if result.leaks:
+            for label in result.leaks:
+                self.leaks[label] = self.leaks.get(label, 0) + 1
 
     def as_dict(self) -> dict:
         out = {
@@ -245,6 +332,16 @@ class ExplorationStats:
         # to pre-taxonomy reports.
         if self.deadline_hit:
             out["deadline_hit"] = True
+        # Hardening diagnostics, same only-when-set rule: well-behaved
+        # benchmarks produce exactly the pre-hardening dict.
+        if self.aborts:
+            out["aborts"] = self.aborts
+            out["abort_kinds"] = dict(self.abort_kinds)
+        if self.livelock_hits:
+            out["livelocks"] = self.livelock_hits
+            out["max_lasso"] = self.max_lasso
+        if self.leaks:
+            out["leaks"] = dict(self.leaks)
         return out
 
     def to_payload(self) -> dict:
@@ -269,6 +366,12 @@ class ExplorationStats:
             "threads_created": self.threads_created,
             "counters": self.counters.to_payload() if self.counters else None,
             "deadline_hit": self.deadline_hit,
+            "aborts": self.aborts,
+            "abort_kinds": dict(self.abort_kinds),
+            "first_abort": self.first_abort,
+            "livelock_hits": self.livelock_hits,
+            "max_lasso": self.max_lasso,
+            "leaks": dict(self.leaks),
         }
 
     @classmethod
@@ -291,6 +394,13 @@ class ExplorationStats:
             stats.counters = EngineCounters.from_payload(payload["counters"])
         # Absent in v1 (pre-deadline) checkpoints.
         stats.deadline_hit = bool(payload.get("deadline_hit", False))
+        # Absent in pre-hardening checkpoints — tolerate for resume.
+        stats.aborts = payload.get("aborts", 0)
+        stats.abort_kinds = dict(payload.get("abort_kinds") or {})
+        stats.first_abort = payload.get("first_abort")
+        stats.livelock_hits = payload.get("livelock_hits", 0)
+        stats.max_lasso = payload.get("max_lasso", 0)
+        stats.leaks = dict(payload.get("leaks") or {})
         return stats
 
     def __repr__(self) -> str:

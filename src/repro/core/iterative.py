@@ -213,6 +213,7 @@ class DFSExplorer(Explorer):
             fast_replay=True,
             budget=self.budget,
         )
+        abandoned = 0
         for record in dfs.runs():
             stats.executions += 1
             result = record.result
@@ -222,18 +223,22 @@ class DFSExplorer(Explorer):
             if self._budget_spent(stats, result):
                 return stats
             if not result.outcome.is_terminal_schedule:
+                # Abandoned runs (step limit, livelock, contained misuse)
+                # don't count as schedules, so an adversarial program whose
+                # every execution is abandoned would never approach the
+                # schedule limit: cap them at the same limit so exploration
+                # always terminates.
+                abandoned += 1
+                if abandoned >= limit:
+                    return stats
                 continue
             stats.schedules += 1
+            stats.observe_leaks(result)
             if result.is_buggy:
                 stats.buggy_schedules += 1
                 if stats.first_bug is None:
-                    stats.first_bug = BugReport(
-                        program.name,
-                        result.outcome,
-                        str(result.bug),
-                        result.schedule,
-                        None,
-                        stats.schedules,
+                    stats.first_bug = BugReport.from_result(
+                        program.name, result, None, stats.schedules
                     )
                     if self.stop_at_first_bug:
                         return stats
@@ -294,6 +299,7 @@ class IterativeBoundingExplorer(Explorer):
             budget=self.budget,
         )
         runs_before_bound = 0
+        abandoned = 0
         for bound in range(self.max_bound + 1):
             stats.bound = bound
             stats.new_schedules_at_bound = 0
@@ -311,6 +317,11 @@ class IterativeBoundingExplorer(Explorer):
                 if self._budget_spent(stats, result):
                     return stats
                 if not result.outcome.is_terminal_schedule:
+                    # Same abandoned-run cap as DFS (see DFSExplorer): a
+                    # program abandoning every execution must still stop.
+                    abandoned += 1
+                    if abandoned >= limit:
+                        return stats
                     continue
                 if record.cost < bound:
                     # Re-explored from an earlier iteration; not counted.
@@ -318,17 +329,13 @@ class IterativeBoundingExplorer(Explorer):
                     continue
                 stats.schedules += 1
                 stats.new_schedules_at_bound += 1
+                stats.observe_leaks(result)
                 if result.is_buggy:
                     stats.buggy_schedules += 1
                     bug_at_this_bound = True
                     if stats.first_bug is None:
-                        stats.first_bug = BugReport(
-                            program.name,
-                            result.outcome,
-                            str(result.bug),
-                            result.schedule,
-                            bound,
-                            stats.schedules,
+                        stats.first_bug = BugReport.from_result(
+                            program.name, result, bound, stats.schedules
                         )
                 if stats.schedules >= limit:
                     return stats

@@ -171,16 +171,12 @@ class MapleAlgExplorer(Explorer):
             self._budget_spent(stats, result)
             if result.outcome.is_terminal_schedule:
                 stats.schedules += 1
+                stats.observe_leaks(result)
                 if result.is_buggy:
                     stats.buggy_schedules += 1
                     if stats.first_bug is None:
-                        stats.first_bug = BugReport(
-                            program.name,
-                            result.outcome,
-                            str(result.bug),
-                            result.schedule,
-                            None,
-                            stats.schedules,
+                        stats.first_bug = BugReport.from_result(
+                            program.name, result, None, stats.schedules
                         )
             return result
 

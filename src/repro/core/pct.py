@@ -118,16 +118,12 @@ class PCTExplorer(Explorer):
             if not result.outcome.is_terminal_schedule:
                 continue
             stats.schedules += 1
+            stats.observe_leaks(result)
             if result.is_buggy:
                 stats.buggy_schedules += 1
                 if stats.first_bug is None:
-                    stats.first_bug = BugReport(
-                        program.name,
-                        result.outcome,
-                        str(result.bug),
-                        result.schedule,
-                        None,
-                        stats.schedules,
+                    stats.first_bug = BugReport.from_result(
+                        program.name, result, None, stats.schedules
                     )
                     if self.stop_at_first_bug:
                         return stats

@@ -6,6 +6,13 @@ the scheduler strategy is the only source of nondeterminism.
 """
 
 from .executor import DEFAULT_MAX_STEPS, execute, replay
+from .hardening import (
+    LASSO_WINDOW,
+    LassoDetector,
+    audit_terminal_state,
+    engine_check_enabled,
+    set_engine_check,
+)
 from .state import Kernel, ThreadState, ThreadStatus, VisibleFilter, sync_only_filter
 from .strategies import (
     CallbackStrategy,
@@ -39,4 +46,9 @@ __all__ = [
     "ExecutionObserver",
     "ExecutionResult",
     "Outcome",
+    "LASSO_WINDOW",
+    "LassoDetector",
+    "audit_terminal_state",
+    "engine_check_enabled",
+    "set_engine_check",
 ]

@@ -1,11 +1,32 @@
-"""Run one controlled execution of a program under a scheduler strategy."""
+"""Run one controlled execution of a program under a scheduler strategy.
+
+This module is also the engine's *fault boundary* (DESIGN.md section 12):
+program-API misuse raised anywhere inside an execution — setup, spawn, or
+any step — is contained here as a non-bug :attr:`Outcome.ABORT` carrying a
+:class:`~repro.runtime.errors.MisuseReport`, so exploration continues on
+the next schedule.  Harness-side invariant violations
+(:class:`~repro.runtime.errors.EngineInvariantError`) and replay
+divergences are deliberately *not* contained: those mean the testing tool
+itself is wrong.
+"""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from ..runtime.errors import DeadlockBug
+from ..runtime.errors import (
+    DeadlockBug,
+    EngineInvariantError,
+    MisuseReport,
+    RuntimeUsageError,
+)
 from ..runtime.program import Program
+from .hardening import (
+    LASSO_WINDOW,
+    LassoDetector,
+    audit_terminal_state,
+    engine_check_enabled,
+)
 from .state import Kernel, VisibleFilter
 from .strategies import SchedulerStrategy
 from .trace import ExecutionObserver, ExecutionResult, Outcome, outcome_for_bug
@@ -14,7 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> engine)
     from ..core.budget import Budget
 
 #: Default per-execution visible-step budget.  Exceeding it classifies the
-#: execution as ``STEP_LIMIT`` (livelock guard; see DESIGN.md section 3).
+#: execution as ``STEP_LIMIT`` (livelock guard; see DESIGN.md section 3) —
+#: or ``LIVELOCK`` when the lasso detector confirms a non-progress cycle.
 DEFAULT_MAX_STEPS = 50_000
 
 
@@ -72,7 +94,11 @@ def execute(
     -------
     ExecutionResult
         Outcome, schedule, and recording data.  Never raises for bugs in
-        the program under test — those become buggy outcomes.
+        the program under test — those become buggy outcomes — nor for
+        program-API misuse, which becomes :attr:`Outcome.ABORT` with a
+        :class:`~repro.runtime.errors.MisuseReport` attached.  Only
+        harness-side failures (engine invariant violations, replay
+        divergence, genuine setup crashes) propagate.
     """
     from ..runtime.objects import NamingScope
 
@@ -93,16 +119,51 @@ def execute(
             recorded_from=0,
         )
 
+    check = engine_check_enabled()
+    #: Fingerprinting starts this many steps before the limit; executions
+    #: finishing earlier never pay for it.
+    watch_from = max_steps - LASSO_WINDOW if max_steps > LASSO_WINDOW else 0
+    detector: Optional[LassoDetector] = None
+    misuse: Optional[MisuseReport] = None
+    lasso_len: Optional[int] = None
+
+    def abort_result(exc: RuntimeUsageError, kernel: Optional[Kernel]) -> ExecutionResult:
+        # Misuse before the first step (setup / main spawn): nothing ran,
+        # so there is no schedule and no observer saw the execution start.
+        return ExecutionResult(
+            outcome=Outcome.ABORT,
+            bug=None,
+            schedule=[],
+            enabled_sets=[] if record_enabled else None,
+            created_counts=[] if record_enabled else None,
+            steps=0,
+            choice_points=0,
+            max_enabled=0,
+            threads_created=0 if kernel is None else kernel.num_created,
+            shared=None,
+            recorded_from=0,
+            misuse=MisuseReport.from_error(exc),
+        )
+
     naming = NamingScope()
     with naming:
         # The scope stays active for the whole execution: threads may
         # create shared objects mid-run, and their auto-names must come
         # from this kernel's counter, not a process-global one.
-        shared = program.setup()
+        try:
+            shared = program.setup()
+        except RuntimeUsageError as exc:
+            # e.g. ``Semaphore(-1)`` in setup.  Genuine setup crashes
+            # (any other exception) still propagate: they are harness
+            # configuration errors, not schedule-dependent behaviour.
+            return abort_result(exc, None)
         kernel = Kernel(
             shared, visible_filter, tuple(observers), spurious_wakeups, naming
         )
-        kernel.spawn(program.main, (shared,))
+        try:
+            kernel.spawn(program.main, (shared,))
+        except RuntimeUsageError as exc:
+            return abort_result(exc, kernel)
         strategy.on_execution_start()
         for obs in observers:
             obs.on_start(shared)
@@ -112,12 +173,15 @@ def execute(
         created_counts: Optional[list] = [] if record_enabled else None
         choice_points = 0
         max_enabled = 0
+        leaks = None
 
         outcome: Outcome
         while True:
             if kernel.bug is not None:
                 outcome = outcome_for_bug(kernel.bug)
                 break
+            if check:
+                kernel.check_invariants()
             step_index = kernel.steps
             in_prefix = step_index < record_from_step
             if in_prefix:
@@ -127,6 +191,11 @@ def execute(
                     # executable, so the full enabled set is never needed.
                     # ``tid_enabled`` implies at least one enabled thread,
                     # so the OK/DEADLOCK classification below cannot apply.
+                    if check and hint not in kernel.enabled():
+                        raise EngineInvariantError(
+                            f"tid_enabled({hint}) disagrees with enabled() "
+                            f"at step {step_index}"
+                        )
                     if step_index >= max_steps:
                         outcome = Outcome.STEP_LIMIT
                         break
@@ -134,21 +203,43 @@ def execute(
                         outcome = Outcome.TIMEOUT
                         break
                     schedule.append(hint)
-                    kernel.step(hint)
+                    try:
+                        kernel.step(hint)
+                    except RuntimeUsageError as exc:
+                        # Keep ``len(schedule) == kernel.steps``: misuse
+                        # raised while *poising the next op* (inside
+                        # ``_advance``) lands after the chosen step already
+                        # counted, so its schedule entry stays; misuse in
+                        # the visible op itself means the step never
+                        # counted and the entry must go.
+                        if kernel.steps == step_index:
+                            schedule.pop()
+                        misuse = MisuseReport.from_error(exc)
+                        outcome = Outcome.ABORT
+                        break
                     continue
             enabled = kernel.enabled()
             width = len(enabled)
             if width == 0:
                 if kernel.all_finished:
                     outcome = Outcome.OK
+                    leaks = audit_terminal_state(kernel)
                 else:
                     kernel.bug = DeadlockBug(
                         "deadlock: " + kernel.blocked_description()
                     )
                     outcome = Outcome.DEADLOCK
                 break
+            if step_index >= watch_from:
+                if detector is None:
+                    detector = LassoDetector()
+                detector.observe(kernel, enabled)
             if step_index >= max_steps:
-                outcome = Outcome.STEP_LIMIT
+                if detector is not None and detector.cycle_len is not None:
+                    outcome = Outcome.LIVELOCK
+                    lasso_len = detector.cycle_len
+                else:
+                    outcome = Outcome.STEP_LIMIT
                 break
             if budget is not None and budget.tick():
                 outcome = Outcome.TIMEOUT
@@ -159,11 +250,30 @@ def execute(
                 if width > 1:
                     choice_points += 1
             tid = strategy.choose(step_index, enabled, kernel.last_tid, kernel)
+            if check and tid not in enabled:
+                raise EngineInvariantError(
+                    f"strategy {type(strategy).__name__} chose T{tid}, "
+                    f"not in enabled set {enabled} at step {step_index}"
+                )
             if record_enabled and not in_prefix:
                 enabled_sets.append(enabled)
                 created_counts.append(kernel.num_created)
             schedule.append(tid)
-            kernel.step(tid)
+            try:
+                kernel.step(tid)
+            except RuntimeUsageError as exc:
+                # As in the prefix path: pop only when the step never
+                # counted (misuse in the visible op itself); poise-time
+                # misuse from ``_advance`` lands after ``kernel.steps``
+                # advanced, so the recorded entries stay aligned.
+                if kernel.steps == step_index:
+                    schedule.pop()
+                    if record_enabled and not in_prefix:
+                        enabled_sets.pop()
+                        created_counts.pop()
+                misuse = MisuseReport.from_error(exc)
+                outcome = Outcome.ABORT
+                break
 
     result = ExecutionResult(
         outcome=outcome,
@@ -177,6 +287,9 @@ def execute(
         threads_created=kernel.num_created,
         shared=shared,
         recorded_from=min(record_from_step, kernel.steps),
+        misuse=misuse,
+        leaks=leaks,
+        lasso_len=lasso_len,
     )
     for obs in observers:
         obs.on_finish(result)

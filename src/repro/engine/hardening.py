@@ -1,0 +1,275 @@
+"""Engine hardening: terminal-state audit, livelock lasso, self-check mode.
+
+Three cooperating pieces (DESIGN.md section 12) that make every controlled
+execution a fault boundary without costing anything on well-behaved
+programs:
+
+- :func:`audit_terminal_state` — at ``Outcome.OK``, walk the execution's
+  :class:`~repro.runtime.objects.NamingScope` inventory and the thread
+  table for leaked resources (mutexes still held, stranded waiters,
+  spawned-but-never-joined threads).  Pure inspection, runs once per OK
+  execution.
+- :class:`LassoDetector` — distinguishes a genuine livelock from an
+  execution that is merely long.  Active only inside the last
+  ``LASSO_WINDOW`` steps before the step limit; fingerprints the full
+  progress-relevant state and reports a cycle only when an *identical*
+  state recurs with zero shared-store mutations in between (the kernel's
+  ``store_version`` is monotonic, so equal versions bracket a
+  mutation-free interval).  Promotion is sound: a reported ``LIVELOCK``
+  really cannot make progress under the repeating choice pattern; cycles
+  that mutate state (or whose thread-local state the detector cannot
+  stably fingerprint) conservatively stay ``STEP_LIMIT``.
+- :func:`engine_check_enabled` / :func:`set_engine_check` — the paranoid
+  self-check switch (``REPRO_ENGINE_CHECK=1`` or
+  ``StudyConfig.engine_check``).  When on, the executor validates
+  scheduler-choice legality, kernel runnable-list consistency and
+  replay-prefix determinism on every step, raising
+  :class:`~repro.runtime.errors.EngineInvariantError` (never contained).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..runtime.context import ThreadContext, ThreadHandle
+from ..runtime.objects import (
+    Barrier,
+    CondVar,
+    Mutex,
+    RWLock,
+    SharedObject,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .state import Kernel
+
+# ---------------------------------------------------------------------------
+# Paranoid self-check mode
+# ---------------------------------------------------------------------------
+
+_ENV_VAR = "REPRO_ENGINE_CHECK"
+_forced: Optional[bool] = None
+
+
+def engine_check_enabled() -> bool:
+    """Whether paranoid self-checks are on (env var or forced override)."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+def set_engine_check(value: Optional[bool]) -> None:
+    """Force self-check mode on/off; ``None`` defers to the environment.
+
+    The study runner calls ``set_engine_check(True)`` in each worker when
+    ``StudyConfig.engine_check`` is set; tests use ``None`` to restore the
+    environment-driven default.
+    """
+    global _forced
+    _forced = value
+
+
+# ---------------------------------------------------------------------------
+# Terminal-state resource audit
+# ---------------------------------------------------------------------------
+
+
+def audit_terminal_state(kernel: "Kernel") -> Optional[Tuple[str, ...]]:
+    """Leaked-resource labels for an execution that ended ``OK``.
+
+    Every thread has finished, so anything still held or parked is leaked
+    for good: a mutex with an owner, a reader/writer still registered on
+    an ``RWLock``, waiters recorded on a condvar or barrier (stranded —
+    impossible unless the engine misbooked a wake), and spawned threads
+    nobody joined.  Returns ``None`` when the state is clean, else a tuple
+    of stable ``category:name`` labels in object-creation order (threads
+    last) — stable so study aggregation can count identical leaks across
+    executions.
+    """
+    leaks: List[str] = []
+    for obj in kernel.naming.objects:
+        label = _leak_label(obj)
+        if label is not None:
+            leaks.append(label)
+    for ts in kernel.threads[1:]:  # main (tid 0) has no joinable handle
+        if not ts.handle.joined:
+            leaks.append(f"thread-unjoined:T{ts.tid}")
+    return tuple(leaks) if leaks else None
+
+
+def _leak_label(obj: SharedObject) -> Optional[str]:
+    if isinstance(obj, Mutex):
+        if obj.owner is not None:
+            return f"mutex-held:{obj.name}"
+    elif isinstance(obj, RWLock):
+        if obj.writer is not None or obj.readers:
+            return f"rwlock-held:{obj.name}"
+    elif isinstance(obj, CondVar):
+        if obj.waiters:
+            return f"condvar-waiters:{obj.name}"
+    elif isinstance(obj, Barrier):
+        if obj.waiting:
+            return f"barrier-stranded:{obj.name}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Livelock lasso detection
+# ---------------------------------------------------------------------------
+
+#: Steps before the step limit at which fingerprinting starts.  A cycle
+#: must recur inside this window to be confirmed; larger windows catch
+#: longer lassos at proportional cost.  Executions that finish earlier
+#: never pay anything.
+LASSO_WINDOW = 2048
+
+#: Sentinel meaning "this state cannot be stably fingerprinted" — such a
+#: step never matches anything, so no false cycle can be reported.
+_UNSTABLE = object()
+
+_STABLE_SCALARS = (int, float, bool, str, bytes, type(None))
+
+
+def _stable_value(value: Any, depth: int = 0) -> Any:
+    """A hashable, identity-free stand-in for one generator local.
+
+    Anything we cannot represent faithfully returns ``_UNSTABLE``: the
+    detector then treats the whole step as unique (sound — it can only
+    *miss* livelocks, never invent one).
+    """
+    if isinstance(value, _STABLE_SCALARS):
+        return value
+    if depth >= 5:
+        return _UNSTABLE
+    if isinstance(value, ThreadHandle):
+        return ("th", value.tid, value.finished)
+    if isinstance(value, ThreadContext):
+        return ("ctx", value.tid)
+    if isinstance(value, SharedObject):
+        # Shared-object *contents* are covered by store_version (every
+        # mutation bumps it); the local just names the object.
+        return ("obj", value.name)
+    if isinstance(value, tuple):
+        return _stable_seq("t", value, depth)
+    if isinstance(value, list):
+        return _stable_seq("l", value, depth)
+    if isinstance(value, dict):
+        if len(value) > 64:
+            return _UNSTABLE
+        out: List[Any] = ["d"]
+        try:
+            items = sorted(value.items())
+        except TypeError:
+            return _UNSTABLE
+        for k, v in items:
+            sv = _stable_value(v, depth + 1)
+            if sv is _UNSTABLE:
+                return _UNSTABLE
+            out.append((k, sv))
+        return tuple(out)
+    gen_frame = getattr(value, "gi_frame", None)
+    if gen_frame is not None:
+        # A nested generator (``yield from`` delegation): fingerprint its
+        # frame position and locals recursively.
+        return _frame_digest(gen_frame, depth + 1)
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        # Shared-state namespaces (SimpleNamespace, ad-hoc classes): recurse
+        # so *untracked* plain-Python mutations (a growing list, a counter
+        # attribute) still change the fingerprint — a loop whose exit
+        # condition reads such state can never be mistaken for a lasso.
+        inner = _stable_value(dict(attrs), depth + 1)
+        if inner is _UNSTABLE:
+            return _UNSTABLE
+        return ("ns", type(value).__name__, inner)
+    return _UNSTABLE
+
+
+def _stable_seq(tag: str, seq, depth: int):
+    if len(seq) > 64:
+        return _UNSTABLE
+    out = [tag]
+    for item in seq:
+        sv = _stable_value(item, depth + 1)
+        if sv is _UNSTABLE:
+            return _UNSTABLE
+        out.append(sv)
+    return tuple(out)
+
+
+def _frame_digest(frame, depth: int = 0) -> Any:
+    if frame is None:
+        return ("done",)
+    items: List[Any] = [frame.f_lasti]
+    for name, value in sorted(frame.f_locals.items()):
+        sv = _stable_value(value, depth)
+        if sv is _UNSTABLE:
+            return _UNSTABLE
+        items.append((name, sv))
+    return tuple(items)
+
+
+class LassoDetector:
+    """Detects a recurring non-progress state near the step limit.
+
+    Fed once per scheduling point (within the window) with the kernel and
+    its enabled set.  A *state* is: the shared-store version, the enabled
+    set, and per live thread its status, poised op (kind + site + target)
+    and generator-frame digest (bytecode offset + stably-representable
+    locals, recursing through ``yield from``).  Because ``store_version``
+    is monotonic, two equal states bracket an interval with no shared
+    mutation at all — so the repeating segment is a true lasso: re-running
+    the same choices loops forever.  ``observe`` returns the cycle length
+    on the first confirmed recurrence, else ``None``.
+    """
+
+    __slots__ = ("_seen", "_version", "cycle_len")
+
+    def __init__(self) -> None:
+        self._seen: Dict[Any, int] = {}
+        self._version = -1
+        #: Length of the first confirmed cycle (``None`` until confirmed).
+        self.cycle_len: Optional[int] = None
+
+    def observe(self, kernel: "Kernel", enabled: Tuple[int, ...]) -> Optional[int]:
+        if self.cycle_len is not None:
+            return self.cycle_len
+        version = kernel.store_version
+        if version != self._version:
+            # Progress happened: every remembered state is unreachable
+            # (store_version is part of it and never repeats).
+            self._seen.clear()
+            self._version = version
+        state = self._fingerprint(kernel, enabled, version)
+        if state is None:
+            return None
+        prev = self._seen.get(state)
+        if prev is not None:
+            self.cycle_len = kernel.steps - prev
+            return self.cycle_len
+        self._seen[state] = kernel.steps
+        return None
+
+    def _fingerprint(
+        self, kernel: "Kernel", enabled: Tuple[int, ...], version: int
+    ) -> Optional[Any]:
+        from .state import ThreadStatus
+
+        parts: List[Any] = [version, enabled]
+        for ts in kernel.threads:
+            status = ts.status
+            if status is ThreadStatus.FINISHED:
+                continue
+            op = ts.pending
+            if op is not None:
+                op_key = (op.kind, op.site, getattr(op.target, "name", None))
+            elif ts.wait_obj is not None:
+                op_key = ("wait", getattr(ts.wait_obj, "name", None))
+            else:
+                return None
+            digest = _frame_digest(ts.gen.gi_frame)
+            if digest is _UNSTABLE:
+                return None
+            parts.append((ts.tid, int(status), op_key, digest))
+        return tuple(parts)

@@ -29,7 +29,14 @@ from bisect import insort
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..runtime.context import ThreadContext, ThreadHandle
-from ..runtime.errors import ConcurrencyBug, CrashBug, RuntimeUsageError
+from ..runtime.errors import (
+    ConcurrencyBug,
+    CrashBug,
+    EngineInvariantError,
+    MisuseError,
+    MisuseKind,
+    RuntimeUsageError,
+)
 from ..runtime.objects import (
     Atomic,
     Barrier,
@@ -131,6 +138,7 @@ class Kernel:
         "steps",
         "spurious_wakeups",
         "naming",
+        "store_version",
         "_finished_count",
         "_runnable",
     )
@@ -166,6 +174,12 @@ class Kernel:
         #: round-robin scheduler's starting point.
         self.last_tid = 0
         self.steps = 0
+        #: Monotonic count of shared-state mutations (stores, RMWs, lock
+        #: transitions, wakes, thread lifecycle).  Two scheduling points
+        #: with equal versions bracket a mutation-free interval — the
+        #: progress signal the livelock lasso detector keys on
+        #: (:mod:`repro.engine.hardening`).
+        self.store_version = 0
         self._finished_count = 0
         #: Sorted tids with status ``RUNNABLE``, maintained incrementally on
         #: spawn / park / wake / finish so ``enabled()`` never rescans parked
@@ -187,11 +201,13 @@ class Kernel:
         ts = ThreadState(tid, None)  # type: ignore[arg-type]
         gen = body(ts.ctx, *args)
         if not hasattr(gen, "send"):
-            raise RuntimeUsageError(
+            raise MisuseError(
+                MisuseKind.NON_GENERATOR_BODY,
                 f"thread body {getattr(body, '__name__', body)!r} must be a "
-                "generator function (did you forget to yield?)"
+                "generator function (did you forget to yield?)",
             )
         ts.gen = gen
+        self.store_version += 1
         self.threads.append(ts)
         self._runnable.append(tid)  # tids are monotonic: stays sorted
         self._advance(ts, None)
@@ -299,6 +315,7 @@ class Kernel:
             # reacquires the mutex (if free) or leaves the thread poised
             # at the reacquire, exactly like a signalled wake-up.
             self.spurious_wakeups -= 1
+            self.store_version += 1
             cond: CondVar = ts.wait_obj
             cond.waiters.remove(tid)
             ts.status = ThreadStatus.RUNNABLE
@@ -344,6 +361,9 @@ class Kernel:
                 self.bug = bug
                 return
             except RuntimeUsageError:
+                # Program-API misuse: propagates to the executor, which
+                # contains it as a non-bug ABORT outcome (never re-raised
+                # out of the exploration loop).
                 raise
             except Exception as exc:  # a crash in the program under test
                 self.bug = CrashBug(
@@ -351,11 +371,13 @@ class Kernel:
                 )
                 return
             if type(op) is not Op:
-                raise RuntimeUsageError(
+                raise MisuseError(
+                    MisuseKind.NON_OP_YIELD,
                     f"T{ts.tid} yielded {op!r}; thread bodies must yield Op "
-                    "records built via the ThreadContext API"
+                    "records built via the ThreadContext API",
                 )
             if self._is_visible(op):
+                self._validate_poised(ts, op)
                 ts.pending = op
                 return
             # Invisible data access: service it within the current step.
@@ -366,10 +388,54 @@ class Kernel:
                 return
             self._notify_step(ts.tid, op, send_value, visible=False)
 
+    def _validate_poised(self, ts: ThreadState, op: Op) -> None:
+        """Reject ops that can provably never execute (eager misuse checks).
+
+        Runs once per visible-op poise; only JOIN and LOCK carry checks, so
+        the hot path pays two identity comparisons.  A JOIN on the thread's
+        own handle or on a handle from another execution, and a LOCK on a
+        non-reentrant mutex the thread already owns, would otherwise park
+        the thread forever and masquerade as a deadlock.
+        """
+        k = op.kind
+        if k is OpKind.JOIN:
+            handle = op.target
+            if not isinstance(handle, ThreadHandle):
+                raise MisuseError(
+                    MisuseKind.STALE_HANDLE,
+                    f"T{ts.tid} joins {handle!r}, which is not a thread "
+                    f"handle, at {op.site}",
+                    site=op.site,
+                )
+            if handle.tid == ts.tid:
+                raise MisuseError(
+                    MisuseKind.JOIN_SELF,
+                    f"T{ts.tid} joins its own handle at {op.site}",
+                    site=op.site,
+                )
+            if (
+                handle.tid >= len(self.threads)
+                or self.threads[handle.tid].handle is not handle
+            ):
+                raise MisuseError(
+                    MisuseKind.STALE_HANDLE,
+                    f"T{ts.tid} joins a handle from another execution "
+                    f"(stale T{handle.tid}) at {op.site}",
+                    site=op.site,
+                )
+        elif k is OpKind.LOCK and op.target.owner == ts.tid:
+            raise MisuseError(
+                MisuseKind.DOUBLE_ACQUIRE,
+                f"T{ts.tid} re-locks non-reentrant mutex {op.target.name} "
+                f"it already owns at {op.site}",
+                site=op.site,
+            )
+
     def _finish_thread(self, ts: ThreadState, value: Any) -> None:
         ts.status = ThreadStatus.FINISHED
         ts.handle.finished = True
         ts.handle.result = value
+        self.store_version += 1
         self._finished_count += 1
         self._runnable.remove(ts.tid)
 
@@ -394,21 +460,25 @@ class Kernel:
             m: Mutex = op.target
             assert m.owner is None
             m.owner = tid
+            self.store_version += 1
             return None, False
         if k is OpKind.UNLOCK:
             m = op.target
             if m.owner != tid:
-                raise CrashBug(
+                raise MisuseError(
+                    MisuseKind.UNLOCK_NOT_OWNER,
                     f"T{tid} unlocked {m.name} it does not own "
                     f"(owner={m.owner}) at {op.site}",
                     site=op.site,
                 )
             m.owner = None
+            self.store_version += 1
             return None, False
         if k is OpKind.TRYLOCK:
             m = op.target
             if m.owner is None:
                 m.owner = tid
+                self.store_version += 1
                 return True, False
             return False, False
         if k is OpKind.SPAWN:
@@ -423,12 +493,14 @@ class Kernel:
         if k is OpKind.JOIN:
             handle: ThreadHandle = op.target
             assert handle.finished
+            handle.joined = True
             return handle.result, False
         if k is OpKind.COND_WAIT:
             cond: CondVar = op.target
             m = op.arg
             if m.owner != tid:
-                raise CrashBug(
+                raise MisuseError(
+                    MisuseKind.WAIT_WITHOUT_LOCK,
                     f"T{tid} cond_wait on {cond.name} without holding "
                     f"{m.name} at {op.site}",
                     site=op.site,
@@ -439,6 +511,7 @@ class Kernel:
             ts.wait_obj = cond
             ts.wait_data = m
             self._runnable.remove(tid)
+            self.store_version += 1
             return None, True
         if k is OpKind.COND_SIGNAL:
             self._wake_waiters(ts.tid, op.target, limit=1)
@@ -460,28 +533,34 @@ class Kernel:
                     insort(self._runnable, wtid)
                     self._notify_wake(tid, wtid, barrier)
                 barrier.waiting = []
+                self.store_version += 1
                 return True, False  # serial thread (last arriver)
             ts.status = ThreadStatus.WAITING
             ts.wait_obj = barrier
             self._runnable.remove(tid)
+            self.store_version += 1
             return False, True
         if k is OpKind.SEM_WAIT:
             sem: Semaphore = op.target
             assert sem.count > 0
             sem.count -= 1
+            self.store_version += 1
             return None, False
         if k is OpKind.SEM_POST:
             op.target.count += 1
+            self.store_version += 1
             return None, False
         if k is OpKind.RW_RDLOCK:
             rw: RWLock = op.target
             assert rw.writer is None
             rw.readers.append(tid)
+            self.store_version += 1
             return None, False
         if k is OpKind.RW_WRLOCK:
             rw = op.target
             assert rw.writer is None and not rw.readers
             rw.writer = tid
+            self.store_version += 1
             return None, False
         if k is OpKind.RW_UNLOCK:
             rw = op.target
@@ -490,29 +569,33 @@ class Kernel:
             elif tid in rw.readers:
                 rw.readers.remove(tid)
             else:
-                raise CrashBug(
+                raise MisuseError(
+                    MisuseKind.RW_UNLOCK_NOT_HELD,
                     f"T{tid} rw_unlock on {rw.name} it does not hold at {op.site}",
                     site=op.site,
                 )
+            self.store_version += 1
             return None, False
         if k is OpKind.RMW:
             cell: Atomic = op.target
             old = cell.value
             if op.arg is not None:
                 cell.value = op.arg(old)
+                self.store_version += 1
             return old, False
         if k is OpKind.CAS:
             cell = op.target
             old = cell.value
             if old == op.arg:
                 cell.value = op.arg2
+                self.store_version += 1
                 return (True, old), False
             return (False, old), False
         if k is OpKind.AWAIT:
             value = op.target.value
             assert op.arg(value)
             return value, False
-        raise RuntimeUsageError(f"unhandled op kind {k!r}")  # pragma: no cover
+        raise EngineInvariantError(f"unhandled op kind {k!r}")  # pragma: no cover
 
     def _data_access(self, tid: int, op: Op) -> Any:
         """Service a plain LOAD/STORE (visible or invisible)."""
@@ -526,10 +609,13 @@ class Kernel:
             target.write(op.arg, op.arg2)
         else:
             target.value = op.arg
+        self.store_version += 1
         return None
 
     def _wake_waiters(self, waker: int, cond: CondVar, limit: Optional[int]) -> None:
         n = len(cond.waiters) if limit is None else min(limit, len(cond.waiters))
+        if n > 0:
+            self.store_version += 1
         for _ in range(n):
             wtid = cond.waiters.pop(0)
             w = self.threads[wtid]
@@ -538,6 +624,40 @@ class Kernel:
             w.wait_obj = None
             insort(self._runnable, wtid)
             self._notify_wake(waker, wtid, cond)
+
+    # -- paranoid self-checks ----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate the kernel's internal bookkeeping (self-check mode).
+
+        Cross-checks the incrementally-maintained ``_runnable`` list and
+        ``_finished_count`` against a fresh scan of the thread table.  Any
+        mismatch is a harness bug, never a program bug — raised as
+        :class:`~repro.runtime.errors.EngineInvariantError`, which is
+        deliberately *not* contained by the executor.
+        """
+        expected = [
+            ts.tid for ts in self.threads if ts.status is ThreadStatus.RUNNABLE
+        ]
+        if self._runnable != expected:
+            raise EngineInvariantError(
+                f"_runnable {self._runnable} != RUNNABLE scan {expected}"
+            )
+        for tid in self._runnable:
+            if self.threads[tid].pending is None:
+                raise EngineInvariantError(
+                    f"RUNNABLE T{tid} has no pending op"
+                )
+        finished = sum(
+            1 for ts in self.threads if ts.status is ThreadStatus.FINISHED
+        )
+        if self._finished_count != finished:
+            raise EngineInvariantError(
+                f"_finished_count {self._finished_count} != FINISHED scan {finished}"
+            )
+        for ts in self.threads:
+            if ts.status is ThreadStatus.WAITING and ts.wait_obj is None:
+                raise EngineInvariantError(f"WAITING T{ts.tid} has no wait_obj")
 
     # -- observer plumbing -------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Any, List, Optional, Tuple
 
-from ..runtime.errors import BugType, ConcurrencyBug
+from ..runtime.errors import BugType, ConcurrencyBug, MisuseReport
 from ..runtime.ops import Op
 
 
@@ -23,8 +23,11 @@ class Outcome(enum.Enum):
     DEADLOCK = "deadlock"
     CRASH = "crash"
     MEMORY = "memory"
-    STEP_LIMIT = "step-limit"    # abandoned: step budget exhausted (livelock)
+    STEP_LIMIT = "step-limit"    # abandoned: step budget exhausted
     TIMEOUT = "timeout"          # abandoned: cooperative Budget expired mid-run
+    ABORT = "abort"              # abandoned: contained program-API misuse
+    LIVELOCK = "livelock"        # abandoned: step budget exhausted *and* a
+                                 # non-progress cycle (lasso) was confirmed
 
     @property
     def is_bug(self) -> bool:
@@ -35,9 +38,11 @@ class Outcome(enum.Enum):
         """Whether this execution counts as a *terminal schedule*.
 
         The paper counts buggy executions as terminal (an assertion failure
-        is a terminal state, section 2); only abandonment — by the per-run
-        step budget (``STEP_LIMIT``) or a cooperative deadline
-        (``TIMEOUT``, see :class:`repro.core.budget.Budget`) — is excluded.
+        is a terminal state, section 2); only abandonment is excluded — by
+        the per-run step budget (``STEP_LIMIT``, or its lasso-confirmed
+        refinement ``LIVELOCK``), a cooperative deadline (``TIMEOUT``, see
+        :class:`repro.core.budget.Budget`), or a contained program-API
+        misuse (``ABORT``, see :class:`repro.runtime.errors.MisuseReport`).
         """
         return self not in _ABANDONED_OUTCOMES
 
@@ -46,7 +51,9 @@ _BUG_OUTCOMES = frozenset(
     {Outcome.ASSERTION, Outcome.DEADLOCK, Outcome.CRASH, Outcome.MEMORY}
 )
 
-_ABANDONED_OUTCOMES = frozenset({Outcome.STEP_LIMIT, Outcome.TIMEOUT})
+_ABANDONED_OUTCOMES = frozenset(
+    {Outcome.STEP_LIMIT, Outcome.TIMEOUT, Outcome.ABORT, Outcome.LIVELOCK}
+)
 
 _BUGTYPE_TO_OUTCOME = {
     BugType.ASSERTION: Outcome.ASSERTION,
@@ -75,6 +82,9 @@ class ExecutionResult:
         "threads_created",
         "shared",
         "recorded_from",
+        "misuse",
+        "leaks",
+        "lasso_len",
     )
 
     def __init__(
@@ -90,6 +100,9 @@ class ExecutionResult:
         threads_created: int,
         shared: Any,
         recorded_from: int = 0,
+        misuse: Optional[MisuseReport] = None,
+        leaks: Optional[Tuple[str, ...]] = None,
+        lasso_len: Optional[int] = None,
     ) -> None:
         self.outcome = outcome
         self.bug = bug
@@ -118,6 +131,15 @@ class ExecutionResult:
         #: ``max_enabled`` were seeded by the caller from stored prefix
         #: statistics (see :class:`repro.core.dfs.BoundedDFS`).
         self.recorded_from = recorded_from
+        #: The contained misuse behind an ``ABORT`` outcome (kind, message,
+        #: normalized traceback); ``None`` for every other outcome.
+        self.misuse = misuse
+        #: Resources the terminal-state audit found leaked at ``OK``
+        #: (labels like ``"mutex-held:m"``); ``None`` = clean or not ``OK``.
+        self.leaks = leaks
+        #: Length of the confirmed non-progress cycle behind a ``LIVELOCK``
+        #: outcome (the lasso's period in visible steps); ``None`` otherwise.
+        self.lasso_len = lasso_len
 
     @property
     def is_buggy(self) -> bool:

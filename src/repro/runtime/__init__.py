@@ -13,8 +13,13 @@ from .errors import (
     ConcurrencyBug,
     CrashBug,
     DeadlockBug,
+    EngineInvariantError,
     MemorySafetyBug,
+    MisuseError,
+    MisuseKind,
+    MisuseReport,
     RuntimeUsageError,
+    normalize_traceback,
 )
 from .objects import (
     Atomic,
@@ -39,8 +44,13 @@ __all__ = [
     "ConcurrencyBug",
     "CrashBug",
     "DeadlockBug",
+    "EngineInvariantError",
     "MemorySafetyBug",
+    "MisuseError",
+    "MisuseKind",
+    "MisuseReport",
     "RuntimeUsageError",
+    "normalize_traceback",
     "Atomic",
     "Barrier",
     "CondVar",

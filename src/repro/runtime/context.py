@@ -49,12 +49,15 @@ def _caller_site() -> str:
 class ThreadHandle:
     """Engine-side handle for a spawned thread (returned by ``spawn``)."""
 
-    __slots__ = ("tid", "finished", "result")
+    __slots__ = ("tid", "finished", "result", "joined")
 
     def __init__(self, tid: int) -> None:
         self.tid = tid
         self.finished = False
         self.result: Any = None
+        #: Set by the kernel when some thread joins this handle; the
+        #: terminal-state audit reports finished-but-never-joined threads.
+        self.joined = False
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else "live"

@@ -6,11 +6,23 @@ that taxonomy, plus the out-of-bounds memory class discussed in section 4.2
 (``MemorySafetyBug``), which their modified Maple detects for accesses to
 synchronisation objects and which they check via manually-added assertions
 elsewhere.
+
+Orthogonal to the bug taxonomy is the *misuse* taxonomy
+(:class:`MisuseKind` / :class:`MisuseError`): ways a program under test can
+break the runtime API's contract — unlocking a mutex it does not own,
+joining its own handle, yielding a non-``Op`` value, and so on.  Misuses
+raised during a controlled execution are contained by the engine as
+``Outcome.ABORT`` (a non-bug abandoned outcome; see DESIGN.md section 12)
+so exploration of the remaining schedule space continues.  Harness-side
+invariant violations are :class:`EngineInvariantError` and stay hard
+errors: an engine that is wrong must fail loudly, never classify.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import traceback as _traceback
 from typing import Optional
 
 
@@ -21,6 +33,34 @@ class BugType(enum.Enum):
     MEMORY = "memory"            # detected out-of-bounds access
     LIVELOCK = "livelock"        # step budget exhausted (reported, not a bug
                                  # per the paper's counting; kept distinct)
+
+
+def normalize_traceback(exc: BaseException) -> str:
+    """A version-stable rendering of ``exc``'s traceback.
+
+    Journal records and bug reports must be diffable across Python
+    versions, so this deliberately drops everything CPython varies:
+    absolute paths (basenames only), line numbers (3.11 changed how
+    multi-line statements are attributed), source echo lines, and the
+    3.11+ ``^^^`` anchors.  What remains — the frame chain as
+    ``file:function`` plus the final ``Type: message`` line — identifies
+    the failure path without any of the drift.
+
+    Frames inside the engine's own driver (``engine/state.py``,
+    ``engine/executor.py``) are elided: they are the controlled-execution
+    plumbing present in every program traceback, not part of the failure.
+    """
+    lines = []
+    for frame in _traceback.extract_tb(exc.__traceback__):
+        base = os.path.basename(frame.filename)
+        if base in ("state.py", "executor.py") and (
+            os.sep + "engine" + os.sep in frame.filename
+            or "/engine/" in frame.filename
+        ):
+            continue
+        lines.append(f"  at {base}:{frame.name}")
+    lines.append(f"{type(exc).__name__}: {exc}")
+    return "\n".join(lines)
 
 
 class ConcurrencyBug(Exception):
@@ -47,7 +87,12 @@ class DeadlockBug(ConcurrencyBug):
 
 
 class CrashBug(ConcurrencyBug):
-    """Wraps an uncaught exception escaping a thread body."""
+    """Wraps an uncaught exception escaping a thread body.
+
+    ``traceback`` carries the normalized (version-stable) rendering of the
+    original exception's traceback — see :func:`normalize_traceback` — so
+    journal records and bug reports stay diffable across Python versions.
+    """
 
     bug_type = BugType.CRASH
 
@@ -56,9 +101,13 @@ class CrashBug(ConcurrencyBug):
         message: str = "",
         site: Optional[str] = None,
         original: Optional[BaseException] = None,
+        traceback: Optional[str] = None,
     ) -> None:
         super().__init__(message, site)
         self.original = original
+        if traceback is None and original is not None:
+            traceback = normalize_traceback(original)
+        self.traceback = traceback
 
 
 class MemorySafetyBug(ConcurrencyBug):
@@ -70,11 +119,95 @@ class MemorySafetyBug(ConcurrencyBug):
 class RuntimeUsageError(Exception):
     """Misuse of the runtime API (not a concurrency bug).
 
-    Examples: unlocking a mutex the thread does not own is a *crash class*
-    bug (pthreads undefined behaviour that our engine detects), but yielding
-    a non-``Op`` value, joining an unknown handle, or re-using a context
-    across executions is a programming error in the benchmark itself and is
-    reported eagerly as this exception.
+    Raised eagerly at the point of misuse — yielding a non-``Op`` value,
+    joining an unknown handle, constructing a negative-count semaphore.
+    When the misuse happens *inside* a controlled execution the engine
+    contains it: the execution ends with ``Outcome.ABORT`` (carrying a
+    :class:`MisuseReport`) and exploration continues with the next
+    schedule.  Outside an execution (building ops by hand, test setup) it
+    propagates like any exception.
+    """
+
+
+class MisuseKind(enum.Enum):
+    """Typed classification of program-under-test API misuse.
+
+    Carried by :class:`MisuseError` and surfaced on
+    ``ExecutionResult.misuse`` when the engine converts an in-execution
+    misuse into ``Outcome.ABORT``.
+    """
+
+    NON_OP_YIELD = "non-op-yield"            # body yielded a non-Op value
+    NON_GENERATOR_BODY = "non-generator-body"  # spawned body never yields
+    UNLOCK_NOT_OWNER = "unlock-not-owner"    # unlock of a mutex not held
+    DOUBLE_ACQUIRE = "double-acquire"        # re-lock of an owned non-reentrant mutex
+    WAIT_WITHOUT_LOCK = "wait-without-lock"  # cond_wait without the mutex
+    RW_UNLOCK_NOT_HELD = "rw-unlock-not-held"  # rw_unlock without rd/wr hold
+    JOIN_SELF = "join-self"                  # thread joins its own handle
+    STALE_HANDLE = "stale-handle"            # join target from another execution
+    NEGATIVE_SEMAPHORE = "negative-semaphore"  # Semaphore(initial < 0)
+    BARRIER_MISMATCH = "barrier-mismatch"    # Barrier party-count misuse
+    RUNTIME_API = "runtime-api"              # other RuntimeUsageError
+
+
+class MisuseError(RuntimeUsageError):
+    """A :class:`RuntimeUsageError` with a typed :class:`MisuseKind`.
+
+    The engine's detection points raise this subclass so containment can
+    record *which* contract was broken, not just that one was.
+    """
+
+    def __init__(
+        self, kind: MisuseKind, message: str, site: Optional[str] = None
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.site = site
+
+
+class MisuseReport:
+    """JSON-safe record of one contained misuse (``Outcome.ABORT``)."""
+
+    __slots__ = ("kind", "message", "traceback")
+
+    def __init__(self, kind: MisuseKind, message: str, traceback: str) -> None:
+        self.kind = kind
+        self.message = message
+        #: Normalized, version-stable traceback (:func:`normalize_traceback`).
+        self.traceback = traceback
+
+    @classmethod
+    def from_error(cls, exc: RuntimeUsageError) -> "MisuseReport":
+        kind = getattr(exc, "kind", MisuseKind.RUNTIME_API)
+        return cls(kind, str(exc), normalize_traceback(exc))
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MisuseReport":
+        return cls(
+            MisuseKind(payload["kind"]),
+            payload["message"],
+            payload.get("traceback", ""),
+        )
+
+    def __repr__(self) -> str:
+        return f"MisuseReport({self.kind.value}: {self.message!r})"
+
+
+class EngineInvariantError(RuntimeError):
+    """A harness-side invariant violation — never contained.
+
+    Raised by the kernel's consistency checks and the executor's paranoid
+    self-check mode (``REPRO_ENGINE_CHECK=1``): an illegal scheduler
+    choice, a corrupt runnable list, a replay-prefix inconsistency.  These
+    indicate a bug in the *engine*, so they crash the exploration loudly
+    instead of being classified like program-under-test behaviour.
     """
 
 

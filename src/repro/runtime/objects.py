@@ -26,7 +26,7 @@ import itertools
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from .errors import MemorySafetyBug, RuntimeUsageError
+from .errors import MemorySafetyBug, MisuseError, MisuseKind, RuntimeUsageError
 
 
 class NamingScope:
@@ -43,18 +43,31 @@ class NamingScope:
     Scopes nest per OS thread: entering one pushes it on a thread-local
     stack, so an execution started from inside another execution's observer
     cannot disturb the outer counter.
+
+    The scope also records every :class:`SharedObject` created while it is
+    active (``objects``, creation order).  For a per-execution scope that
+    is the complete inventory of the execution's shared objects — what the
+    engine's terminal-state audit walks to find resources leaked at
+    ``Outcome.OK`` (mutexes still held, stranded waiters; see
+    ``repro.engine.hardening.audit_terminal_state``).
     """
 
-    __slots__ = ("_counter",)
+    __slots__ = ("_counter", "objects")
 
     def __init__(self) -> None:
         self._counter = itertools.count()
+        #: Every SharedObject created while this scope was innermost.
+        self.objects: List["SharedObject"] = []
 
     def next_name(self, prefix: str) -> str:
         return f"{prefix}#{next(self._counter)}"
 
+    def register(self, obj: "SharedObject") -> None:
+        self.objects.append(obj)
+
     def reset(self) -> None:
         self._counter = itertools.count()
+        self.objects.clear()
 
     def __enter__(self) -> "NamingScope":
         _scope_stack().append(self)
@@ -111,7 +124,12 @@ class SharedObject:
     __slots__ = ("name",)
 
     def __init__(self, name: Optional[str] = None, prefix: str = "obj") -> None:
-        self.name = name if name is not None else _auto_name(prefix)
+        scope = current_naming_scope()
+        self.name = name if name is not None else scope.next_name(prefix)
+        # Explicitly-named objects register too: the terminal-state audit
+        # must see every shared object of the execution, not just the
+        # auto-named ones.
+        scope.register(self)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
@@ -154,7 +172,10 @@ class Semaphore(SharedObject):
     def __init__(self, initial: int = 0, name: Optional[str] = None) -> None:
         super().__init__(name, "sem")
         if initial < 0:
-            raise RuntimeUsageError("semaphore initial count must be >= 0")
+            raise MisuseError(
+                MisuseKind.NEGATIVE_SEMAPHORE,
+                f"semaphore initial count must be >= 0, got {initial}",
+            )
         self.count = initial
 
 
@@ -166,7 +187,10 @@ class Barrier(SharedObject):
     def __init__(self, parties: int, name: Optional[str] = None) -> None:
         super().__init__(name, "barrier")
         if parties < 1:
-            raise RuntimeUsageError("barrier needs at least one party")
+            raise MisuseError(
+                MisuseKind.BARRIER_MISMATCH,
+                f"barrier needs at least one party, got {parties}",
+            )
         self.parties = parties
         self.waiting: List[int] = []
 

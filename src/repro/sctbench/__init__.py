@@ -7,6 +7,7 @@ incorrect output / out-of-bounds).
 """
 
 from .registry import (
+    ADVERSARIAL,
     BENCHMARKS,
     BY_NAME,
     SUITE_OVERVIEW,
@@ -19,6 +20,7 @@ from .registry import (
 )
 
 __all__ = [
+    "ADVERSARIAL",
     "BENCHMARKS",
     "BY_NAME",
     "SUITE_OVERVIEW",

@@ -1,0 +1,255 @@
+"""Adversarial corpus: programs that attack the engine, not each other.
+
+Unlike the 52 SCTBench ports (whose bugs are *concurrency* bugs), every
+program here abuses the testing harness itself — yielding garbage,
+unlocking foreign mutexes, joining impossible handles, leaking resources,
+or spinning forever.  They exist to pin down the engine's hardening
+contract (DESIGN.md section 12):
+
+- program-API misuse is contained as :attr:`~repro.engine.Outcome.ABORT`
+  (never an uncaught exception, never a fake concurrency bug) and
+  exploration continues;
+- resource leaks at ``OK`` are reported by the terminal-state audit;
+- a genuine non-progress cycle is classified
+  :attr:`~repro.engine.Outcome.LIVELOCK`, not a bare step-limit hit.
+
+The corpus is registered in :data:`repro.sctbench.ADVERSARIAL` (ids 100+),
+deliberately *outside* :data:`~repro.sctbench.registry.BENCHMARKS` so the
+paper's 52-benchmark grid and its Table accounting are untouched.
+``EXPECTED`` maps each program to the hardening signal it must produce —
+the contract ``scripts/chaos_smoke.py`` checks under all five techniques.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..runtime import Barrier, CondVar, Mutex, Program, Semaphore, SharedVar
+from ..runtime.context import ThreadHandle
+
+#: Program name -> hardening signal the exploration stats must show:
+#: ``"abort:<kind>"`` (contained misuse of that
+#: :class:`~repro.runtime.errors.MisuseKind` value), ``"leaks"`` (clean OK
+#: runs flagged by the terminal-state audit), or ``"livelock"``
+#: (lasso-confirmed non-progress).
+EXPECTED = {
+    "adv.yield_garbage": "abort:non-op-yield",
+    "adv.non_generator": "abort:non-generator-body",
+    "adv.unlock_stranger": "abort:unlock-not-owner",
+    "adv.double_acquire": "abort:double-acquire",
+    "adv.wait_no_lock": "abort:wait-without-lock",
+    "adv.join_self": "abort:join-self",
+    "adv.stale_handle": "abort:stale-handle",
+    "adv.negative_sem": "abort:negative-semaphore",
+    "adv.barrier_mismatch": "abort:barrier-mismatch",
+    "adv.mutex_leak": "leaks",
+    "adv.thread_leak": "leaks",
+    "adv.livelock": "livelock",
+}
+
+
+def _ns(**kwargs) -> SimpleNamespace:
+    return SimpleNamespace(**kwargs)
+
+
+def make_yield_garbage() -> Program:
+    """Yields a bare integer instead of an ``Op`` — but only on schedules
+    where the child observes the flag already set, so the corpus also
+    checks that exploration *continues past* the aborting schedules and
+    still enumerates the clean ones."""
+
+    def setup():
+        return _ns(flag=SharedVar(0, "flag"))
+
+    def child(ctx, sh):
+        v = yield ctx.load(sh.flag, site="adv:read")
+        if v:
+            yield 42  # not an Op: contained as ABORT on this schedule only
+        yield ctx.sched_yield(site="adv:tail")
+
+    def main(ctx, sh):
+        t = yield ctx.spawn(child)
+        yield ctx.store(sh.flag, 1, site="adv:set")
+        yield ctx.join(t)
+
+    return Program("adv.yield_garbage", setup, main)
+
+
+def make_non_generator() -> Program:
+    """Spawns a body that is a plain function (no ``yield`` at all)."""
+
+    def setup():
+        return _ns()
+
+    def not_a_generator(ctx, sh):
+        return 7
+
+    def main(ctx, sh):
+        yield ctx.spawn(not_a_generator)
+
+    return Program("adv.non_generator", setup, main)
+
+
+def make_unlock_stranger() -> Program:
+    """A child unlocks a mutex the main thread holds."""
+
+    def setup():
+        return _ns(m=Mutex("m"))
+
+    def child(ctx, sh):
+        yield ctx.unlock(sh.m, site="adv:stranger-unlock")
+
+    def main(ctx, sh):
+        yield ctx.lock(sh.m)
+        t = yield ctx.spawn(child)
+        yield ctx.join(t)
+        yield ctx.unlock(sh.m)
+
+    return Program("adv.unlock_stranger", setup, main)
+
+
+def make_double_acquire() -> Program:
+    """Locks the same non-reentrant mutex twice (self-deadlock attempt)."""
+
+    def setup():
+        return _ns(m=Mutex("m"))
+
+    def main(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.lock(sh.m, site="adv:relock")
+
+    return Program("adv.double_acquire", setup, main)
+
+
+def make_wait_no_lock() -> Program:
+    """``cond_wait`` without holding the associated mutex."""
+
+    def setup():
+        return _ns(m=Mutex("m"), cv=CondVar("cv"))
+
+    def main(ctx, sh):
+        yield ctx.cond_wait(sh.cv, sh.m, site="adv:unheld-wait")
+
+    return Program("adv.wait_no_lock", setup, main)
+
+
+def make_join_self() -> Program:
+    """A child receives its own handle (via shared state) and joins it."""
+
+    def setup():
+        return _ns(hv=SharedVar(None, "hv"))
+
+    def child(ctx, sh):
+        h = yield ctx.await_value(sh.hv, lambda v: v is not None)
+        yield ctx.join(h, site="adv:self-join")
+
+    def main(ctx, sh):
+        t = yield ctx.spawn(child)
+        yield ctx.store(sh.hv, t, site="adv:publish")
+        yield ctx.join(t)
+
+    return Program("adv.join_self", setup, main)
+
+
+def make_stale_handle() -> Program:
+    """Joins a handle manufactured outside this execution's kernel.
+
+    The poise-time validation rejects it immediately; without that check
+    the join would never be enabled and the run would masquerade as a
+    deadlock.
+    """
+
+    def setup():
+        stale = ThreadHandle(7)
+        stale.finished = True  # even "finished" stale handles are rejected
+        return _ns(stale=stale)
+
+    def main(ctx, sh):
+        yield ctx.join(sh.stale, site="adv:stale-join")
+
+    return Program("adv.stale_handle", setup, main)
+
+
+def make_negative_sem() -> Program:
+    """Constructs ``Semaphore(-1)`` mid-execution."""
+
+    def setup():
+        return _ns()
+
+    def main(ctx, sh):
+        yield ctx.sched_yield()
+        sh.bad = Semaphore(-1, "bad")
+        yield ctx.sched_yield()
+
+    return Program("adv.negative_sem", setup, main)
+
+
+def make_barrier_mismatch() -> Program:
+    """Constructs a ``Barrier`` with a non-positive party count."""
+
+    def setup():
+        return _ns()
+
+    def main(ctx, sh):
+        yield ctx.sched_yield()
+        sh.bad = Barrier(0, "bad")
+        yield ctx.sched_yield()
+
+    return Program("adv.barrier_mismatch", setup, main)
+
+
+def make_mutex_leak() -> Program:
+    """Finishes cleanly while still holding a mutex (audit: mutex-held)."""
+
+    def setup():
+        return _ns(m=Mutex("m"), x=SharedVar(0, "x"))
+
+    def child(ctx, sh):
+        yield ctx.lock(sh.m)
+        yield ctx.store(sh.x, 1)
+        # unlock "forgotten": every OK run leaks m
+
+    def main(ctx, sh):
+        t = yield ctx.spawn(child)
+        yield ctx.join(t)
+
+    return Program("adv.mutex_leak", setup, main)
+
+
+def make_thread_leak() -> Program:
+    """Spawns a thread nobody ever joins (audit: thread-unjoined)."""
+
+    def setup():
+        return _ns(x=SharedVar(0, "x"))
+
+    def child(ctx, sh):
+        yield ctx.store(sh.x, 1)
+
+    def main(ctx, sh):
+        yield ctx.spawn(child)
+        yield ctx.sched_yield()
+
+    return Program("adv.thread_leak", setup, main)
+
+
+def make_livelock() -> Program:
+    """A spinner that never progresses: joined by main, spinning forever.
+
+    Every execution exhausts the step budget inside an identical
+    zero-mutation cycle, so the lasso detector must classify it
+    ``LIVELOCK`` (with a confirmed cycle length), never plain
+    ``STEP_LIMIT``.
+    """
+
+    def setup():
+        return _ns()
+
+    def spinner(ctx, sh):
+        while True:
+            yield ctx.sched_yield(site="adv:spin")
+
+    def main(ctx, sh):
+        t = yield ctx.spawn(spinner)
+        yield ctx.join(t)  # never enabled: the spinner never finishes
+
+    return Program("adv.livelock", setup, main)

@@ -15,7 +15,7 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..runtime.program import Program
-from . import cb, chess, cs, inspect_suite, misc, parsec, radbench, splash2
+from . import adversarial, cb, chess, cs, inspect_suite, misc, parsec, radbench, splash2
 
 
 class PaperRow:
@@ -214,13 +214,60 @@ BENCHMARKS: List[BenchmarkInfo] = [
        PaperRow(2, 2, 1, 1, True, True, True)),
 ]
 
+#: A PaperRow for programs the paper never measured (the adversarial
+#: corpus): no technique is expected to find a concurrency bug.
+_NO_PAPER_ROW = PaperRow(0, 0, None, None, False, False, False)
+
+#: The engine-hardening corpus (ids 100+), addressable through
+#: :data:`BY_NAME` / :func:`get` like any benchmark but deliberately NOT
+#: part of :data:`BENCHMARKS`, so the paper's 52-benchmark grid, Table 1
+#: accounting and default study selection are untouched.
+ADVERSARIAL: List[BenchmarkInfo] = [
+    _b(100 + i, name, "Adversarial", factory, _NO_PAPER_ROW, notes)
+    for i, (name, factory, notes) in enumerate(
+        [
+            ("adv.yield_garbage", adversarial.make_yield_garbage,
+             "non-Op yield on some schedules only"),
+            ("adv.non_generator", adversarial.make_non_generator,
+             "spawns a body with no yield"),
+            ("adv.unlock_stranger", adversarial.make_unlock_stranger,
+             "unlock by non-owner"),
+            ("adv.double_acquire", adversarial.make_double_acquire,
+             "re-lock of an owned non-reentrant mutex"),
+            ("adv.wait_no_lock", adversarial.make_wait_no_lock,
+             "cond_wait without the mutex"),
+            ("adv.join_self", adversarial.make_join_self,
+             "thread joins its own handle"),
+            ("adv.stale_handle", adversarial.make_stale_handle,
+             "join on a handle from outside the execution"),
+            ("adv.negative_sem", adversarial.make_negative_sem,
+             "Semaphore(-1) mid-run"),
+            ("adv.barrier_mismatch", adversarial.make_barrier_mismatch,
+             "Barrier(0) mid-run"),
+            ("adv.mutex_leak", adversarial.make_mutex_leak,
+             "finishes OK holding a mutex"),
+            ("adv.thread_leak", adversarial.make_thread_leak,
+             "spawned thread never joined"),
+            ("adv.livelock", adversarial.make_livelock,
+             "genuine non-progress spin (lasso-confirmed)"),
+        ]
+    )
+]
+
 BY_NAME: Dict[str, BenchmarkInfo] = {b.name: b for b in BENCHMARKS}
+BY_NAME.update({b.name: b for b in ADVERSARIAL})
 
 
 def get(name_or_id) -> BenchmarkInfo:
-    """Look a benchmark up by Table 3 id or by name."""
+    """Look a benchmark up by Table 3 id (0-51), adversarial id (100+), or
+    by name."""
     if isinstance(name_or_id, int):
-        return BENCHMARKS[name_or_id]
+        if 0 <= name_or_id < len(BENCHMARKS):
+            return BENCHMARKS[name_or_id]
+        for b in ADVERSARIAL:
+            if b.bench_id == name_or_id:
+                return b
+        raise KeyError(name_or_id)
     return BY_NAME[name_or_id]
 
 

@@ -73,6 +73,12 @@ def main(argv=None) -> int:
              "(report gains an 'Engine cost' section; results unchanged)",
     )
     parser.add_argument(
+        "--engine-check", action="store_true",
+        help="paranoid engine self-checks every step (scheduler-choice "
+             "legality, kernel bookkeeping, replay determinism); pure "
+             "validation — slower, results unchanged",
+    )
+    parser.add_argument(
         "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
         help=f"cell checkpoint directory (default: {DEFAULT_CHECKPOINT_DIR})",
     )
@@ -96,6 +102,7 @@ def main(argv=None) -> int:
     config.benchmarks = args.benchmarks
     config.jobs = max(1, args.jobs)
     config.engine_counters = args.engine_counters
+    config.engine_check = args.engine_check
     config.cell_deadline = args.cell_deadline
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)

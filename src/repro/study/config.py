@@ -59,6 +59,12 @@ class StudyConfig:
     #: replayed steps, executions saved by frontier resumption) surfaced
     #: in checkpoints and the study report.  Never affects results.
     engine_counters: bool = False
+    #: Paranoid engine self-checks (``REPRO_ENGINE_CHECK``): validate
+    #: scheduler-choice legality, kernel bookkeeping, and replay-prefix
+    #: determinism every step.  Pure validation — on a healthy engine it
+    #: never changes results, only wall-clock — so it is excluded from the
+    #: fingerprint like the other telemetry knobs.
+    engine_check: bool = False
     #: Benchmarks to run (names); ``None`` = all 52.
     benchmarks: Optional[List[str]] = None
     #: Techniques to run.
@@ -149,6 +155,9 @@ class StudyConfig:
         # Telemetry-only: counters never change schedules/bugs/bounds, so
         # a resume may toggle them freely.
         payload.pop("engine_counters", None)
+        # Validation-only, same rule: self-checks either pass silently or
+        # crash the run; they never alter results.
+        payload.pop("engine_check", None)
         # Fault-tolerance knobs that never change fault-free results; and
         # result-affecting ones (deadline, faults) drop out when unused so
         # journals from before these fields existed remain resumable.

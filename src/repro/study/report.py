@@ -210,6 +210,43 @@ def engine_cost_summary(study: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def resource_audit_summary(study: StudyResult) -> str:
+    """Engine-hardening diagnostics per cell, when any cell has some.
+
+    Three signal families (DESIGN.md section 12): contained program-API
+    misuse aborts (with per-:class:`~repro.runtime.errors.MisuseKind`
+    tallies), lasso-confirmed livelocks (with the longest confirmed cycle
+    length), and resources the terminal-state audit found leaked at ``OK``
+    (with per-label schedule counts).  A study over well-behaved subjects
+    emits nothing here and the section is omitted from :func:`full_report`.
+    """
+    from .tables import hardening_rows
+
+    rows = hardening_rows(study)
+    if not rows:
+        return "no hardening signals (no aborts, livelocks, or leaks)"
+    lines = [
+        f"{'id':>3} {'benchmark':<26} {'technique':<9} signals",
+        "-" * 70,
+    ]
+    aborted_cells = 0
+    for bench_id, name, tech, signals in rows:
+        lines.append(f"{bench_id:>3} {name:<26} {tech:<9} {signals}")
+    lines.append("-" * 70)
+    for r in study:
+        aborted_cells += sum(
+            1 for s in r.statuses.values() if s == "aborted"
+        )
+    summary = f"{len(rows)} cell(s) with hardening signals"
+    if aborted_cells:
+        summary += (
+            f"; {aborted_cells} flagged 'aborted' (>= half of the cell's "
+            "executions were contained misuse)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
 def full_report(study: StudyResult) -> str:
     """Every table, figure, comparison and headline in one text report."""
     from .tables import table1, table2, table3
@@ -251,4 +288,10 @@ def full_report(study: StudyResult) -> str:
         st.counters is not None for r in study for st in r.stats.values()
     ):
         parts += ["", "## Engine cost", engine_cost_summary(study)]
+    if any(
+        st.aborts or st.livelock_hits or st.leaks
+        for r in study
+        for st in r.stats.values()
+    ):
+        parts += ["", "## Resource audit", resource_audit_summary(study)]
     return "\n".join(parts)

@@ -127,7 +127,8 @@ class BenchmarkResult:
             seconds += rec.get("seconds") or 0.0
             status = taxonomy.status_of(rec)
             if taxonomy.is_success(status) or (
-                status == taxonomy.TIMEOUT and rec.get("stats")
+                status in (taxonomy.TIMEOUT, taxonomy.ABORTED)
+                and rec.get("stats")
             ):
                 stats[tech] = ExplorationStats.from_payload(rec["stats"])
                 races = max(races, rec.get("races", 0))
@@ -291,7 +292,25 @@ def _run_technique(
     tech_limit = (
         min(limit, config.maple_run_cap) if technique == "MapleAlg" else limit
     )
-    return explorer.explore(program, tech_limit)
+    if not config.engine_check:
+        return explorer.explore(program, tech_limit)
+    from ..engine.hardening import set_engine_check
+
+    set_engine_check(True)
+    try:
+        return explorer.explore(program, tech_limit)
+    finally:
+        set_engine_check(None)
+
+
+def _abort_flagged(stats: ExplorationStats) -> bool:
+    """Whether a cell's exploration was dominated by contained misuse
+    aborts (at least :data:`taxonomy.ABORT_FLAG_FRACTION` of executions) —
+    flagged ``aborted`` so the report calls out harness-abusing subjects."""
+    return (
+        stats.executions > 0
+        and stats.aborts / stats.executions >= taxonomy.ABORT_FLAG_FRACTION
+    )
 
 
 def _cell_budget(config: StudyConfig) -> Optional[Budget]:
@@ -315,7 +334,9 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     The record's ``status`` follows :mod:`repro.study.taxonomy`: ``bug``
     when the exploration found one, ``timeout`` when the cooperative
     ``config.cell_deadline`` expired first (``stats`` then hold the
-    partial measurement), ``ok`` otherwise.  ``seconds`` is measured with
+    partial measurement), ``aborted`` when contained misuse dominated the
+    cell (stats kept, subject flagged), ``ok`` otherwise.  ``seconds`` is
+    measured with
     :func:`time.monotonic` (immune to wall-clock steps); ``ts`` is a
     display-only :func:`time.time` timestamp.
     """
@@ -331,6 +352,8 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
         status = taxonomy.TIMEOUT
     elif stats.found_bug:
         status = taxonomy.BUG
+    elif _abort_flagged(stats):
+        status = taxonomy.ABORTED
     else:
         status = taxonomy.OK
     return {
@@ -375,6 +398,8 @@ def run_benchmark(
         stats[name] = st
         if st.deadline_hit:
             statuses[name] = taxonomy.TIMEOUT
+        elif not st.found_bug and _abort_flagged(st):
+            statuses[name] = taxonomy.ABORTED
         if progress:
             found = f"bug@{st.schedules_to_first_bug}" if st.found_bug else "no bug"
             note = " [deadline]" if st.deadline_hit else ""

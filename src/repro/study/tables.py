@@ -134,3 +134,37 @@ def table3(study: StudyResult) -> str:
             f"{tech_cols(ipb)}|{tech_cols(idb)}|{dfs_cols}|{rand_cols}|{mpl_cols}"
         )
     return "\n".join(lines)
+
+
+def hardening_rows(study: StudyResult) -> List[tuple]:
+    """Per-cell engine-hardening diagnostics, for the report's resource
+    audit section.
+
+    One row per (benchmark, technique) cell whose exploration surfaced a
+    hardening signal: contained misuse aborts (with their kind tallies),
+    lasso-confirmed livelocks (with the longest cycle), or terminal-state
+    resource leaks (with per-label schedule counts).  Well-behaved cells
+    produce no row, so a clean study contributes nothing.
+    """
+    rows = []
+    for r in study:
+        for tech, st in r.stats.items():
+            if not (st.aborts or st.livelock_hits or st.leaks):
+                continue
+            signals = []
+            if st.aborts:
+                kinds = ",".join(
+                    f"{k}:{n}" for k, n in sorted(st.abort_kinds.items())
+                )
+                signals.append(f"aborts={st.aborts}({kinds})")
+            if st.livelock_hits:
+                signals.append(
+                    f"livelocks={st.livelock_hits}(lasso<={st.max_lasso})"
+                )
+            if st.leaks:
+                leaks = ",".join(
+                    f"{label}:{n}" for label, n in sorted(st.leaks.items())
+                )
+                signals.append(f"leaks={leaks}")
+            rows.append((r.info.bench_id, r.info.name, tech, "; ".join(signals)))
+    return rows

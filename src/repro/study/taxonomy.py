@@ -17,6 +17,9 @@ error      the cell raised; retried with backoff + a deterministic seed
            bump, then recorded with its traceback
 quarantined the cell crashed its worker process (segfault/OOM/``os._exit``)
            repeatedly and was benched so the study could complete
+aborted    at least half the cell's executions were contained program-API
+           misuse aborts (:attr:`repro.engine.Outcome.ABORT`) — the
+           subject abuses the harness; its stats are kept but flagged
 ========== =============================================================
 
 ``ok``/``bug`` are *successes* (their stats are complete and final);
@@ -33,15 +36,20 @@ TIMEOUT = "timeout"
 DIVERGED = "diverged"
 ERROR = "error"
 QUARANTINED = "quarantined"
+ABORTED = "aborted"
 
 #: Every status a cell record may carry (journal v2).
-ALL_STATUSES = (OK, BUG, TIMEOUT, DIVERGED, ERROR, QUARANTINED)
+ALL_STATUSES = (OK, BUG, TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED)
 
 #: Completed-for-good statuses: the recorded stats are the final word.
 SUCCESS_STATUSES = frozenset({OK, BUG})
 
 #: Statuses ``--retry-errors`` re-runs on resume.
-RETRYABLE_STATUSES = frozenset({TIMEOUT, DIVERGED, ERROR, QUARANTINED})
+RETRYABLE_STATUSES = frozenset({TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED})
+
+#: A cell is flagged ``aborted`` when at least this fraction of its
+#: executions were contained misuse aborts.
+ABORT_FLAG_FRACTION = 0.5
 
 
 def is_success(status: str) -> bool:

@@ -17,6 +17,7 @@ from repro.engine import (
 from repro.runtime import (
     Atomic,
     GuardMode,
+    MisuseKind,
     Mutex,
     Program,
     RWLock,
@@ -90,14 +91,15 @@ class TestRWLock:
             result = execute(prog(main, setup), RandomStrategy(seed=seed))
             assert result.outcome is Outcome.OK, result.bug
 
-    def test_rw_unlock_without_hold_is_crash(self):
+    def test_rw_unlock_without_hold_is_contained_abort(self):
         def main(ctx, sh):
             yield ctx.rw_unlock(sh.rw)
 
         result = execute(
             prog(main, lambda: SimpleNamespace(rw=RWLock("rw"))), RR()
         )
-        assert result.outcome is Outcome.CRASH
+        assert result.outcome is Outcome.ABORT
+        assert result.misuse.kind is MisuseKind.RW_UNLOCK_NOT_HELD
 
 
 class TestSpawnMany:

@@ -16,9 +16,9 @@ from repro.engine import (
 from repro.runtime import (
     Atomic,
     CondVar,
+    MisuseKind,
     Mutex,
     Program,
-    RuntimeUsageError,
     SharedVar,
 )
 
@@ -113,7 +113,7 @@ class TestMutex:
         assert result.outcome is Outcome.OK
         assert sorted(trace) == [1, 2]
 
-    def test_unlock_by_non_owner_is_crash(self):
+    def test_unlock_by_non_owner_is_contained_abort(self):
         def setup():
             return SimpleNamespace(m=Mutex("m"))
 
@@ -121,8 +121,11 @@ class TestMutex:
             yield ctx.unlock(sh.m)
 
         result = run_rr(Program("bad_unlock", setup, main))
-        assert result.outcome is Outcome.CRASH
-        assert "does not own" in str(result.bug)
+        assert result.outcome is Outcome.ABORT
+        assert result.bug is None
+        assert result.misuse.kind is MisuseKind.UNLOCK_NOT_OWNER
+        assert "does not own" in result.misuse.message
+        assert not result.outcome.is_terminal_schedule
 
     def test_trylock_returns_false_when_held(self):
         def setup():
@@ -166,7 +169,7 @@ class TestCondVar:
         result = execute(program, strategy)
         assert result.outcome is Outcome.OK
 
-    def test_cond_wait_without_mutex_is_crash(self):
+    def test_cond_wait_without_mutex_is_contained_abort(self):
         def setup():
             return SimpleNamespace(m=Mutex("m"), cv=CondVar("cv"))
 
@@ -174,7 +177,8 @@ class TestCondVar:
             yield ctx.cond_wait(sh.cv, sh.m)
 
         result = run_rr(Program("cv_no_lock", setup, main))
-        assert result.outcome is Outcome.CRASH
+        assert result.outcome is Outcome.ABORT
+        assert result.misuse.kind is MisuseKind.WAIT_WITHOUT_LOCK
 
     def test_broadcast_wakes_all(self):
         def setup():
@@ -270,9 +274,12 @@ class TestStepBudget:
             while True:
                 yield ctx.sched_yield()
 
+        # A pure spin loop is a *confirmed* livelock (the lasso detector
+        # sees the same engine state recur), not merely a long execution.
         result = execute(Program("spin", setup, main), RR(), max_steps=100)
-        assert result.outcome is Outcome.STEP_LIMIT
+        assert result.outcome is Outcome.LIVELOCK
         assert result.steps == 100
+        assert result.lasso_len is not None and result.lasso_len >= 1
         assert not result.outcome.is_terminal_schedule
 
 
@@ -303,8 +310,9 @@ class TestApiMisuse:
         def main(ctx, sh):
             yield ctx.spawn(not_a_gen)
 
-        with pytest.raises(RuntimeUsageError):
-            run_rr(Program("notgen", setup, main))
+        result = run_rr(Program("notgen", setup, main))
+        assert result.outcome is Outcome.ABORT
+        assert result.misuse.kind is MisuseKind.NON_GENERATOR_BODY
 
     def test_yielding_garbage_rejected(self):
         def setup():
@@ -313,5 +321,7 @@ class TestApiMisuse:
         def main(ctx, sh):
             yield "banana"
 
-        with pytest.raises(RuntimeUsageError):
-            run_rr(Program("garbage", setup, main))
+        result = run_rr(Program("garbage", setup, main))
+        assert result.outcome is Outcome.ABORT
+        assert result.misuse.kind is MisuseKind.NON_OP_YIELD
+        assert result.misuse.traceback

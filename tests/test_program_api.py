@@ -5,7 +5,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.engine import Outcome, RoundRobinStrategy, execute
-from repro.runtime import Program, RuntimeUsageError, SharedVar
+from repro.runtime import MisuseKind, Program, RuntimeUsageError, SharedVar
 
 
 class TestProgramValidation:
@@ -35,15 +35,17 @@ class TestFailureInjection:
         with pytest.raises(RuntimeError, match="broken setup"):
             execute(Program("bad-setup", setup, main), RoundRobinStrategy())
 
-    def test_main_not_generator_rejected(self):
+    def test_main_not_generator_contained_as_abort(self):
         def setup():
             return SimpleNamespace()
 
         def main(ctx, sh):
             return 42
 
-        with pytest.raises(RuntimeUsageError):
-            execute(Program("not-gen", setup, main), RoundRobinStrategy())
+        result = execute(Program("not-gen", setup, main), RoundRobinStrategy())
+        assert result.outcome is Outcome.ABORT
+        assert result.misuse.kind is MisuseKind.NON_GENERATOR_BODY
+        assert result.bug is None
 
     def test_crash_in_invisible_prefix_of_spawned_thread(self):
         # A child that crashes before its first visible op: the crash
