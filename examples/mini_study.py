@@ -40,16 +40,23 @@ def main() -> None:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for (benchmark, technique) cells",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes inside each cell (intra-cell sharding; "
+             "flips Rand to the index-seeded stream)",
+    )
     args = parser.parse_args()
 
     config = quick_config(limit=LIMIT)
     config.benchmarks = [b.name for b in suite_of("CS")]
     config.jobs = max(1, args.jobs)
+    config.cell_shards = max(1, args.shards)
     # Engine-cost telemetry: shows how many restart re-executions the
     # frontier-resuming iterative bounding saved (never affects results).
     config.engine_counters = True
     print(f"Running the CS suite ({len(config.benchmarks)} benchmarks), "
-          f"limit {LIMIT:,} schedules per technique, jobs={config.jobs}...\n")
+          f"limit {LIMIT:,} schedules per technique, jobs={config.jobs}, "
+          f"shards={config.cell_shards}...\n")
     if config.jobs > 1:
         study = ParallelStudyRunner(config, checkpoint_dir=None).run()
     else:

@@ -28,6 +28,13 @@ from .iterative import (
 from .maple_alg import MapleAlgExplorer
 from .pct import PCTExplorer, PCTStrategy
 from .random_walk import RandomExplorer
+from .sharding import (
+    DEFAULT_SPLIT_RUNS,
+    ShardedDFS,
+    ShardedFrontierSearch,
+    derive_shard_seed,
+    split_indices,
+)
 from .traceview import preemptions_of, render_trace, simplify_trace
 from .schedule import (
     Schedule,
@@ -69,6 +76,11 @@ __all__ = [
     "PCTExplorer",
     "PCTStrategy",
     "RandomExplorer",
+    "DEFAULT_SPLIT_RUNS",
+    "ShardedDFS",
+    "ShardedFrontierSearch",
+    "derive_shard_seed",
+    "split_indices",
     "render_trace",
     "simplify_trace",
     "preemptions_of",

@@ -202,6 +202,42 @@ class PrunedEdge:
             self._materialize()
         return self._schedule
 
+    def to_payload(self) -> dict:
+        """JSON-/pickle-safe shard descriptor (see :mod:`repro.core.sharding`).
+
+        Materializes the persistent path: the payload is self-contained, so
+        it can cross a process boundary without dragging the parent chain
+        (and the whole search tree) along.
+        """
+        return {
+            "schedule": list(self.schedule),
+            "order_path": list(self.order_path),
+            "cost_after": self.cost_after,
+            "cp": self.cp,
+            "maxen": self.maxen,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PrunedEdge":
+        """Rebuild an edge — including a faithful :class:`_PathNode` chain
+        for the prefix, so edges recorded *beneath* the rebuilt root (worker
+        frontier edges, chunk-split leftovers) materialize their full
+        absolute ``schedule``/``order_path`` exactly as the originals would.
+        """
+        sched = payload["schedule"]
+        path = payload["order_path"]
+        parent = None
+        for i in range(len(sched) - 1):
+            parent = _PathNode(parent, path[i], sched[i])
+        return cls(
+            parent,
+            path[-1],
+            sched[-1],
+            payload["cost_after"],
+            payload["cp"],
+            payload["maxen"],
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PrunedEdge(len={len(self.schedule)}, cost={self.cost_after})"
@@ -465,6 +501,51 @@ class BoundedDFS:
             else:
                 replay_len = next_replay
             yield record
+
+    def split_remaining(self) -> List[PrunedEdge]:
+        """Detach every unexplored continuation as resumable edges.
+
+        Valid between :meth:`runs` yields (backtracking is eager, so the
+        stack already describes the *next* run): the remaining work is
+        exactly
+
+        - the current (not yet executed) candidate and everything after it
+          at the deepest choice point, and
+        - every candidate *after* the current one at each shallower choice
+          point (the current ones are interior to the detached subtrees
+          below).
+
+        Each becomes a :class:`PrunedEdge` rooted at that choice point's
+        persistent path — the same descriptor shape frontier resumption
+        uses, so a worker resumes it verbatim.  The returned list is in
+        ascending ``order_path`` (DFS) order: deeper edges extend the
+        prefix through the *current* choice at every shallower point, and
+        the current choice precedes every untried sibling, so emitting
+        deepest-first reproduces the serial visiting order exactly.  The
+        search itself becomes ``exhausted``: ownership of the remainder
+        transfers to the caller.
+        """
+        if self._exhausted or not self._stack:
+            return []
+        edges: List[PrunedEdge] = []
+        stack = self._stack
+        for depth in range(len(stack) - 1, -1, -1):
+            cp = stack[depth]
+            first = cp.idx if depth == len(stack) - 1 else cp.idx + 1
+            for j in range(first, len(cp.candidates)):
+                edges.append(
+                    PrunedEdge(
+                        cp.parent_link,
+                        cp.order_positions[j],
+                        cp.candidates[j],
+                        cp.cost_before + cp.increments[j],
+                        cp.cp_after,
+                        cp.maxen_after,
+                    )
+                )
+        self._stack = []
+        self._exhausted = True
+        return edges
 
     def _backtrack(self) -> Optional[int]:
         """Advance the deepest choice point with an untried candidate.

@@ -313,6 +313,43 @@ class ExplorationStats:
             for label in result.leaks:
                 self.leaks[label] = self.leaks.get(label, 0) + 1
 
+    def absorb_shard(self, shard: "ExplorationStats") -> None:
+        """Fold one shard's stats in, as if its executions had continued
+        this stream (:mod:`repro.core.sharding`, Rand/PCT index ranges).
+
+        Shards are absorbed in index order, so sums and maxes accumulate
+        exactly as a serial pass over the concatenated ranges would, and
+        the first bug's 1-based schedule ``index`` is rebased from
+        shard-local to global.
+        """
+        prior_schedules = self.schedules
+        self.schedules += shard.schedules
+        self.buggy_schedules += shard.buggy_schedules
+        self.executions += shard.executions
+        self.step_limit_hits += shard.step_limit_hits
+        self.livelock_hits += shard.livelock_hits
+        self.aborts += shard.aborts
+        if shard.max_enabled > self.max_enabled:
+            self.max_enabled = shard.max_enabled
+        if shard.max_choice_points > self.max_choice_points:
+            self.max_choice_points = shard.max_choice_points
+        if shard.threads_created > self.threads_created:
+            self.threads_created = shard.threads_created
+        if shard.max_lasso > self.max_lasso:
+            self.max_lasso = shard.max_lasso
+        for kind, count in shard.abort_kinds.items():
+            self.abort_kinds[kind] = self.abort_kinds.get(kind, 0) + count
+        for label, count in shard.leaks.items():
+            self.leaks[label] = self.leaks.get(label, 0) + count
+        if self.first_abort is None:
+            self.first_abort = shard.first_abort
+        if shard.first_bug is not None and self.first_bug is None:
+            bug = shard.first_bug
+            bug.index += prior_schedules
+            self.first_bug = bug
+        if shard.deadline_hit:
+            self.deadline_hit = True
+
     def as_dict(self) -> dict:
         out = {
             "technique": self.technique,

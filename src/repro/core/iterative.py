@@ -191,6 +191,9 @@ class DFSExplorer(Explorer):
         spurious_wakeups: int = 0,
         counters: bool = False,
         budget: Optional[Budget] = None,
+        shards: int = 1,
+        program_source=None,
+        split_runs: Optional[int] = None,
     ) -> None:
         self.visible_filter = visible_filter
         self.max_steps = max_steps
@@ -198,11 +201,35 @@ class DFSExplorer(Explorer):
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.counters = counters
         self.budget = budget
+        #: Worker processes to shard the search tree over (``1`` = the
+        #: classic in-process search); see :mod:`repro.core.sharding`.
+        #: The enumerated set *and order* are identical either way.
+        self.shards = max(1, shards)
+        #: Picklable program source for pool workers; ``None`` runs the
+        #: shard tasks in-process (same merged stream, no pool).
+        self.program_source = program_source
+        #: Per-shard-task run budget before a cooperative split
+        #: (``None`` = :data:`repro.core.sharding.DEFAULT_SPLIT_RUNS`).
+        self.split_runs = split_runs
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
-        stats = ExplorationStats(self.technique, program.name, limit)
-        if self.counters:
-            stats.counters = EngineCounters()
+        if self.shards > 1:
+            from .sharding import DEFAULT_SPLIT_RUNS, ShardedDFS
+
+            dfs = ShardedDFS(
+                program,
+                shards=self.shards,
+                program_source=self.program_source,
+                split_runs=self.split_runs or DEFAULT_SPLIT_RUNS,
+                visible_filter=self.visible_filter,
+                max_steps=self.max_steps,
+                spurious_wakeups=self.spurious_wakeups,
+                budget=self.budget,
+            )
+            try:
+                return self._drain(dfs, program, limit)
+            finally:
+                dfs.close()
         dfs = BoundedDFS(
             program,
             NoBoundCost(),
@@ -213,6 +240,12 @@ class DFSExplorer(Explorer):
             fast_replay=True,
             budget=self.budget,
         )
+        return self._drain(dfs, program, limit)
+
+    def _drain(self, dfs, program: Program, limit: int) -> ExplorationStats:
+        stats = ExplorationStats(self.technique, program.name, limit)
+        if self.counters:
+            stats.counters = EngineCounters()
         abandoned = 0
         for record in dfs.runs():
             stats.executions += 1
@@ -268,6 +301,9 @@ class IterativeBoundingExplorer(Explorer):
         resume_frontier: bool = True,
         counters: bool = False,
         budget: Optional[Budget] = None,
+        shards: int = 1,
+        program_source=None,
+        split_runs: Optional[int] = None,
     ) -> None:
         self.cost_model = cost_model
         self.technique = technique
@@ -275,6 +311,15 @@ class IterativeBoundingExplorer(Explorer):
         self.visible_filter = visible_filter
         self.max_steps = max_steps
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
+        #: Worker processes to shard each bound's search tree over
+        #: (``1`` = serial).  Sharding is frontier-based, so it implies
+        #: ``resume_frontier`` semantics; results are byte-identical to
+        #: the serial backends either way (see DESIGN.md §13).
+        self.shards = max(1, shards)
+        #: Picklable program source for pool workers; ``None`` = inline.
+        self.program_source = program_source
+        #: Per-shard-task run budget before a cooperative split.
+        self.split_runs = split_runs
         #: Safety net: stop raising the bound past this (a benchmark whose
         #: space is exhausted stops earlier via the pruning signal).
         self.max_bound = max_bound
@@ -289,6 +334,24 @@ class IterativeBoundingExplorer(Explorer):
         stats = ExplorationStats(self.technique, program.name, limit)
         if self.counters:
             stats.counters = EngineCounters()
+        if self.shards > 1:
+            from .sharding import DEFAULT_SPLIT_RUNS, ShardedFrontierSearch
+
+            search = ShardedFrontierSearch(
+                program,
+                self.cost_model,
+                shards=self.shards,
+                program_source=self.program_source,
+                split_runs=self.split_runs or DEFAULT_SPLIT_RUNS,
+                visible_filter=self.visible_filter,
+                max_steps=self.max_steps,
+                spurious_wakeups=self.spurious_wakeups,
+                budget=self.budget,
+            )
+            try:
+                return self._drain(search, stats, limit)
+            finally:
+                search.close()
         backend = FrontierSearch if self.resume_frontier else RestartSearch
         search = backend(
             program,
@@ -298,6 +361,10 @@ class IterativeBoundingExplorer(Explorer):
             spurious_wakeups=self.spurious_wakeups,
             budget=self.budget,
         )
+        return self._drain(search, stats, limit)
+
+    def _drain(self, search, stats: ExplorationStats, limit: int) -> ExplorationStats:
+        program_name = stats.program_name
         runs_before_bound = 0
         abandoned = 0
         for bound in range(self.max_bound + 1):
@@ -335,7 +402,7 @@ class IterativeBoundingExplorer(Explorer):
                     bug_at_this_bound = True
                     if stats.first_bug is None:
                         stats.first_bug = BugReport.from_result(
-                            program.name, result, bound, stats.schedules
+                            program_name, result, bound, stats.schedules
                         )
                 if stats.schedules >= limit:
                     return stats

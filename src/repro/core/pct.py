@@ -15,7 +15,7 @@ naive randomization.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..engine.executor import DEFAULT_MAX_STEPS, execute
 from ..engine.state import Kernel, VisibleFilter
@@ -77,6 +77,8 @@ class PCTExplorer(Explorer):
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
         budget=None,
+        shards: int = 1,
+        program_source=None,
     ) -> None:
         self.depth = depth
         self.seed = seed
@@ -84,25 +86,52 @@ class PCTExplorer(Explorer):
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
         self.budget = budget
+        #: Worker processes to shard the execution-index range over
+        #: (``1`` = classic serial stream); see :mod:`repro.core.sharding`.
+        self.shards = max(1, shards)
+        #: Picklable program source for pool workers; ``None`` = inline.
+        self.program_source = program_source
+        #: Per-execution seeds (sharded mode), as in
+        #: :class:`repro.core.random_walk.RandomExplorer`.
+        self.execution_seeds: Optional[List[int]] = None
+        #: Skip calibration and use this ``k``: the sharded parent
+        #: calibrates once (deterministic round-robin, so every shard
+        #: would compute the identical value) and passes it down.
+        self.k_override: Optional[int] = None
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
+        if self.shards > 1 and self.execution_seeds is None:
+            from .sharding import run_sharded_pct
+
+            return run_sharded_pct(self, program, limit)
         stats = ExplorationStats(self.technique, program.name, limit)
-        rng = random.Random(self.seed)
-        # Calibrate k (execution length in visible steps) from the
-        # deterministic round-robin schedule.
-        calibration = execute(
-            program,
-            RoundRobinStrategy(),
-            max_steps=self.max_steps,
-            visible_filter=self.visible_filter,
-            record_enabled=False,
-            budget=self.budget,
+        if self.k_override is not None:
+            k_estimate = max(1, self.k_override)
+        else:
+            # Calibrate k (execution length in visible steps) from the
+            # deterministic round-robin schedule.
+            calibration = execute(
+                program,
+                RoundRobinStrategy(),
+                max_steps=self.max_steps,
+                visible_filter=self.visible_filter,
+                record_enabled=False,
+                budget=self.budget,
+            )
+            if self._budget_spent(stats, calibration):
+                return stats
+            k_estimate = max(1, calibration.steps)
+        seeds = self.execution_seeds
+        strategy = (
+            PCTStrategy(random.Random(self.seed), k_estimate, self.depth)
+            if seeds is None
+            else None
         )
-        if self._budget_spent(stats, calibration):
-            return stats
-        k_estimate = max(1, calibration.steps)
-        strategy = PCTStrategy(rng, k_estimate, self.depth)
-        for _ in range(limit):
+        for j in range(limit):
+            if seeds is not None:
+                strategy = PCTStrategy(
+                    random.Random(seeds[j]), k_estimate, self.depth
+                )
             result = execute(
                 program,
                 strategy,

@@ -4,12 +4,24 @@ At every scheduling point one enabled thread is chosen uniformly at random.
 No information is saved between runs, so the same schedule may be explored
 repeatedly and the search never "completes" (section 3 of the paper) —
 ``ExplorationStats.completed`` stays ``False`` by construction.
+
+Two random-stream regimes:
+
+- **classic** (default, ``shards=1``): one shared ``random.Random(seed)``
+  across all executions — the historical stream every committed artifact
+  was produced under;
+- **index-seeded** (``shards >= 2``, or an explicit ``execution_seeds``
+  list): execution ``j`` draws from its own
+  ``random.Random(derive_shard_seed(seed, j))``, which makes the stream a
+  pure function of the execution index — the property that lets
+  :mod:`repro.core.sharding` split the index range across worker
+  processes with a merged result identical for *every* shard count.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import List, Optional
 
 from ..engine.executor import DEFAULT_MAX_STEPS, execute
 from ..engine.state import VisibleFilter, coerce_spurious_budget
@@ -30,6 +42,8 @@ class RandomExplorer(Explorer):
         stop_at_first_bug: bool = False,
         spurious_wakeups: int = 0,
         budget=None,
+        shards: int = 1,
+        program_source=None,
     ) -> None:
         self.seed = seed
         self.visible_filter = visible_filter
@@ -37,13 +51,31 @@ class RandomExplorer(Explorer):
         self.stop_at_first_bug = stop_at_first_bug
         self.spurious_wakeups = coerce_spurious_budget(spurious_wakeups)
         self.budget = budget
+        #: Worker processes to shard the execution-index range over
+        #: (``1`` = classic serial stream, untouched).
+        self.shards = max(1, shards)
+        #: Picklable program source for pool workers (``("bench", name)``
+        #: or a module-level factory); ``None`` runs shards in-process.
+        self.program_source = program_source
+        #: Explicit per-execution seeds (sharded mode): execution ``j``
+        #: uses ``random.Random(execution_seeds[j])``.  Set by the shard
+        #: workers; settable directly for the serial reference stream.
+        self.execution_seeds: Optional[List[int]] = None
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         """Run ``limit`` random-schedule executions (the paper runs 10,000)."""
+        if self.shards > 1 and self.execution_seeds is None:
+            from .sharding import run_sharded_random
+
+            return run_sharded_random(self, program, limit)
         stats = ExplorationStats(self.technique, program.name, limit)
-        rng = random.Random(self.seed)
-        strategy = RandomStrategy(rng)
-        for _ in range(limit):
+        seeds = self.execution_seeds
+        strategy = (
+            RandomStrategy(random.Random(self.seed)) if seeds is None else None
+        )
+        for j in range(limit):
+            if seeds is not None:
+                strategy = RandomStrategy(random.Random(seeds[j]))
             result = execute(
                 program,
                 strategy,

@@ -1,0 +1,813 @@
+"""Intra-cell parallel schedule exploration: shard one search across
+worker processes with a deterministic merge.
+
+``--jobs`` (the parallel study runner) stops helping once fewer cells
+remain than cores: a single (benchmark, technique) pair exploring up to
+10,000 terminal schedules runs strictly serially.  This module
+parallelizes *inside* a cell while keeping the paper's accounting
+byte-identical to the serial run:
+
+**Systematic techniques (DFS / IPB / IDB).**  Frontier resumption
+(:class:`repro.core.iterative.FrontierSearch`) already represents
+unexplored work as :class:`~repro.core.dfs.PrunedEdge` subtrees that
+resume in bound-independent DFS order.  A *shard descriptor* is exactly
+one such edge, serialized (:meth:`PrunedEdge.to_payload`).  The parent
+executes run #1 of a bound in-process, detaches the rest of the tree
+with :meth:`BoundedDFS.split_remaining`, and distributes the descriptors
+— an exact disjoint partition of the remaining subtree — to a process
+pool.  Workers stream back trimmed run summaries plus any frontier edges
+their bound pruned; the parent emits summaries in ascending
+``order_path`` order, which *is* the serial DFS visiting order, so the
+merged stream feeds the unmodified explorer accounting loops and every
+``ExplorationStats.as_dict()`` field matches the serial run by
+construction.  (Only the opt-in ``EngineCounters.replayed_steps``
+telemetry differs: a worker's first run replays its full root prefix
+where the serial search would have taken a minimal backtrack.)
+
+**Work redistribution.**  Each shard task carries a run budget
+(``split_runs``); a worker that exhausts the budget with work left calls
+``split_remaining`` on its own search and returns the leftover
+descriptors, which the parent splices back into the worklist *in place*
+— cooperative splitting of the largest live subtrees, so one huge
+subtree cannot serialize the tail of the computation.
+
+**Randomized techniques (Rand / PCT).**  Sharding by schedule-index
+ranges requires a random stream that is a function of the *execution
+index*, not of the shard: execution ``j`` draws from
+``random.Random(derive_shard_seed(seed, j))`` (SHA-256, same recipe as
+the study's per-cell seeds).  The merged stream is therefore identical
+for every shard count and for the in-process (inline) execution of the
+same plan — but it is *not* the classic single-RNG stream, so sharding
+is part of the experiment's fingerprint (``StudyConfig.cell_shards``).
+``shards=1`` keeps the classic explorers untouched.
+
+**Cancellation.**  The merged stream is a generator; closing it early
+(schedule limit, first-bug-wins, an expired
+:class:`~repro.core.budget.Budget`) cancels every undispatched shard.
+Budgets ship to workers by value: wall-clock deadlines transfer exactly
+(``time.monotonic`` is system-wide on Linux), work ceilings apply per
+worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..engine.executor import DEFAULT_MAX_STEPS
+from ..engine.trace import Outcome
+from ..runtime.errors import MisuseReport
+from ..runtime.program import Program
+from .bounds import DELAY, NO_BOUND, PREEMPTION, BoundCost
+from .dfs import BoundedDFS, OrderCache, PrunedEdge, RunRecord
+
+#: Default per-task run budget before a worker splits its remainder.
+DEFAULT_SPLIT_RUNS = 64
+
+#: Shippable cost models, by :attr:`BoundCost.name`.  Sharded search
+#: sends the *name* across the process boundary and resolves it here, so
+#: custom cost models must be registered (or run unsharded).
+_COST_MODELS = {
+    "none": NO_BOUND,
+    "preemption": PREEMPTION,
+    "delay": DELAY,
+}
+
+
+def derive_shard_seed(base_seed: Optional[int], index: int) -> int:
+    """Independent seed for one shard / execution index.
+
+    Same construction as :func:`repro.study.config.derive_seed`: SHA-256
+    of the pair, stable across processes and Python runs, so sharded
+    random streams are reproducible regardless of which worker executes
+    which index.
+    """
+    digest = hashlib.sha256(f"{base_seed}:shard:{index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def resolve_program(source) -> Program:
+    """Build the program a shard worker explores.
+
+    ``("bench", name)`` looks the benchmark up in the SCTBench registry;
+    any other value must be a zero-argument picklable factory (e.g. a
+    module-level ``make_*`` function).
+    """
+    if isinstance(source, tuple) and len(source) == 2 and source[0] == "bench":
+        from ..sctbench import get as get_benchmark
+
+        return get_benchmark(source[1]).make()
+    if callable(source):
+        return source()
+    raise TypeError(f"unsupported program source: {source!r}")
+
+
+#: Per-worker-process program cache: a Program is reusable across any
+#: number of controlled executions, so each worker builds it once.
+_PROGRAM_CACHE: dict = {}
+
+
+def _cached_program(source) -> Program:
+    key = source if isinstance(source, tuple) else id(source)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = resolve_program(source)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+class BugStub:
+    """Picklable stand-in for a worker-side bug object.
+
+    Quacks exactly like the original where the explorers look:
+    ``str(result.bug)`` and ``getattr(bug, "traceback", None)``
+    (:meth:`repro.core.explorer.BugReport.from_result`).
+    """
+
+    __slots__ = ("message", "traceback")
+
+    def __init__(self, message: str, traceback: Optional[str]) -> None:
+        self.message = message
+        self.traceback = traceback
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class RunSummary:
+    """The slice of an :class:`~repro.engine.trace.ExecutionResult` the
+    explorer accounting loops actually read, in picklable form.
+
+    Shipping full results would drag per-step ``enabled_sets`` and shared
+    state across the process boundary; this carries exactly the fields
+    :meth:`ExplorationStats.observe_run` / ``observe_leaks``,
+    :meth:`BugReport.from_result` and :class:`EngineCounters` consume —
+    plus the full ``schedule``, which equivalence tests and bug reports
+    need.
+    """
+
+    __slots__ = (
+        "outcome",
+        "bug",
+        "schedule",
+        "steps",
+        "choice_points",
+        "max_enabled",
+        "threads_created",
+        "recorded_from",
+        "misuse",
+        "leaks",
+        "lasso_len",
+    )
+
+    def __init__(
+        self,
+        outcome: Outcome,
+        bug,
+        schedule: List[int],
+        steps: int,
+        choice_points: int,
+        max_enabled: int,
+        threads_created: int,
+        recorded_from: int,
+        misuse: Optional[MisuseReport],
+        leaks: Tuple[str, ...],
+        lasso_len: int,
+    ) -> None:
+        self.outcome = outcome
+        self.bug = bug
+        self.schedule = schedule
+        self.steps = steps
+        self.choice_points = choice_points
+        self.max_enabled = max_enabled
+        self.threads_created = threads_created
+        self.recorded_from = recorded_from
+        self.misuse = misuse
+        self.leaks = leaks
+        self.lasso_len = lasso_len
+
+    @property
+    def is_buggy(self) -> bool:
+        return self.outcome.is_bug
+
+    @classmethod
+    def from_result(cls, result) -> "RunSummary":
+        bug = result.bug
+        if bug is not None:
+            bug = BugStub(str(bug), getattr(bug, "traceback", None))
+        return cls(
+            result.outcome,
+            bug,
+            list(result.schedule),
+            result.steps,
+            result.choice_points,
+            result.max_enabled,
+            result.threads_created,
+            result.recorded_from,
+            result.misuse,
+            tuple(result.leaks) if result.leaks else (),
+            result.lasso_len or 0,
+        )
+
+
+# -- worker entry points (module-level, hence picklable) --------------------
+
+
+class ShardSpec:
+    """Everything a subtree worker needs besides the descriptor itself."""
+
+    __slots__ = (
+        "program_source",
+        "cost_name",
+        "visible_filter",
+        "max_steps",
+        "spurious_wakeups",
+        "fast_replay",
+        "budget",
+    )
+
+    def __init__(
+        self,
+        program_source,
+        cost_name: str,
+        visible_filter,
+        max_steps: int,
+        spurious_wakeups: int,
+        fast_replay: bool,
+        budget,
+    ) -> None:
+        self.program_source = program_source
+        self.cost_name = cost_name
+        self.visible_filter = visible_filter
+        self.max_steps = max_steps
+        self.spurious_wakeups = spurious_wakeups
+        self.fast_replay = fast_replay
+        self.budget = budget
+
+
+def _subtree_worker(
+    spec: ShardSpec,
+    bound: Optional[int],
+    root_payload: dict,
+    split_runs: Optional[int],
+    want_frontier: bool,
+    program: Optional[Program] = None,
+):
+    """Explore one shard descriptor's subtree; the pool entry point.
+
+    Returns ``(runs, frontier, leftovers, exhausted)`` where ``runs`` is
+    a list of ``(RunSummary, cost, pruned_any)`` in DFS order,
+    ``frontier`` the payloads of every edge the bound pruned while
+    exploring, ``leftovers`` the descriptors of work given back after the
+    ``split_runs`` budget ran out, and ``exhausted`` whether the subtree
+    was fully enumerated.  ``program`` short-circuits source resolution
+    for inline (in-process) execution.
+    """
+    if program is None:
+        program = _cached_program(spec.program_source)
+    frontier: Optional[List[PrunedEdge]] = [] if want_frontier else None
+    dfs = BoundedDFS(
+        program,
+        _COST_MODELS[spec.cost_name],
+        bound,
+        visible_filter=spec.visible_filter,
+        max_steps=spec.max_steps,
+        spurious_wakeups=spec.spurious_wakeups,
+        root=PrunedEdge.from_payload(root_payload),
+        frontier=frontier,
+        fast_replay=spec.fast_replay,
+        budget=spec.budget,
+    )
+    runs: List[Tuple[RunSummary, int, bool]] = []
+    leftovers: List[dict] = []
+    for record in dfs.runs():
+        summary = RunSummary.from_result(record.result)
+        runs.append((summary, record.cost, record.pruned_any))
+        if summary.outcome is Outcome.TIMEOUT:
+            # Budget expired mid-subtree: the parent stops the whole
+            # exploration at this record, so the remainder is moot.
+            break
+        if split_runs is not None and len(runs) >= split_runs and not dfs.exhausted:
+            leftovers = [e.to_payload() for e in dfs.split_remaining()]
+            break
+    frontier_payloads = (
+        [e.to_payload() for e in frontier] if frontier else []
+    )
+    return runs, frontier_payloads, leftovers, dfs.exhausted
+
+
+def _random_shard_worker(
+    source,
+    seeds: List[int],
+    visible_filter,
+    max_steps: int,
+    stop_at_first_bug: bool,
+    spurious_wakeups: int,
+    budget,
+    program: Optional[Program] = None,
+) -> dict:
+    """Run one Rand shard: one execution per (index-derived) seed."""
+    from .random_walk import RandomExplorer
+
+    if program is None:
+        program = _cached_program(source)
+    explorer = RandomExplorer(
+        visible_filter=visible_filter,
+        max_steps=max_steps,
+        stop_at_first_bug=stop_at_first_bug,
+        spurious_wakeups=spurious_wakeups,
+        budget=budget,
+    )
+    explorer.execution_seeds = seeds
+    return explorer.explore(program, len(seeds)).to_payload()
+
+
+def _pct_shard_worker(
+    source,
+    seeds: List[int],
+    depth: int,
+    k_estimate: int,
+    visible_filter,
+    max_steps: int,
+    stop_at_first_bug: bool,
+    budget,
+    program: Optional[Program] = None,
+) -> dict:
+    """Run one PCT shard: one execution per seed, shared ``k`` estimate."""
+    from .pct import PCTExplorer
+
+    if program is None:
+        program = _cached_program(source)
+    explorer = PCTExplorer(
+        depth=depth,
+        visible_filter=visible_filter,
+        max_steps=max_steps,
+        stop_at_first_bug=stop_at_first_bug,
+        budget=budget,
+    )
+    explorer.execution_seeds = seeds
+    explorer.k_override = k_estimate
+    return explorer.explore(program, len(seeds)).to_payload()
+
+
+# -- the parent-side merge --------------------------------------------------
+
+
+class _ShardItem:
+    """One worklist entry: a descriptor and, eventually, its result."""
+
+    __slots__ = ("payload", "future", "result")
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+        self.future = None
+        self.result = None
+
+
+def _inline_future(fn: Callable, *args) -> Future:
+    """Run ``fn`` now, wrap the outcome in a completed Future — the
+    degenerate executor used when no process pool is available.  The
+    merge path is byte-identical either way: emission order never
+    depends on completion timing."""
+    fut: Future = Future()
+    try:
+        fut.set_result(fn(*args))
+    except BaseException as exc:  # pragma: no cover - worker bug surface
+        fut.set_exception(exc)
+    return fut
+
+
+class ShardedSearchBase:
+    """Shared pool/merge machinery of the sharded searches."""
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: BoundCost,
+        *,
+        shards: int,
+        program_source=None,
+        split_runs: Optional[int] = DEFAULT_SPLIT_RUNS,
+        visible_filter=None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        spurious_wakeups: int = 0,
+        fast_replay: bool = True,
+        budget=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if cost_model.name not in _COST_MODELS:
+            raise ValueError(
+                f"cost model {cost_model.name!r} is not shippable to shard "
+                "workers (register it in repro.core.sharding._COST_MODELS "
+                "or run unsharded)"
+            )
+        self.program = program
+        self.cost_model = cost_model
+        self.shards = shards
+        self.program_source = program_source
+        self.split_runs = split_runs
+        self.spec = ShardSpec(
+            program_source,
+            cost_model.name,
+            visible_filter,
+            max_steps,
+            spurious_wakeups,
+            fast_replay,
+            budget,
+        )
+        self._order_cache: OrderCache = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def inline(self) -> bool:
+        """Whether shard tasks run in-process (no picklable program
+        source, or a single shard): same code path, same merged stream,
+        no pool."""
+        return self.program_source is None or self.shards == 1
+
+    def _pool_or_none(self) -> Optional[ProcessPoolExecutor]:
+        if self.inline:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _local_dfs(self, bound: Optional[int], frontier) -> BoundedDFS:
+        return BoundedDFS(
+            self.program,
+            self.cost_model,
+            bound,
+            visible_filter=self.spec.visible_filter,
+            max_steps=self.spec.max_steps,
+            spurious_wakeups=self.spec.spurious_wakeups,
+            frontier=frontier,
+            order_cache=self._order_cache,
+            fast_replay=self.spec.fast_replay,
+            budget=self.spec.budget,
+        )
+
+    def _submit(self, bound: Optional[int], payload: dict, want_frontier: bool):
+        pool = self._pool_or_none()
+        if pool is None:
+            return _inline_future(
+                _subtree_worker,
+                self.spec,
+                bound,
+                payload,
+                self.split_runs,
+                want_frontier,
+                self.program,
+            )
+        return pool.submit(
+            _subtree_worker, self.spec, bound, payload, self.split_runs,
+            want_frontier,
+        )
+
+    def _drive(
+        self,
+        bound: Optional[int],
+        root_payloads: List[dict],
+        want_frontier: bool,
+        on_frontier: Optional[Callable[[List[dict]], None]] = None,
+        on_last: Optional[Callable[[], None]] = None,
+    ) -> Iterator[RunRecord]:
+        """Dispatch descriptors and emit their runs in exact DFS order.
+
+        ``root_payloads`` must already be in ascending ``order_path``
+        order (``split_remaining`` and the sorted frontier both are).
+        The head item's runs are emitted the moment its result arrives;
+        leftovers from a split are spliced *in place of* the head —
+        they are interior to its subtree, so order is preserved.
+        Out-of-order completions are buffered.  ``on_last`` fires just
+        before the final record of the final item is yielded (the sharded
+        analogue of the serial search's eager backtracking: ``exhausted``
+        is accurate at every yield).
+        """
+        items = [_ShardItem(p) for p in root_payloads]
+        in_flight: dict = {}
+        emit_idx = 0
+        try:
+            while emit_idx < len(items):
+                # Keep the earliest undispatched descriptors in flight.
+                for item in items[emit_idx:]:
+                    if len(in_flight) >= self.shards:
+                        break
+                    if item.future is None and item.result is None:
+                        item.future = self._submit(
+                            bound, item.payload, want_frontier
+                        )
+                        in_flight[item.future] = item
+                head = items[emit_idx]
+                if head.result is None:
+                    done, _ = wait(
+                        set(in_flight), return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        item = in_flight.pop(fut)
+                        item.result = fut.result()
+                        item.future = None
+                    continue
+                runs, frontier, leftovers, exhausted = head.result
+                head.result = None  # free early; emitted below
+                if frontier and on_frontier is not None:
+                    on_frontier(frontier)
+                if leftovers:
+                    items[emit_idx + 1 : emit_idx + 1] = [
+                        _ShardItem(p) for p in leftovers
+                    ]
+                emit_idx += 1
+                last_item = emit_idx == len(items)
+                for i, (summary, cost, pruned_any) in enumerate(runs):
+                    if (
+                        last_item
+                        and exhausted
+                        and i == len(runs) - 1
+                        and on_last is not None
+                    ):
+                        on_last()
+                    yield RunRecord(summary, cost, pruned_any)
+        finally:
+            for fut in list(in_flight):
+                fut.cancel()
+
+
+class ShardedDFS(ShardedSearchBase):
+    """Sharded unbounded depth-first search (drop-in for the
+    :class:`BoundedDFS` run stream inside :class:`DFSExplorer`).
+
+    Run #1 *is* the serial first run (the shared round-robin schedule),
+    executed in-process; the remainder of the tree is then detached with
+    :meth:`BoundedDFS.split_remaining` and distributed.  ``exhausted``
+    matches the serial contract: accurate at every yield.
+    """
+
+    def __init__(self, program: Program, **kwargs) -> None:
+        super().__init__(program, NO_BOUND, fast_replay=True, **kwargs)
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def _mark_exhausted(self) -> None:
+        self._exhausted = True
+
+    def runs(self) -> Iterator[RunRecord]:
+        dfs = self._local_dfs(None, None)
+        gen = dfs.runs()
+        try:
+            first = next(gen, None)
+            if first is None:  # pragma: no cover - runs() always yields
+                self._exhausted = True
+                return
+            roots = (
+                []
+                if dfs.exhausted
+                else [e.to_payload() for e in dfs.split_remaining()]
+            )
+        finally:
+            gen.close()
+        if not roots:
+            self._exhausted = True
+            yield first
+            return
+        yield first
+        yield from self._drive(
+            None, roots, want_frontier=False, on_last=self._mark_exhausted
+        )
+
+
+class ShardedFrontierSearch(ShardedSearchBase):
+    """Sharded frontier-resuming backend for iterative bounding.
+
+    Same search-backend protocol as
+    :class:`repro.core.iterative.FrontierSearch` (``resumes`` /
+    ``runs_at_bound`` / ``pruned_at_bound``), same enumerated set and
+    order: at bound 0 the parent executes run #1 in-process with a
+    frontier sink and distributes the rest of the tree; at later bounds
+    the unlocked frontier payloads *are* the shard descriptors.  Workers
+    ship the edges their bound pruned back as payloads; disjoint
+    subtrees never duplicate an edge, so the union is exactly the serial
+    frontier.
+    """
+
+    resumes = True
+
+    def __init__(self, program: Program, cost_model: BoundCost, **kwargs) -> None:
+        super().__init__(program, cost_model, **kwargs)
+        self._frontier: List[dict] = []
+        self._started = False
+
+    def _absorb_frontier(self, payloads: List[dict]) -> None:
+        self._frontier.extend(payloads)
+
+    def runs_at_bound(self, bound: int) -> Iterator[RunRecord]:
+        if not self._started:
+            self._started = True
+            local_frontier: List[PrunedEdge] = []
+            dfs = self._local_dfs(bound, local_frontier)
+            gen = dfs.runs()
+            try:
+                first = next(gen, None)
+                if first is None:  # pragma: no cover - runs() always yields
+                    return
+                roots = (
+                    []
+                    if dfs.exhausted
+                    else [e.to_payload() for e in dfs.split_remaining()]
+                )
+            finally:
+                gen.close()
+            self._frontier.extend(e.to_payload() for e in local_frontier)
+            yield first
+            if roots:
+                yield from self._drive(
+                    bound,
+                    roots,
+                    want_frontier=True,
+                    on_frontier=self._absorb_frontier,
+                )
+            return
+        unlocked = [p for p in self._frontier if p["cost_after"] <= bound]
+        if not unlocked:
+            return
+        self._frontier = [p for p in self._frontier if p["cost_after"] > bound]
+        unlocked.sort(key=lambda p: tuple(p["order_path"]))
+        yield from self._drive(
+            bound,
+            unlocked,
+            want_frontier=True,
+            on_frontier=self._absorb_frontier,
+        )
+
+    def pruned_at_bound(self) -> bool:
+        return bool(self._frontier)
+
+
+# -- randomized-technique sharding ------------------------------------------
+
+
+def split_indices(limit: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` execution-index ranges, one per shard
+    (earlier shards take the remainder, no shard empty unless the limit
+    runs out)."""
+    base, rem = divmod(limit, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < rem else 0)
+        ranges.append((start, start + size))
+        start += size
+    return [r for r in ranges if r[0] < r[1]]
+
+
+def _merge_shard_payloads(stats, payloads: List[dict], stop_at_first_bug: bool):
+    """Fold per-shard stats payloads into ``stats`` in shard order.
+
+    Mirrors a serial pass over the concatenated index ranges: sums and
+    maxes accumulate shard by shard; the first bug keeps the earliest
+    *global* schedule index; under ``stop_at_first_bug`` the shards after
+    the first buggy one are discarded (the serial run would never have
+    reached their indices)."""
+    from .explorer import ExplorationStats
+
+    for payload in payloads:
+        shard = ExplorationStats.from_payload(payload)
+        stats.absorb_shard(shard)
+        if stop_at_first_bug and stats.first_bug is not None:
+            break
+        if shard.deadline_hit:
+            break
+    return stats
+
+
+def run_sharded_random(explorer, program: Program, limit: int):
+    """Sharded Rand: per-index seeds, contiguous ranges, ordered merge."""
+    from .explorer import ExplorationStats
+
+    seeds = [derive_shard_seed(explorer.seed, j) for j in range(limit)]
+    return _run_index_shards(
+        explorer,
+        program,
+        limit,
+        lambda rng_seeds, prog: _random_shard_worker(
+            explorer.program_source,
+            rng_seeds,
+            explorer.visible_filter,
+            explorer.max_steps,
+            explorer.stop_at_first_bug,
+            explorer.spurious_wakeups,
+            explorer.budget,
+            program=prog,
+        ),
+        lambda rng_seeds: (
+            _random_shard_worker,
+            explorer.program_source,
+            rng_seeds,
+            explorer.visible_filter,
+            explorer.max_steps,
+            explorer.stop_at_first_bug,
+            explorer.spurious_wakeups,
+            explorer.budget,
+        ),
+        seeds,
+        ExplorationStats(explorer.technique, program.name, limit),
+    )
+
+
+def run_sharded_pct(explorer, program: Program, limit: int):
+    """Sharded PCT: parent-side calibration (deterministic round-robin,
+    identical ``k`` everywhere), then per-index seeded executions."""
+    from ..engine.executor import execute
+    from ..engine.strategies import RoundRobinStrategy
+    from .explorer import ExplorationStats
+
+    stats = ExplorationStats(explorer.technique, program.name, limit)
+    calibration = execute(
+        program,
+        RoundRobinStrategy(),
+        max_steps=explorer.max_steps,
+        visible_filter=explorer.visible_filter,
+        record_enabled=False,
+        budget=explorer.budget,
+    )
+    if explorer._budget_spent(stats, calibration):
+        return stats
+    k_estimate = max(1, calibration.steps)
+    seeds = [derive_shard_seed(explorer.seed, j) for j in range(limit)]
+    return _run_index_shards(
+        explorer,
+        program,
+        limit,
+        lambda rng_seeds, prog: _pct_shard_worker(
+            explorer.program_source,
+            rng_seeds,
+            explorer.depth,
+            k_estimate,
+            explorer.visible_filter,
+            explorer.max_steps,
+            explorer.stop_at_first_bug,
+            explorer.budget,
+            program=prog,
+        ),
+        lambda rng_seeds: (
+            _pct_shard_worker,
+            explorer.program_source,
+            rng_seeds,
+            explorer.depth,
+            k_estimate,
+            explorer.visible_filter,
+            explorer.max_steps,
+            explorer.stop_at_first_bug,
+            explorer.budget,
+        ),
+        seeds,
+        stats,
+    )
+
+
+def _run_index_shards(
+    explorer, program, limit, inline_fn, submit_args_fn, seeds, stats
+):
+    """Common Rand/PCT fan-out: split the seed list into shard ranges,
+    run every shard (pool or inline), merge payloads in shard order."""
+    shards = explorer.shards
+    ranges = split_indices(limit, shards)
+    if not ranges:
+        return stats
+    use_pool = explorer.program_source is not None and shards > 1
+    if not use_pool:
+        payloads = [
+            inline_fn(seeds[start:stop], program) for start, stop in ranges
+        ]
+        return _merge_shard_payloads(
+            stats, payloads, explorer.stop_at_first_bug
+        )
+    pool = ProcessPoolExecutor(max_workers=shards)
+    try:
+        futures = [
+            pool.submit(*submit_args_fn(seeds[start:stop]))
+            for start, stop in ranges
+        ]
+        payloads = []
+        for i, fut in enumerate(futures):
+            payloads.append(fut.result())
+            if explorer.stop_at_first_bug and payloads[-1].get("first_bug"):
+                # First-bug-wins: everything after this shard is moot.
+                for later in futures[i + 1 :]:
+                    later.cancel()
+                break
+        return _merge_shard_payloads(
+            stats, payloads, explorer.stop_at_first_bug
+        )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -175,6 +175,20 @@ def execute(
         max_enabled = 0
         leaks = None
 
+        # Hot loop: every name resolved per step below is a measured cost
+        # at ~50k steps/execution x thousands of executions per cell, so
+        # method lookups are hoisted out of the loop (semantics unchanged).
+        kernel_step = kernel.step
+        kernel_enabled = kernel.enabled
+        tid_enabled = kernel.tid_enabled
+        prefix_choice = strategy.prefix_choice
+        choose = strategy.choose
+        schedule_append = schedule.append
+        budget_tick = budget.tick if budget is not None else None
+        # ``Kernel.threads`` is only ever mutated in place, so its length
+        # is ``num_created`` without the property call.
+        kernel_threads = kernel.threads
+
         outcome: Outcome
         while True:
             if kernel.bug is not None:
@@ -185,13 +199,13 @@ def execute(
             step_index = kernel.steps
             in_prefix = step_index < record_from_step
             if in_prefix:
-                hint = strategy.prefix_choice(step_index)
-                if hint is not None and kernel.tid_enabled(hint):
+                hint = prefix_choice(step_index)
+                if hint is not None and tid_enabled(hint):
                     # Fast path: the prefix decision is predetermined and
                     # executable, so the full enabled set is never needed.
                     # ``tid_enabled`` implies at least one enabled thread,
                     # so the OK/DEADLOCK classification below cannot apply.
-                    if check and hint not in kernel.enabled():
+                    if check and hint not in kernel_enabled():
                         raise EngineInvariantError(
                             f"tid_enabled({hint}) disagrees with enabled() "
                             f"at step {step_index}"
@@ -199,12 +213,12 @@ def execute(
                     if step_index >= max_steps:
                         outcome = Outcome.STEP_LIMIT
                         break
-                    if budget is not None and budget.tick():
+                    if budget_tick is not None and budget_tick():
                         outcome = Outcome.TIMEOUT
                         break
-                    schedule.append(hint)
+                    schedule_append(hint)
                     try:
-                        kernel.step(hint)
+                        kernel_step(hint)
                     except RuntimeUsageError as exc:
                         # Keep ``len(schedule) == kernel.steps``: misuse
                         # raised while *poising the next op* (inside
@@ -218,7 +232,7 @@ def execute(
                         outcome = Outcome.ABORT
                         break
                     continue
-            enabled = kernel.enabled()
+            enabled = kernel_enabled()
             width = len(enabled)
             if width == 0:
                 if kernel.all_finished:
@@ -241,7 +255,7 @@ def execute(
                 else:
                     outcome = Outcome.STEP_LIMIT
                 break
-            if budget is not None and budget.tick():
+            if budget_tick is not None and budget_tick():
                 outcome = Outcome.TIMEOUT
                 break
             if not in_prefix:
@@ -249,7 +263,7 @@ def execute(
                     max_enabled = width
                 if width > 1:
                     choice_points += 1
-            tid = strategy.choose(step_index, enabled, kernel.last_tid, kernel)
+            tid = choose(step_index, enabled, kernel.last_tid, kernel)
             if check and tid not in enabled:
                 raise EngineInvariantError(
                     f"strategy {type(strategy).__name__} chose T{tid}, "
@@ -257,10 +271,10 @@ def execute(
                 )
             if record_enabled and not in_prefix:
                 enabled_sets.append(enabled)
-                created_counts.append(kernel.num_created)
-            schedule.append(tid)
+                created_counts.append(len(kernel_threads))
+            schedule_append(tid)
             try:
-                kernel.step(tid)
+                kernel_step(tid)
             except RuntimeUsageError as exc:
                 # As in the prefix path: pop only when the step never
                 # counted (misuse in the visible op itself); poise-time

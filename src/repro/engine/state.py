@@ -95,6 +95,15 @@ _CONDITIONAL_KINDS = frozenset(
     }
 )
 
+#: Bool tables indexed by the ``OpKind`` IntEnum value.  ``enabled()`` tests
+#: every runnable thread's pending op at every scheduling point and
+#: ``_advance`` classifies every yielded op, so these membership tests are
+#: the engine's hottest branches; a tuple index beats a frozenset probe.
+_CONDITIONAL_FLAGS = tuple(
+    OpKind(i) in _CONDITIONAL_KINDS for i in range(max(OpKind) + 1)
+)
+_DATA_FLAGS = tuple(OpKind(i) in DATA_KINDS for i in range(max(OpKind) + 1))
+
 
 class ThreadStatus(enum.IntEnum):
     RUNNABLE = 0   # poised at a pending visible op
@@ -223,21 +232,33 @@ class Kernel:
 
     # -- enabledness ---------------------------------------------------------
 
-    def _op_enabled(self, op: Op) -> bool:
+    def _op_enabled(
+        self,
+        op: Op,
+        # Positional defaults bind the hot globals as locals; never pass.
+        _FLAGS=_CONDITIONAL_FLAGS,
+        _LOCK=OpKind.LOCK,
+        _REACQUIRE=OpKind.REACQUIRE,
+        _JOIN=OpKind.JOIN,
+        _SEM_WAIT=OpKind.SEM_WAIT,
+        _AWAIT=OpKind.AWAIT,
+        _RW_RDLOCK=OpKind.RW_RDLOCK,
+        _RW_WRLOCK=OpKind.RW_WRLOCK,
+    ) -> bool:
         k = op.kind
-        if k not in _CONDITIONAL_KINDS:  # fast path: most ops never block
+        if not _FLAGS[k]:  # fast path: most ops never block
             return True
-        if k is OpKind.LOCK or k is OpKind.REACQUIRE:
+        if k is _LOCK or k is _REACQUIRE:
             return op.target.owner is None
-        if k is OpKind.JOIN:
+        if k is _JOIN:
             return op.target.finished
-        if k is OpKind.SEM_WAIT:
+        if k is _SEM_WAIT:
             return op.target.count > 0
-        if k is OpKind.AWAIT:
+        if k is _AWAIT:
             return bool(op.arg(op.target.value))
-        if k is OpKind.RW_RDLOCK:
+        if k is _RW_RDLOCK:
             return op.target.writer is None
-        if k is OpKind.RW_WRLOCK:
+        if k is _RW_WRLOCK:
             return op.target.writer is None and not op.target.readers
         return True
 
@@ -262,19 +283,29 @@ class Kernel:
             return tuple(out)
         out = []
         threads = self.threads
+        flags = _CONDITIONAL_FLAGS
+        op_enabled = self._op_enabled
         for tid in self._runnable:
             op = threads[tid].pending
-            if op is not None and self._op_enabled(op):
+            # Inlined always-enabled fast path; only conditional kinds pay
+            # the ``_op_enabled`` call (semantics identical).
+            if op is not None and (not flags[op.kind] or op_enabled(op)):
                 out.append(tid)
         return tuple(out)
 
-    def tid_enabled(self, tid: int) -> bool:
+    def tid_enabled(
+        self, tid: int, _RUNNABLE=ThreadStatus.RUNNABLE, _FLAGS=_CONDITIONAL_FLAGS
+    ) -> bool:
         """Whether one specific thread could execute now — the replay fast
         path's cheap membership test (``tid in self.enabled()`` without
-        materialising the whole set)."""
+        materialising the whole set).  The trailing defaults are
+        local-bound globals; never pass them."""
         ts = self.threads[tid]
-        if ts.status is ThreadStatus.RUNNABLE:
-            return ts.pending is not None and self._op_enabled(ts.pending)
+        if ts.status is _RUNNABLE:
+            op = ts.pending
+            return op is not None and (
+                not _FLAGS[op.kind] or self._op_enabled(op)
+            )
         return (
             self.spurious_wakeups > 0
             and ts.status is ThreadStatus.WAITING
@@ -298,12 +329,13 @@ class Kernel:
 
     # -- stepping -------------------------------------------------------------
 
-    def step(self, tid: int) -> None:
+    def step(self, tid: int, _RUNNABLE=ThreadStatus.RUNNABLE) -> None:
         """Execute one step of thread ``tid`` (must be enabled).
 
         Executes the pending visible op, then advances the generator through
         invisible ops to the next visible boundary.  Sets ``self.bug`` if
-        the step surfaces a bug.
+        the step surfaces a bug.  (``_RUNNABLE`` is a local-bound global;
+        never pass it.)
         """
         ts = self.threads[tid]
         if (
@@ -326,14 +358,16 @@ class Kernel:
                 # Mutex busy: the wake itself is the step (observers see a
                 # no-op, not an acquire); the thread now blocks at the
                 # reacquire like any other lock waiter.
-                self._notify_step(
-                    tid, noop_op(site=f"<spurious:{cond.name}>"), None, visible=True
-                )
+                if self.observers:
+                    self._notify_step(
+                        tid, noop_op(site=f"<spurious:{cond.name}>"), None,
+                        visible=True,
+                    )
                 self.last_tid = tid
                 self.steps += 1
                 return
         op = ts.pending
-        assert op is not None and ts.status is ThreadStatus.RUNNABLE
+        assert op is not None and ts.status is _RUNNABLE
         ts.pending = None
         try:
             result, parked = self._execute(ts, op)
@@ -342,18 +376,36 @@ class Kernel:
             self.last_tid = tid
             self.steps += 1
             return
-        self._notify_step(tid, op, result, visible=True)
+        if self.observers:
+            self._notify_step(tid, op, result, visible=True)
         self.last_tid = tid
         self.steps += 1
         if not parked:
             self._advance(ts, result)
 
-    def _advance(self, ts: ThreadState, send_value: Any) -> None:
-        """Drive ``ts``'s generator to its next visible op (or to the end)."""
-        gen = ts.gen
+    def _advance(
+        self,
+        ts: ThreadState,
+        send_value: Any,
+        # Positional defaults bind the hot globals as locals; never pass.
+        _OP=Op,
+        _FLAGS=_DATA_FLAGS,
+        _JOIN=OpKind.JOIN,
+        _LOCK=OpKind.LOCK,
+    ) -> None:
+        """Drive ``ts``'s generator to its next visible op (or to the end).
+
+        Hot loop: runs once per step plus once per invisible data access,
+        so the visibility test (:meth:`_is_visible`) is inlined via
+        ``_DATA_FLAGS`` and :meth:`_validate_poised` — which only acts on
+        JOIN and LOCK — is gated here on those two kinds.
+        """
+        gen_send = ts.gen.send
+        vf = self.visible_filter
+        observers = self.observers
         while True:
             try:
-                op = gen.send(send_value)
+                op = gen_send(send_value)
             except StopIteration as stop:
                 self._finish_thread(ts, stop.value)
                 return
@@ -370,14 +422,16 @@ class Kernel:
                     f"T{ts.tid} crashed: {type(exc).__name__}: {exc}", original=exc
                 )
                 return
-            if type(op) is not Op:
+            if type(op) is not _OP:
                 raise MisuseError(
                     MisuseKind.NON_OP_YIELD,
                     f"T{ts.tid} yielded {op!r}; thread bodies must yield Op "
                     "records built via the ThreadContext API",
                 )
-            if self._is_visible(op):
-                self._validate_poised(ts, op)
+            k = op.kind
+            if not _FLAGS[k] or vf is None or vf(op):
+                if k is _JOIN or k is _LOCK:
+                    self._validate_poised(ts, op)
                 ts.pending = op
                 return
             # Invisible data access: service it within the current step.
@@ -386,7 +440,8 @@ class Kernel:
             except ConcurrencyBug as bug:
                 self.bug = bug
                 return
-            self._notify_step(ts.tid, op, send_value, visible=False)
+            if observers:
+                self._notify_step(ts.tid, op, send_value, visible=False)
 
     def _validate_poised(self, ts: ThreadState, op: Op) -> None:
         """Reject ops that can provably never execute (eager misuse checks).
@@ -448,21 +503,54 @@ class Kernel:
 
     # -- op execution ----------------------------------------------------------
 
-    def _execute(self, ts: ThreadState, op: Op) -> Tuple[Any, bool]:
+    def _execute(
+        self,
+        ts: ThreadState,
+        op: Op,
+        # Enum members bound as positional defaults (tuple-backed, so
+        # they are filled with a cheap copy per call): the dispatch chain
+        # below runs once per visible step and walks several ``k is X``
+        # tests; locals are much cheaper than global + enum-attribute
+        # loads.  Never pass these.
+        _LOAD=OpKind.LOAD,
+        _STORE=OpKind.STORE,
+        _THREAD_START=OpKind.THREAD_START,
+        _NOOP=OpKind.NOOP,
+        _YIELD=OpKind.YIELD,
+        _LOCK=OpKind.LOCK,
+        _REACQUIRE=OpKind.REACQUIRE,
+        _UNLOCK=OpKind.UNLOCK,
+        _TRYLOCK=OpKind.TRYLOCK,
+        _RMW=OpKind.RMW,
+        _CAS=OpKind.CAS,
+        _AWAIT=OpKind.AWAIT,
+        _SPAWN=OpKind.SPAWN,
+        _SPAWN_MANY=OpKind.SPAWN_MANY,
+        _JOIN=OpKind.JOIN,
+        _COND_WAIT=OpKind.COND_WAIT,
+        _COND_SIGNAL=OpKind.COND_SIGNAL,
+        _COND_BROADCAST=OpKind.COND_BROADCAST,
+        _BARRIER_WAIT=OpKind.BARRIER_WAIT,
+        _SEM_WAIT=OpKind.SEM_WAIT,
+        _SEM_POST=OpKind.SEM_POST,
+        _RW_RDLOCK=OpKind.RW_RDLOCK,
+        _RW_WRLOCK=OpKind.RW_WRLOCK,
+        _RW_UNLOCK=OpKind.RW_UNLOCK,
+    ) -> Tuple[Any, bool]:
         """Execute a visible op.  Returns ``(result, parked)``."""
         k = op.kind
         tid = ts.tid
-        if k is OpKind.LOAD or k is OpKind.STORE:
+        if k is _LOAD or k is _STORE:
             return self._data_access(tid, op), False
-        if k is OpKind.THREAD_START or k is OpKind.NOOP or k is OpKind.YIELD:
+        if k is _THREAD_START or k is _NOOP or k is _YIELD:
             return None, False
-        if k is OpKind.LOCK or k is OpKind.REACQUIRE:
+        if k is _LOCK or k is _REACQUIRE:
             m: Mutex = op.target
             assert m.owner is None
             m.owner = tid
             self.store_version += 1
             return None, False
-        if k is OpKind.UNLOCK:
+        if k is _UNLOCK:
             m = op.target
             if m.owner != tid:
                 raise MisuseError(
@@ -474,28 +562,28 @@ class Kernel:
             m.owner = None
             self.store_version += 1
             return None, False
-        if k is OpKind.TRYLOCK:
+        if k is _TRYLOCK:
             m = op.target
             if m.owner is None:
                 m.owner = tid
                 self.store_version += 1
                 return True, False
             return False, False
-        if k is OpKind.SPAWN:
+        if k is _SPAWN:
             return self.spawn(op.arg, (self.shared,) + tuple(op.arg2)), False
-        if k is OpKind.SPAWN_MANY:
+        if k is _SPAWN_MANY:
             handles = []
             for body, extra in op.arg:
                 handles.append(self.spawn(body, (self.shared,) + tuple(extra)))
                 if self.bug is not None:
                     break
             return tuple(handles), False
-        if k is OpKind.JOIN:
+        if k is _JOIN:
             handle: ThreadHandle = op.target
             assert handle.finished
             handle.joined = True
             return handle.result, False
-        if k is OpKind.COND_WAIT:
+        if k is _COND_WAIT:
             cond: CondVar = op.target
             m = op.arg
             if m.owner != tid:
@@ -513,13 +601,13 @@ class Kernel:
             self._runnable.remove(tid)
             self.store_version += 1
             return None, True
-        if k is OpKind.COND_SIGNAL:
+        if k is _COND_SIGNAL:
             self._wake_waiters(ts.tid, op.target, limit=1)
             return None, False
-        if k is OpKind.COND_BROADCAST:
+        if k is _COND_BROADCAST:
             self._wake_waiters(ts.tid, op.target, limit=None)
             return None, False
-        if k is OpKind.BARRIER_WAIT:
+        if k is _BARRIER_WAIT:
             barrier: Barrier = op.target
             barrier.waiting.append(tid)
             if len(barrier.waiting) >= barrier.parties:
@@ -540,29 +628,29 @@ class Kernel:
             self._runnable.remove(tid)
             self.store_version += 1
             return False, True
-        if k is OpKind.SEM_WAIT:
+        if k is _SEM_WAIT:
             sem: Semaphore = op.target
             assert sem.count > 0
             sem.count -= 1
             self.store_version += 1
             return None, False
-        if k is OpKind.SEM_POST:
+        if k is _SEM_POST:
             op.target.count += 1
             self.store_version += 1
             return None, False
-        if k is OpKind.RW_RDLOCK:
+        if k is _RW_RDLOCK:
             rw: RWLock = op.target
             assert rw.writer is None
             rw.readers.append(tid)
             self.store_version += 1
             return None, False
-        if k is OpKind.RW_WRLOCK:
+        if k is _RW_WRLOCK:
             rw = op.target
             assert rw.writer is None and not rw.readers
             rw.writer = tid
             self.store_version += 1
             return None, False
-        if k is OpKind.RW_UNLOCK:
+        if k is _RW_UNLOCK:
             rw = op.target
             if rw.writer == tid:
                 rw.writer = None
@@ -576,14 +664,14 @@ class Kernel:
                 )
             self.store_version += 1
             return None, False
-        if k is OpKind.RMW:
+        if k is _RMW:
             cell: Atomic = op.target
             old = cell.value
             if op.arg is not None:
                 cell.value = op.arg(old)
                 self.store_version += 1
             return old, False
-        if k is OpKind.CAS:
+        if k is _CAS:
             cell = op.target
             old = cell.value
             if old == op.arg:
@@ -591,21 +679,27 @@ class Kernel:
                 self.store_version += 1
                 return (True, old), False
             return (False, old), False
-        if k is OpKind.AWAIT:
+        if k is _AWAIT:
             value = op.target.value
             assert op.arg(value)
             return value, False
         raise EngineInvariantError(f"unhandled op kind {k!r}")  # pragma: no cover
 
-    def _data_access(self, tid: int, op: Op) -> Any:
-        """Service a plain LOAD/STORE (visible or invisible)."""
+    def _data_access(
+        self, tid: int, op: Op, _LOAD=OpKind.LOAD, _ARRAY=SharedArray
+    ) -> Any:
+        """Service a plain LOAD/STORE (visible or invisible).
+
+        The trailing defaults bind the global lookups as locals; this
+        runs once per data access, visible or not.  Never pass them.
+        """
         target = op.target
-        if op.kind is OpKind.LOAD:
-            if isinstance(target, SharedArray):
+        if op.kind is _LOAD:
+            if isinstance(target, _ARRAY):
                 return target.read(op.arg)
             return target.value
         # STORE
-        if isinstance(target, SharedArray):
+        if isinstance(target, _ARRAY):
             target.write(op.arg, op.arg2)
         else:
             target.value = op.arg

@@ -45,9 +45,11 @@ def round_robin_choice(enabled: Tuple[int, ...], last_tid: int, num_created: int
     """The deterministic scheduler's choice: continue ``last_tid`` if it is
     still enabled, otherwise the next enabled thread in creation order,
     round-robin from ``last_tid``."""
+    if last_tid in enabled:  # non-preemptive: continue the running thread
+        return last_tid
     if not enabled:
         raise ValueError("no enabled threads")
-    for offset in range(num_created):
+    for offset in range(1, num_created):
         tid = (last_tid + offset) % num_created
         if tid in enabled:
             return tid

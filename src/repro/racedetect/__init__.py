@@ -5,7 +5,12 @@ detected racy *sites* become visible operations for every SCT technique.
 """
 
 from .fasttrack import FastTrackDetector, RaceReport, location_of
-from .phase import DEFAULT_DETECTION_RUNS, RaceDetectionReport, detect_races
+from .phase import (
+    DEFAULT_DETECTION_RUNS,
+    RaceDetectionReport,
+    RacySiteFilter,
+    detect_races,
+)
 from .vectorclock import Epoch, VectorClock
 
 __all__ = [
@@ -13,6 +18,7 @@ __all__ = [
     "RaceReport",
     "location_of",
     "RaceDetectionReport",
+    "RacySiteFilter",
     "detect_races",
     "DEFAULT_DETECTION_RUNS",
     "VectorClock",

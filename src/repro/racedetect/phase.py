@@ -28,6 +28,32 @@ from .fasttrack import FastTrackDetector, RaceReport
 DEFAULT_DETECTION_RUNS = 10
 
 
+class RacySiteFilter:
+    """Picklable visible-op predicate: a data access is a scheduling
+    point iff its site participated in a detected race.
+
+    A plain class (rather than a closure) so sharded explorers can ship
+    the filter to pool workers — see :mod:`repro.core.sharding`.
+    """
+
+    __slots__ = ("racy_sites",)
+
+    def __init__(self, racy_sites: frozenset) -> None:
+        self.racy_sites = racy_sites
+
+    def __call__(self, op: Op) -> bool:
+        return op.site in self.racy_sites
+
+    def __getstate__(self):
+        return self.racy_sites
+
+    def __setstate__(self, state) -> None:
+        self.racy_sites = state
+
+    def __repr__(self) -> str:
+        return f"RacySiteFilter({len(self.racy_sites)} sites)"
+
+
 class RaceDetectionReport:
     """Races found across the detection runs, and the derived filter."""
 
@@ -52,14 +78,11 @@ class RaceDetectionReport:
         scheduling point iff its site participated in a detected race.
 
         ``await_value`` ops are synchronisation kinds (always visible), so
-        only LOAD/STORE reach this predicate.
+        only LOAD/STORE reach this predicate.  The returned object is
+        picklable (:class:`RacySiteFilter`) so it survives the trip to
+        sharded pool workers.
         """
-        racy = self.racy_sites
-
-        def is_visible(op: Op) -> bool:
-            return op.site in racy
-
-        return is_visible
+        return RacySiteFilter(self.racy_sites)
 
     def __repr__(self) -> str:
         return (

@@ -41,9 +41,24 @@ from .objects import (
 from .ops import Op, OpKind
 
 
+#: Interning table for site strings, keyed by (code object, line).  Op
+#: construction is the engine's per-step allocation hot path; formatting
+#: the same ``file:line`` string millions of times dominated it.  Interned
+#: strings also make the racy-site filter's ``op.site in racy`` membership
+#: test an identity hit.
+_SITE_CACHE: dict = {}
+
+
 def _caller_site() -> str:
     f = sys._getframe(2)
-    return f"{f.f_code.co_filename.rsplit('/', 1)[-1]}:{f.f_lineno}"
+    key = (f.f_code, f.f_lineno)
+    site = _SITE_CACHE.get(key)
+    if site is None:
+        site = sys.intern(
+            f"{f.f_code.co_filename.rsplit('/', 1)[-1]}:{f.f_lineno}"
+        )
+        _SITE_CACHE[key] = site
+    return site
 
 
 class ThreadHandle:

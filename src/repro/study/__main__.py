@@ -68,6 +68,25 @@ def main(argv=None) -> int:
         help="checkpoint id; re-use to resume an interrupted run",
     )
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes *inside* each cell: systematic techniques "
+             "shard the DFS/frontier subtrees, Rand/PCT shard the "
+             "execution-index range (switching them to the index-seeded "
+             "random stream — part of the fingerprint); 1 = classic "
+             "serial exploration",
+    )
+    parser.add_argument(
+        "--profile-cell", action="store_true", dest="profile_cells",
+        help="dump a per-cell cProfile (<bench>.<technique>.prof + pstats "
+             "text) under --profile-dir; pure telemetry, never part of "
+             "the study fingerprint",
+    )
+    parser.add_argument(
+        "--profile-dir", default="results/profiles",
+        help="directory for --profile-cell dumps (default: "
+             "results/profiles)",
+    )
+    parser.add_argument(
         "--engine-counters", action="store_true",
         help="collect engine-cost counters for the systematic techniques "
              "(report gains an 'Engine cost' section; results unchanged)",
@@ -101,6 +120,9 @@ def main(argv=None) -> int:
         config = StudyConfig(schedule_limit=args.limit)
     config.benchmarks = args.benchmarks
     config.jobs = max(1, args.jobs)
+    config.cell_shards = max(1, args.shards)
+    config.profile_cells = args.profile_cells
+    config.profile_dir = args.profile_dir
     config.engine_counters = args.engine_counters
     config.engine_check = args.engine_check
     config.cell_deadline = args.cell_deadline

@@ -72,6 +72,22 @@ class StudyConfig:
     #: Worker processes for the parallel study runner (``--jobs``).
     #: ``1`` = run cells serially in-process (identical results, no pool).
     jobs: int = 1
+    #: Worker processes *inside* one cell (``--shards``): systematic
+    #: techniques shard the DFS/frontier subtrees, randomised techniques
+    #: shard the execution-index range (see :mod:`repro.core.sharding`).
+    #: ``1`` = classic serial exploration.  Unlike ``jobs`` this *is*
+    #: result-affecting for Rand/PCT (``shards >= 2`` switches them to the
+    #: index-seeded random stream), so it joins the fingerprint whenever
+    #: it is not 1.
+    cell_shards: int = 1
+    #: Dump a per-cell ``cProfile`` (``--profile-cell``) as
+    #: ``<bench>.<technique>.prof`` (binary) plus ``.txt`` (pstats top
+    #: functions) under :attr:`profile_dir`.  Pure telemetry, never
+    #: fingerprinted; under ``cell_shards > 1`` the profile covers the
+    #: parent process only (workers profile nothing).
+    profile_cells: bool = False
+    #: Where per-cell profiles land.
+    profile_dir: str = "results/profiles"
     #: Cooperative per-cell wall-clock deadline in seconds (``None`` = no
     #: deadline).  Checked between visible steps and between executions
     #: (:class:`repro.core.budget.Budget`); an expired cell ends with
@@ -163,6 +179,16 @@ class StudyConfig:
         # journals from before these fields existed remain resumable.
         payload.pop("cell_hard_timeout", None)
         payload.pop("retry_backoff", None)
+        # Profiling is observational.  Sharding only affects results by
+        # flipping Rand/PCT to the index-seeded stream (any shards >= 2
+        # produces identical output), so the fingerprint records the
+        # stream *regime*, not the shard count: resume with a different
+        # ``--shards`` is supported, like ``--jobs``.
+        payload.pop("profile_cells", None)
+        payload.pop("profile_dir", None)
+        payload.pop("cell_shards", None)
+        if self.cell_shards > 1:
+            payload["index_seeded_random"] = True
         if payload.get("cell_deadline") is None:
             payload.pop("cell_deadline", None)
         if not payload.get("faults"):

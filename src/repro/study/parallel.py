@@ -451,6 +451,10 @@ class ParallelStudyRunner:
         cmd = f"python -m repro.study --run-id {self.run_id}"
         if self.jobs > 1:
             cmd += f" --jobs {self.jobs}"
+        if self.config.cell_shards > 1:
+            # Result-affecting for Rand/PCT (index-seeded stream): the
+            # resume must re-state it or the fingerprint check fails.
+            cmd += f" --shards {self.config.cell_shards}"
         if self.checkpoint_dir != DEFAULT_CHECKPOINT_DIR:
             cmd += f" --checkpoint-dir {self.checkpoint_dir}"
         return cmd + "  # plus your original study flags"

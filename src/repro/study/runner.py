@@ -196,7 +196,20 @@ def make_technique_explorers(
     their random streams are uncorrelated (seeding both straight from
     ``rand_seed`` made them draw identical variate sequences, biasing the
     Rand-vs-PCT comparison).
+
+    ``config.cell_shards > 1`` turns on intra-cell sharding
+    (:mod:`repro.core.sharding`) for the techniques that support it
+    (IPB/IDB/DFS/Rand/PCT); the benchmark name doubles as the picklable
+    program source for pool workers.  MapleAlg and DPOR are inherently
+    sequential (each run's schedule depends on every previous run) and
+    always execute serially.
     """
+    shard_kwargs = {}
+    if config.cell_shards > 1 and bench_name:
+        shard_kwargs = {
+            "shards": config.cell_shards,
+            "program_source": ("bench", bench_name),
+        }
 
     def _pct():
         from ..core import PCTExplorer
@@ -206,6 +219,7 @@ def make_technique_explorers(
             seed=config.seed_for("PCT", bench_name),
             visible_filter=visible_filter,
             max_steps=config.max_steps,
+            **shard_kwargs,
         )
 
     def _dpor():
@@ -220,21 +234,25 @@ def make_technique_explorers(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             counters=config.engine_counters,
+            **shard_kwargs,
         ),
         "IDB": lambda: make_idb(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             counters=config.engine_counters,
+            **shard_kwargs,
         ),
         "DFS": lambda: DFSExplorer(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             counters=config.engine_counters,
+            **shard_kwargs,
         ),
         "Rand": lambda: RandomExplorer(
             seed=config.seed_for("Rand", bench_name),
             visible_filter=visible_filter,
             max_steps=config.max_steps,
+            **shard_kwargs,
         ),
         "MapleAlg": lambda: MapleAlgExplorer(
             seed=config.maple_seed, max_steps=config.max_steps
@@ -322,6 +340,44 @@ def _cell_budget(config: StudyConfig) -> Optional[Budget]:
     return Budget(deadline_seconds=config.cell_deadline).start()
 
 
+#: Techniques whose cells honour ``config.cell_shards`` (see
+#: :func:`make_technique_explorers`).
+SHARDABLE_TECHNIQUES = frozenset({"IPB", "IDB", "DFS", "Rand", "PCT"})
+
+#: Techniques whose random stream is derived from a per-cell seed —
+#: journaled per cell so ``--resume``/``--retry-errors`` replays the exact
+#: stream the original attempt used.
+SEEDED_TECHNIQUES = frozenset({"Rand", "PCT"})
+
+
+def _profiled(config: StudyConfig, bench_name: str, technique: str, fn):
+    """Run ``fn`` under ``cProfile`` when ``config.profile_cells`` is set,
+    dumping ``<bench>.<technique>.prof`` + a pstats text summary under
+    ``config.profile_dir``.  Observational only: the cell result is
+    returned unchanged, and the files never join the study fingerprint."""
+    if not config.profile_cells:
+        return fn()
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        os.makedirs(config.profile_dir, exist_ok=True)
+        base = os.path.join(config.profile_dir, f"{bench_name}.{technique}")
+        profiler.dump_stats(base + ".prof")
+        out = io.StringIO()
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(40)
+        with open(base + ".txt", "w") as fh:
+            fh.write(out.getvalue())
+
+
 def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     """Execute one independent (benchmark, technique) work cell.
 
@@ -345,8 +401,13 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     info = get_benchmark(bench_name)
     report = detect_races_cached(info, config)
     budget = _cell_budget(config)
-    stats = _run_technique(
-        info.make(), info, technique, config, _filter_for(report), budget
+    stats = _profiled(
+        config,
+        info.name,
+        technique,
+        lambda: _run_technique(
+            info.make(), info, technique, config, _filter_for(report), budget
+        ),
     )
     if stats.deadline_hit:
         status = taxonomy.TIMEOUT
@@ -356,7 +417,7 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
         status = taxonomy.ABORTED
     else:
         status = taxonomy.OK
-    return {
+    record = {
         "kind": "cell",
         "bench": info.name,
         "bench_id": info.bench_id,
@@ -370,6 +431,19 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
         "stats": stats.to_payload(),
         "error": None,
     }
+    if technique in SEEDED_TECHNIQUES:
+        # The seed this attempt *actually* drew from (retries run under
+        # ``StudyConfig.for_attempt``'s bump, which the base config alone
+        # cannot reveal), plus the stream regime: with ``shards >= 2``
+        # every execution index j draws from
+        # ``derive_shard_seed(seed, j)`` instead of the classic shared
+        # RNG.  Together they pin the exact random stream, so
+        # ``--resume``/``--retry-errors`` replays are auditable.
+        record["seed"] = config.seed_for(technique, bench_name)
+        record["shards"] = (
+            config.cell_shards if technique in SHARDABLE_TECHNIQUES else 1
+        )
+    return record
 
 
 def run_benchmark(
@@ -392,8 +466,14 @@ def run_benchmark(
     stats: Dict[str, ExplorationStats] = {}
     statuses: Dict[str, str] = {}
     for name in config.techniques:
-        st = _run_technique(
-            program, info, name, config, visible_filter, _cell_budget(config)
+        st = _profiled(
+            config,
+            info.name,
+            name,
+            lambda name=name: _run_technique(
+                program, info, name, config, visible_filter,
+                _cell_budget(config),
+            ),
         )
         stats[name] = st
         if st.deadline_hit:
