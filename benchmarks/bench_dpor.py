@@ -1,0 +1,175 @@
+"""DPOR benchmark: execution-count reduction vs the exhaustive searches.
+
+For each subject the script runs four explorations to completion — DFS,
+IPB, DPOR, and iterative BPOR — and gates the partial-order reduction's
+reason for existing: on every exhaustive ``fixed.*`` twin, DPOR must
+execute at least ``--min-reduction`` times fewer program runs than DFS,
+and iterative BPOR at least that many times fewer than IPB, while all
+four agree the subject is bug-free and complete their schedule space.
+
+Subjects are the five exhaustive ``fixed.*`` twins (bug-free, so every
+technique drains its whole space — the shape where reduction is a
+well-defined, deterministic number rather than a race to a bug).
+
+Timing is recorded, never gated.  Results land in ``BENCH_dpor.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_dpor.py
+      [--limit N] [--min-reduction X] [--out BENCH_dpor.json]
+      [--subjects a,b,...]
+
+Exit status is non-zero when any reduction or verdict gate fails — that
+(not timing) is what the CI perf-smoke job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import DFSExplorer, make_ipb
+from repro.core.dpor import DPORExplorer, IterativeBPORExplorer
+from repro.sctbench.fixed import (
+    make_account_fixed,
+    make_counter_fixed,
+    make_ctrace_fixed,
+    make_reorder_fixed,
+    make_stack_fixed,
+)
+
+#: The five exhaustive fixed twins (all complete their schedule space).
+SUBJECTS = {
+    "fixed.account": make_account_fixed,
+    "fixed.counter": make_counter_fixed,
+    "fixed.stack": make_stack_fixed,
+    "fixed.ctrace": make_ctrace_fixed,
+    "fixed.reorder": make_reorder_fixed,
+}
+
+
+def _timed(explorer, program, limit):
+    t0 = time.perf_counter()
+    stats = explorer.explore(program, limit)
+    return stats, time.perf_counter() - t0
+
+
+def run_subject(name: str, factory, limit: int, min_reduction: float) -> dict:
+    dfs, dfs_s = _timed(DFSExplorer(), factory(), limit)
+    ipb, ipb_s = _timed(make_ipb(), factory(), limit)
+    dpor, dpor_s = _timed(DPORExplorer(), factory(), limit)
+    ibpor, ibpor_s = _timed(IterativeBPORExplorer(), factory(), limit)
+
+    failures = []
+    for label, st in (
+        ("DFS", dfs), ("IPB", ipb), ("DPOR", dpor), ("BPOR", ibpor)
+    ):
+        if not st.completed:
+            failures.append(f"{label} did not complete (limit {limit})")
+        if st.found_bug:
+            failures.append(f"{label} found a bug in a fixed twin")
+    dpor_reduction = dfs.executions / max(dpor.executions, 1)
+    bpor_reduction = ipb.executions / max(ibpor.executions, 1)
+    if dpor_reduction < min_reduction:
+        failures.append(
+            f"DPOR reduction vs DFS only {dpor_reduction:.2f}x "
+            f"({dpor.executions} vs {dfs.executions} executions)"
+        )
+    if bpor_reduction < min_reduction:
+        failures.append(
+            f"BPOR reduction vs IPB only {bpor_reduction:.2f}x "
+            f"({ibpor.executions} vs {ipb.executions} executions)"
+        )
+    return {
+        "subject": name,
+        "limit": limit,
+        "executions": {
+            "DFS": dfs.executions,
+            "IPB": ipb.executions,
+            "DPOR": dpor.executions,
+            "BPOR": ibpor.executions,
+        },
+        "schedules": {
+            "DFS": dfs.schedules,
+            "IPB": ipb.schedules,
+            "DPOR": dpor.schedules,
+            "BPOR": ibpor.schedules,
+        },
+        "seconds": {
+            "DFS": round(dfs_s, 4),
+            "IPB": round(ipb_s, 4),
+            "DPOR": round(dpor_s, 4),
+            "BPOR": round(ibpor_s, 4),
+        },
+        "dpor_reduction_vs_dfs": round(dpor_reduction, 3),
+        "bpor_reduction_vs_ipb": round(bpor_reduction, 3),
+        "ok": not failures,
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--limit", type=int, default=50_000,
+        help="schedule limit (must exceed every subject's full space)",
+    )
+    parser.add_argument(
+        "--min-reduction", type=float, default=2.0,
+        help="required executions ratio (DFS/DPOR and IPB/BPOR)",
+    )
+    parser.add_argument("--out", default="BENCH_dpor.json")
+    parser.add_argument(
+        "--subjects", default=",".join(SUBJECTS),
+        help="comma-separated subset of: " + ", ".join(SUBJECTS),
+    )
+    args = parser.parse_args(argv)
+
+    cells = []
+    failures = []
+    for name in args.subjects.split(","):
+        name = name.strip()
+        cell = run_subject(name, SUBJECTS[name], args.limit, args.min_reduction)
+        cells.append(cell)
+        ex = cell["executions"]
+        print(
+            f"{name:16s} execs DFS={ex['DFS']:>6} DPOR={ex['DPOR']:>5} "
+            f"(x{cell['dpor_reduction_vs_dfs']:.1f})  "
+            f"IPB={ex['IPB']:>6} BPOR={ex['BPOR']:>5} "
+            f"(x{cell['bpor_reduction_vs_ipb']:.1f})  "
+            f"{'OK' if cell['ok'] else 'FAIL'}"
+        )
+        failures.extend(f"{name}: {msg}" for msg in cell["failures"])
+
+    payload = {
+        "bench": "dpor",
+        "min_reduction": args.min_reduction,
+        "cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "cells": cells,
+        "summary": {
+            "subjects": len(cells),
+            "all_ok": all(c["ok"] for c in cells),
+            "min_dpor_reduction": min(
+                (c["dpor_reduction_vs_dfs"] for c in cells), default=None
+            ),
+            "min_bpor_reduction": min(
+                (c["bpor_reduction_vs_ipb"] for c in cells), default=None
+            ),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

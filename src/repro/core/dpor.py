@@ -10,6 +10,9 @@ top of our stateless, replay-based engine:
   shared object (same array cell) and do not obviously commute — at least
   one writes, or both are lock-like operations on the same object.
   Independent operations may be swapped without changing the outcome.
+  Keys are built from stable per-kernel :class:`NamingScope` names, not
+  ``id(target)`` — ids can be reused after GC within one process and are
+  meaningless across the process boundary a sharded worker sits behind.
 - **Backtrack sets** (DPOR): when executing an operation, find the most
   recent earlier operation it is dependent on and not already causally
   ordered after (via vector clocks); schedule the current thread for
@@ -17,6 +20,17 @@ top of our stateless, replay-based engine:
 - **Sleep sets**: a sibling choice already explored at a point is put to
   sleep; a sleeping thread is skipped until an executed operation is
   dependent with the sleeper's pending operation.
+- **State cache**: every new choice point fingerprints the full execution
+  state (:func:`~repro.engine.hardening.state_fingerprint`).  When a
+  fully-explored subtree's root state recurs and the cached subtree's
+  aggregate footprint is independent of every step in the current prefix,
+  the revisit is pruned: the behaviours below an identical state are
+  identical, and independence means the pruned subtree could not have
+  registered any backtrack point in the new prefix.  Subtrees that *do*
+  conflict with the prefix are re-explored in full — that keeps the
+  classic unsoundness of naive stateful DPOR out.  The cache is scoped to
+  one top-level branch (cleared whenever the root point retires a choice)
+  so that serial and sharded exploration make identical decisions.
 
 Guarantee (tested with hypothesis against full DFS): DPOR explores a
 subset of the terminal schedules, at least one per Mazurkiewicz trace —
@@ -35,6 +49,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..engine.executor import DEFAULT_MAX_STEPS, execute
+from ..engine.hardening import state_fingerprint
 from ..engine.state import Kernel, VisibleFilter
 from ..engine.strategies import SchedulerStrategy, round_robin_choice
 from ..runtime.objects import SharedArray
@@ -48,6 +63,13 @@ from .explorer import BugReport, ExplorationStats, Explorer
 
 _READS = frozenset({OpKind.LOAD, OpKind.AWAIT})
 _WRITES = frozenset({OpKind.STORE, OpKind.RMW, OpKind.CAS})
+#: Kinds whose ops carry an array-cell index in ``arg`` when the target is
+#: a SharedArray — plain accesses and the atomic RMW/CAS variants alike.
+#: (RMW/CAS used to fall through to the whole-object key, so an atomic
+#: CAS on ``a[0]`` did not intersect a racing STORE's ``(a, 0)`` key and
+#: DPOR could prune the interleaving exposing the race.)
+_PER_CELL = frozenset({OpKind.LOAD, OpKind.STORE, OpKind.RMW, OpKind.CAS})
+_DATA = _READS | _WRITES
 _LOCKLIKE = frozenset(
     {
         OpKind.LOCK,
@@ -70,8 +92,11 @@ _LOCAL = frozenset(
      OpKind.JOIN}
 )
 
+#: Dependency keys are ``(object name, cell index | None)``.
+DepKey = Tuple[str, Any]
 
-def _target_key(op: Op) -> Optional[Tuple[int, Any]]:
+
+def _target_key(op: Op) -> Optional[DepKey]:
     """Identity of the shared object an op touches (None = thread-local)."""
     if op.kind in _LOCAL:
         return None
@@ -81,15 +106,15 @@ def _target_key(op: Op) -> Optional[Tuple[int, Any]]:
         # (the mutex interaction is covered by the implicit release, which
         # we conservatively include by treating cond ops as lock-like on
         # the mutex too via `extra_key`).
-        return (id(target), None)
-    if isinstance(target, SharedArray) and op.kind in (OpKind.LOAD, OpKind.STORE):
-        return (id(target), op.arg)
-    return (id(target), None)
+        return (target.name, None)
+    if isinstance(target, SharedArray) and op.kind in _PER_CELL:
+        return (target.name, op.arg)
+    return (target.name, None)
 
 
-def _extra_key(op: Op) -> Optional[Tuple[int, Any]]:
+def _extra_key(op: Op) -> Optional[DepKey]:
     if op.kind is OpKind.COND_WAIT:
-        return (id(op.arg), None)  # the mutex released/reacquired
+        return (op.arg.name, None)  # the mutex released/reacquired
     return None
 
 
@@ -158,6 +183,11 @@ class _Point:
         "tid",
         "increments",
         "cost_before",
+        "fingerprint",
+        "frozen",
+        "initial_sleep_empty",
+        "agg_reads",
+        "agg_writes",
     )
 
     def __init__(self, enabled: Tuple[int, ...], sleep: Set[int]) -> None:
@@ -168,8 +198,8 @@ class _Point:
         self.sleep: Set[int] = set(sleep)
         self.chosen: Optional[int] = None
         self.op: Optional[Op] = None          # visible op executed here
-        self.reads: Set[Tuple[int, Any]] = set()
-        self.writes: Set[Tuple[int, Any]] = set()
+        self.reads: Set[DepKey] = set()
+        self.writes: Set[DepKey] = set()
         #: True when the step carried no invisible data accesses, i.e. the
         #: visible op alone determines its dependencies.
         self.suffix_clean = True
@@ -181,6 +211,19 @@ class _Point:
         #: bounded variant (Coons et al.'s BPOR combination).
         self.increments: Dict[int, int] = {}
         self.cost_before = 0
+        #: Full-state fingerprint at this point (None = unstable/uncached).
+        self.fingerprint: Optional[Any] = None
+        #: A frozen point never yields further candidates — a sharded
+        #: worker's seeded root, whose siblings belong to other workers.
+        self.frozen = False
+        #: Whether this point was created with an empty inherited sleep
+        #: set; only then is the subtree's coverage self-contained and its
+        #: state-cache entry sound.
+        self.initial_sleep_empty = True
+        #: Aggregate footprint of the whole explored subtree rooted here
+        #: (the value a state-cache entry publishes).
+        self.agg_reads: Set[DepKey] = set()
+        self.agg_writes: Set[DepKey] = set()
 
     def reset_run_state(self) -> None:
         self.op = None
@@ -199,6 +242,8 @@ class _Point:
         the sleep-set argument no longer holds — sleeping candidates are
         only skipped when an awake one exists, and every candidate must be
         affordable within the bound."""
+        if self.frozen:
+            return set()
         base = self.backtrack - self.done
         if bound is not None:
             base = {
@@ -207,6 +252,44 @@ class _Point:
             awake = base - self.sleep
             return awake if awake else base
         return base - self.sleep
+
+    # -- serialization (sharding + frontier resumption) --------------------
+
+    def to_payload(self, *, closed: bool = False, on_path: bool = True) -> Dict[str, Any]:
+        """A picklable snapshot of the scheduling decision state.
+
+        ``closed`` serializes ``done := backtrack`` — an ancestor on the
+        path to a deeper frontier entry, whose *current* candidates were
+        explored (or recorded in their own entries) already; only
+        backtrack points registered later, during resumption, reopen it.
+        Footprints/clocks are not serialized: replaying the recorded
+        ``chosen`` path rebuilds them deterministically.
+        """
+        backtrack = sorted(self.backtrack)
+        return {
+            "enabled": list(self.enabled),
+            "backtrack": backtrack,
+            "done": list(backtrack) if closed else sorted(self.done),
+            "sleep": sorted(self.sleep),
+            "chosen": self.chosen if on_path else None,
+            "increments": dict(self.increments),
+            "cost_before": self.cost_before,
+            "frozen": self.frozen,
+        }
+
+    @classmethod
+    def from_payload(cls, d: Dict[str, Any]) -> "_Point":
+        p = cls(tuple(d["enabled"]), set(d["sleep"]))
+        p.backtrack = set(d["backtrack"])
+        p.done = set(d["done"])
+        p.chosen = d["chosen"]
+        p.increments = dict(d["increments"])
+        p.cost_before = d["cost_before"]
+        p.frozen = bool(d.get("frozen"))
+        # Reconstructed points never seed the state cache: their coverage
+        # context (sleep provenance) is not visible here.
+        p.initial_sleep_empty = False
+        return p
 
 
 def _steps_dependent(a: "_Point", b: "_Point") -> bool:
@@ -222,9 +305,19 @@ def _steps_dependent(a: "_Point", b: "_Point") -> bool:
     return False
 
 
-class _RedundantBranch(Exception):
-    """Raised mid-execution when every enabled thread is asleep: the rest
-    of this branch is covered by an already-explored sibling."""
+class _PrunedBranch(Exception):
+    """Raised mid-execution when the rest of the branch is provably
+    covered; the run is abandoned and counted as a non-schedule."""
+
+
+class _RedundantBranch(_PrunedBranch):
+    """Every enabled thread is asleep: the rest of this branch is covered
+    by an already-explored sibling."""
+
+
+class _CachedState(_PrunedBranch):
+    """The state at a fresh choice point was fully explored before and its
+    subtree is independent of the current prefix."""
 
 
 class _DPORStrategy(SchedulerStrategy):
@@ -300,6 +393,7 @@ class _DPORStrategy(SchedulerStrategy):
                         if pending is not None and not dependent(parent.op, pending):
                             sleep.add(s)
             point = _Point(enabled, sleep)
+            point.initial_sleep_empty = not sleep
             point.increments = {
                 t: (1 if t != last_tid and last_tid in enabled else 0)
                 for t in enabled
@@ -309,6 +403,21 @@ class _DPORStrategy(SchedulerStrategy):
                 point.cost_before = parent.cost_before + parent.increments.get(
                     parent.chosen, 0
                 )
+            if dpor._state_cache is not None and stack:
+                point.fingerprint = state_fingerprint(kernel, enabled)
+                if point.fingerprint is not None:
+                    cached = dpor._state_cache.get(point.fingerprint)
+                    if cached is not None and not dpor._prefix_conflicts(cached):
+                        # Identical state, fully explored before, and its
+                        # subtree touches nothing the current prefix
+                        # touches: the revisit is covered.  Publish the
+                        # cached footprint to the parent so enclosing
+                        # cache entries stay an over-approximation.
+                        parent = stack[-1]
+                        parent.agg_reads |= cached[0]
+                        parent.agg_writes |= cached[1]
+                        dpor.state_cache_hits += 1
+                        raise _CachedState()
             bound = dpor.preemption_bound
             if bound is None:
                 selectable = [t for t in enabled if t not in sleep]
@@ -329,20 +438,29 @@ class _DPORStrategy(SchedulerStrategy):
             point.backtrack.add(tid)
             stack.append(point)
         point.chosen = tid
-        # Record the visible op and seed the footprint with it.
+        # Record the visible op and seed the footprint with it.  All data
+        # kinds participate — including atomic RMW/CAS (and AWAIT reads),
+        # whose visible footprints used to be dropped here, hiding their
+        # conflicts with invisible accesses in other steps.
         op = kernel.threads[tid].pending
         point.op = op
         point.tid = tid
         if op is not None:
             key = _target_key(op)
-            if key is not None and op.kind in (OpKind.LOAD, OpKind.STORE):
+            if key is not None and op.kind in _DATA:
                 (point.writes if op.kind in _WRITES else point.reads).add(key)
         self._current = point
         return tid
 
 
 class DPORExplorer(Explorer):
-    """Depth-first search with dynamic partial-order reduction + sleep sets."""
+    """Depth-first search with dynamic partial-order reduction + sleep sets.
+
+    Honors the common explorer contracts: ``budget`` deadlines surface as
+    partial stats with ``deadline_hit``; contained aborts/livelocks are
+    counted (never raised); runs that produce no terminal schedule are
+    capped at ``limit`` so adversarial programs cannot pin the search.
+    """
 
     technique = "DPOR"
 
@@ -353,8 +471,16 @@ class DPORExplorer(Explorer):
         max_steps: int = DEFAULT_MAX_STEPS,
         stop_at_first_bug: bool = False,
         preemption_bound: Optional[int] = None,
+        state_cache: bool = True,
+        frontier_sink: Optional[List[Dict[str, Any]]] = None,
+        root_payload: Optional[Dict[str, Any]] = None,
+        shards: int = 1,
+        program_source: Any = None,
+        budget: Any = None,
     ) -> None:
         self.visible_filter = visible_filter
+        if budget is not None:
+            self.budget = budget
         self.max_steps = max_steps
         self.stop_at_first_bug = stop_at_first_bug
         #: When set, explore only schedules with at most this many
@@ -366,8 +492,27 @@ class DPORExplorer(Explorer):
         #: Set during explore() when the bound cut off any candidate —
         #: i.e. raising the bound could reach more schedules.
         self.bound_pruned = False
+        #: When bounded and set, every retiring point with backtrack
+        #: candidates the bound cannot afford appends a resumable payload
+        #: here (the BPOR frontier — explored at bound+1 instead of
+        #: restarting from scratch).
+        self.frontier_sink = frontier_sink
+        #: Optional serialized stack prefix to resume/shard from.
+        self.root_payload = root_payload
+        self.shards = shards
+        self.program_source = program_source
+        #: State-cache prunes taken (diagnostic; not part of stats).
+        self.state_cache_hits = 0
+        self._use_state_cache = state_cache and preemption_bound is None
+        self._state_cache: Optional[Dict[Any, Tuple[Set[DepKey], Set[DepKey]]]] = None
         self._stack: List[_Point] = []
         self._thread_clock: Dict[int, Clock] = {}
+        self._abandoned = 0
+        self._run_log: Optional[List[Any]] = None
+        #: The reconstructed points when seeded (kept after they pop, so a
+        #: sharded worker can report backtrack points registered at its
+        #: frozen root).
+        self.seed_points: List[_Point] = []
 
     def _analyse(self, j: int) -> None:
         """Clock + backtrack analysis for the completed step ``j``.
@@ -422,10 +567,76 @@ class DPORExplorer(Explorer):
         point.clock = clock
         self._thread_clock[q] = clock
 
+    # -- state cache ---------------------------------------------------------
+
+    def _prefix_conflicts(self, cached: Tuple[Set[DepKey], Set[DepKey]]) -> bool:
+        """Does the cached subtree's aggregate footprint conflict with any
+        step of the current path?  (Conflict = the pruned subtree might
+        have registered a backtrack point in this prefix: do not prune.)"""
+        creads, cwrites = cached
+        if not creads and not cwrites:
+            return False
+        call = creads | cwrites
+        for prev in self._stack:
+            op = prev.op
+            if op is None:
+                continue
+            preads = prev.reads
+            pwrites = prev.writes
+            key = _target_key(op)
+            if key is not None:
+                if op.kind in _READS:
+                    preads = preads | {key}
+                else:
+                    # Writes and lock-like ops conflict with everything on
+                    # the same key.
+                    pwrites = pwrites | {key}
+                extra = _extra_key(op)
+                if extra is not None:
+                    pwrites = pwrites | {extra}
+            if pwrites & call or preads & cwrites:
+                return True
+        return False
+
+    def _fold_step(self, point: _Point) -> None:
+        """Fold the just-retired choice's step footprint into the point's
+        subtree aggregate (deterministic per (point, chosen): replays of
+        the same choice always carry the same footprint)."""
+        if self._state_cache is None:
+            return
+        op = point.op
+        if op is not None:
+            key = _target_key(op)
+            if key is not None:
+                (point.agg_reads if op.kind in _READS else point.agg_writes).add(key)
+                extra = _extra_key(op)
+                if extra is not None:
+                    point.agg_writes.add(extra)
+        point.agg_reads |= point.reads
+        point.agg_writes |= point.writes
+
+    # -- exploration ----------------------------------------------------------
+
     def explore(self, program: Program, limit: int) -> ExplorationStats:
+        if self.shards > 1 and self.root_payload is None:
+            from .sharding import explore_sharded_dpor
+
+            return explore_sharded_dpor(self, program, limit)
         stats = ExplorationStats(self.technique, program.name, limit)
         self._stack = []
         self.bound_pruned = False
+        self.state_cache_hits = 0
+        self._abandoned = 0
+        self._state_cache = {} if self._use_state_cache else None
+        self.seed_points = []
+        if self.root_payload is not None:
+            self._stack = [
+                _Point.from_payload(d) for d in self.root_payload["points"]
+            ]
+            self.seed_points = list(self._stack)
+            if self._stack[-1].chosen is None and not self._backtrack():
+                stats.completed = True
+                return stats
         while True:
             self._thread_clock = {}
             for p in self._stack:
@@ -439,43 +650,78 @@ class DPORExplorer(Explorer):
                     visible_filter=self.visible_filter,
                     observers=(strategy,),
                     record_enabled=True,
+                    budget=self.budget,
                 )
-            except _RedundantBranch:
+            except _PrunedBranch:
                 result = None  # branch covered by an explored sibling
             else:
-                if self._stack:
+                if self._stack and result.schedule:
                     self._analyse(len(result.schedule) - 1)
-            stats.executions += 1
-            if result is not None:
-                stats.observe_run(result)
-                if result.outcome.is_terminal_schedule:
-                    stats.schedules += 1
-                    stats.observe_leaks(result)
-                    if result.is_buggy:
-                        stats.buggy_schedules += 1
-                        if stats.first_bug is None:
-                            stats.first_bug = BugReport.from_result(
-                                program.name, result, None, stats.schedules
-                            )
-                            if self.stop_at_first_bug:
-                                return stats
-                    if stats.schedules >= limit:
-                        return stats
+            if self._run_log is not None:
+                self._run_log.append(result)
+            if self._absorb(stats, result, program.name, limit):
+                return stats
             if not self._backtrack():
                 stats.completed = True
                 return stats
+
+    def _absorb(
+        self, stats: ExplorationStats, result: Any, program_name: str, limit: int
+    ) -> bool:
+        """Account one run (or pruned branch) into ``stats``; True = stop.
+
+        Shared between the in-process loop and the sharded coordinator,
+        which replays workers' run summaries through the identical logic
+        so merged stats are byte-for-byte what a serial run produces.
+        """
+        stats.executions += 1
+        if result is None:
+            # Pruned branch (sleep set / state cache): cheap and always
+            # retires a candidate, so it needs no abandoned-run cap.
+            return False
+        stats.observe_run(result)
+        if self._budget_spent(stats, result):
+            return True
+        if result.outcome.is_terminal_schedule:
+            stats.schedules += 1
+            stats.observe_leaks(result)
+            if result.is_buggy:
+                stats.buggy_schedules += 1
+                if stats.first_bug is None:
+                    stats.first_bug = BugReport.from_result(
+                        program_name, result, None, stats.schedules
+                    )
+                    if self.stop_at_first_bug:
+                        return True
+            if stats.schedules >= limit:
+                return True
+        else:
+            # Contained abort / livelock / step limit: no schedule was
+            # counted, so ``schedules >= limit`` can never trigger — cap
+            # abandoned runs so adversarial programs cannot pin the search.
+            self._abandoned += 1
+            if self._abandoned >= limit:
+                return True
+        return False
 
     def _backtrack(self) -> bool:
         """Advance to the deepest point with an unexplored backtrack
         candidate; returns False when the search is complete."""
         stack = self._stack
+        bound = self.preemption_bound
         while stack:
             point = stack[-1]
             if point.chosen is not None:
+                self._fold_step(point)
                 point.done.add(point.chosen)
                 point.sleep.add(point.chosen)
                 point.chosen = None
-            bound = self.preemption_bound
+                if len(stack) == 1 and self._state_cache is not None:
+                    # Top-level branch retired: scope the cache to one
+                    # branch so sharded workers (which each own a single
+                    # top-level branch) prune exactly like the serial
+                    # search does.
+                    self._state_cache.clear()
             if bound is not None:
                 base = point.backtrack - point.done
                 affordable = {
@@ -485,13 +731,90 @@ class DPORExplorer(Explorer):
                 }
                 if affordable != base:
                     self.bound_pruned = True
-            candidates = point.candidates(self.preemption_bound)
+            candidates = point.candidates(bound)
             if candidates:
                 point.chosen = min(candidates)
                 point.reset_run_state()
                 return True
+            self._retire_point(point, len(stack) - 1)
             stack.pop()
         return False
+
+    def _retire_point(self, point: _Point, depth: int) -> None:
+        """A point is fully explored (for this bound): fold its aggregate
+        into the parent, emit a frontier entry for bound-pruned
+        candidates, and register its state-cache entry when sound."""
+        stack = self._stack
+        if depth > 0 and self._state_cache is not None:
+            parent = stack[depth - 1]
+            parent.agg_reads |= point.agg_reads
+            parent.agg_writes |= point.agg_writes
+        bound = self.preemption_bound
+        if (
+            bound is not None
+            and self.frontier_sink is not None
+            and not point.frozen
+        ):
+            pruned = [
+                t
+                for t in point.backtrack - point.done
+                if point.cost_before + point.increments.get(t, 1) > bound
+            ]
+            if pruned:
+                self.frontier_sink.append(self._entry_payload(depth))
+        if (
+            self._state_cache is not None
+            and depth > 0
+            and not point.frozen
+            and point.fingerprint is not None
+            and point.initial_sleep_empty
+            and not (point.backtrack - point.done)
+        ):
+            entry = self._state_cache.get(point.fingerprint)
+            if entry is None:
+                self._state_cache[point.fingerprint] = (
+                    set(point.agg_reads),
+                    set(point.agg_writes),
+                )
+            else:
+                entry[0].update(point.agg_reads)
+                entry[1].update(point.agg_writes)
+
+    def _entry_payload(self, depth: int) -> Dict[str, Any]:
+        """Serialize the path to ``stack[depth]`` as a resumable payload.
+
+        Ancestors are closed (their current candidates are accounted for
+        elsewhere — explored, or recorded in their own entries); the tip
+        keeps its live backtrack/done/sleep sets so resumption explores
+        exactly the deferred candidates."""
+        stack = self._stack
+        points = [stack[i].to_payload(closed=True) for i in range(depth)]
+        points.append(stack[depth].to_payload(on_path=False))
+        return {"points": points}
+
+
+def merge_sub_stats(stats: ExplorationStats, sub: ExplorationStats) -> None:
+    """Fold one per-bound/per-entry DPOR sub-exploration into iterative
+    stats (shared by serial and sharded IBPOR drivers)."""
+    stats.executions += sub.executions
+    stats.schedules += sub.schedules
+    stats.new_schedules_at_bound += sub.schedules
+    stats.buggy_schedules += sub.buggy_schedules
+    stats.step_limit_hits += sub.step_limit_hits
+    stats.livelock_hits += sub.livelock_hits
+    stats.max_lasso = max(stats.max_lasso, sub.max_lasso)
+    stats.aborts += sub.aborts
+    for kind, count in sub.abort_kinds.items():
+        stats.abort_kinds[kind] = stats.abort_kinds.get(kind, 0) + count
+    if stats.first_abort is None:
+        stats.first_abort = sub.first_abort
+    for label, count in sub.leaks.items():
+        stats.leaks[label] = stats.leaks.get(label, 0) + count
+    stats.max_enabled = max(stats.max_enabled, sub.max_enabled)
+    stats.max_choice_points = max(stats.max_choice_points, sub.max_choice_points)
+    stats.threads_created = max(stats.threads_created, sub.threads_created)
+    if sub.deadline_hit:
+        stats.deadline_hit = True
 
 
 class IterativeBPORExplorer(Explorer):
@@ -502,9 +825,18 @@ class IterativeBPORExplorer(Explorer):
     Unlike :class:`~repro.core.iterative.IterativeBoundingExplorer`, the
     per-bound searches cannot share distinct-schedule accounting (each
     bound induces different Mazurkiewicz representatives), so
-    ``schedules`` counts every execution across iterations; the per-bound
-    explorer's ``bound_pruned`` flag decides when raising the bound can no
-    longer reach anything new.
+    ``schedules`` counts every execution across iterations.
+
+    With ``resume_frontier`` (default), each bound-pruned backtrack
+    candidate is recorded as a resumable stack payload — the BPOR
+    analogue of the PR 2 frontier machinery — and bound ``c+1`` explores
+    only those deferred subtrees instead of restarting from scratch.  The
+    search is complete when a bound finishes with an empty frontier:
+    every race-reversal obligation the analysis ever registered was
+    either explored or carried forward in an entry, so nothing reachable
+    remains.  ``resume_frontier=False`` keeps the classic restart loop
+    (fresh ``DPORExplorer`` per bound, ``bound_pruned`` as the stop
+    signal).
     """
 
     technique = "IBPOR"
@@ -515,53 +847,92 @@ class IterativeBPORExplorer(Explorer):
         visible_filter: Optional[VisibleFilter] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         max_bound: int = 64,
+        resume_frontier: bool = True,
+        shards: int = 1,
+        program_source: Any = None,
+        budget: Any = None,
     ) -> None:
         self.visible_filter = visible_filter
+        if budget is not None:
+            self.budget = budget
         self.max_steps = max_steps
         self.max_bound = max_bound
+        self.resume_frontier = resume_frontier
+        self.shards = shards
+        self.program_source = program_source
+
+    def _inner(
+        self,
+        bound: int,
+        frontier_sink: Optional[List[Dict[str, Any]]] = None,
+        root_payload: Optional[Dict[str, Any]] = None,
+    ) -> DPORExplorer:
+        inner = DPORExplorer(
+            visible_filter=self.visible_filter,
+            max_steps=self.max_steps,
+            preemption_bound=bound,
+            stop_at_first_bug=True,
+            frontier_sink=frontier_sink,
+            root_payload=root_payload,
+        )
+        inner.budget = self.budget
+        return inner
+
+    def _promote_bug(
+        self, stats: ExplorationStats, sub: ExplorationStats, bound: int
+    ) -> bool:
+        if sub.first_bug is not None and stats.first_bug is None:
+            stats.first_bug = BugReport(
+                sub.first_bug.program_name,
+                sub.first_bug.outcome,
+                sub.first_bug.message,
+                sub.first_bug.schedule,
+                bound,
+                stats.schedules,
+                traceback=sub.first_bug.traceback,
+            )
+            return True
+        return False
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
+        if self.resume_frontier and self.shards > 1:
+            from .sharding import explore_sharded_ibpor
+
+            return explore_sharded_ibpor(self, program, limit)
         stats = ExplorationStats(self.technique, program.name, limit)
+        if not self.resume_frontier:
+            return self._explore_restart(program, limit, stats)
+        frontier: List[Dict[str, Any]] = [None]  # bound 0: one full search
         for bound in range(self.max_bound + 1):
             stats.bound = bound
-            inner = DPORExplorer(
-                visible_filter=self.visible_filter,
-                max_steps=self.max_steps,
-                preemption_bound=bound,
-                stop_at_first_bug=True,
-            )
-            sub = inner.explore(program, max(1, limit - stats.schedules))
-            stats.executions += sub.executions
-            stats.schedules += sub.schedules
-            stats.new_schedules_at_bound = sub.schedules
-            stats.buggy_schedules += sub.buggy_schedules
-            stats.step_limit_hits += sub.step_limit_hits
-            stats.livelock_hits += sub.livelock_hits
-            stats.max_lasso = max(stats.max_lasso, sub.max_lasso)
-            stats.aborts += sub.aborts
-            for kind, count in sub.abort_kinds.items():
-                stats.abort_kinds[kind] = stats.abort_kinds.get(kind, 0) + count
-            if stats.first_abort is None:
-                stats.first_abort = sub.first_abort
-            for label, count in sub.leaks.items():
-                stats.leaks[label] = stats.leaks.get(label, 0) + count
-            stats.max_enabled = max(stats.max_enabled, sub.max_enabled)
-            stats.max_choice_points = max(
-                stats.max_choice_points, sub.max_choice_points
-            )
-            stats.threads_created = max(stats.threads_created, sub.threads_created)
-            if sub.first_bug is not None and stats.first_bug is None:
-                stats.first_bug = BugReport(
-                    sub.first_bug.program_name,
-                    sub.first_bug.outcome,
-                    sub.first_bug.message,
-                    sub.first_bug.schedule,
-                    bound,
-                    stats.schedules,
-                    traceback=sub.first_bug.traceback,
-                )
+            stats.new_schedules_at_bound = 0
+            sink: List[Dict[str, Any]] = []
+            for root in frontier:
+                inner = self._inner(bound, frontier_sink=sink, root_payload=root)
+                sub = inner.explore(program, max(1, limit - stats.schedules))
+                merge_sub_stats(stats, sub)
+                if self._promote_bug(stats, sub, bound):
+                    return stats
+                if stats.deadline_hit or stats.schedules >= limit:
+                    return stats
+            frontier = sink
+            if not frontier:
+                stats.completed = True
                 return stats
-            if stats.schedules >= limit:
+        return stats
+
+    def _explore_restart(
+        self, program: Program, limit: int, stats: ExplorationStats
+    ) -> ExplorationStats:
+        for bound in range(self.max_bound + 1):
+            stats.bound = bound
+            stats.new_schedules_at_bound = 0
+            inner = self._inner(bound)
+            sub = inner.explore(program, max(1, limit - stats.schedules))
+            merge_sub_stats(stats, sub)
+            if self._promote_bug(stats, sub, bound):
+                return stats
+            if stats.deadline_hit or stats.schedules >= limit:
                 return stats
             if sub.completed and not inner.bound_pruned:
                 stats.completed = True

@@ -52,13 +52,12 @@ _WRITE_KINDS = frozenset({OpKind.STORE, OpKind.RMW, OpKind.CAS})
 
 
 def _location_key(op: Op) -> Tuple[str, Any]:
-    index = op.arg if op.kind in (OpKind.LOAD, OpKind.STORE) else None
-    # For SharedVar loads/stores arg is the stored value (or None); only
-    # array accesses carry an integer index in arg with arg2 as the value.
+    # For SharedVar loads/stores arg is the stored value (or None); array
+    # accesses — plain or atomic — carry an integer cell index in arg.
     from ..runtime.objects import SharedArray
 
     if isinstance(op.target, SharedArray):
-        return (op.target.name, index)
+        return (op.target.name, op.arg)
     return (op.target.name, None)
 
 

@@ -38,6 +38,8 @@ from ..runtime.objects import (
     CondVar,
     Mutex,
     RWLock,
+    Semaphore,
+    SharedArray,
     SharedObject,
 )
 
@@ -208,6 +210,77 @@ def _frame_digest(frame, depth: int = 0) -> Any:
             return _UNSTABLE
         items.append((name, sv))
     return tuple(items)
+
+
+# ---------------------------------------------------------------------------
+# Cross-run state fingerprint (DPOR state cache)
+# ---------------------------------------------------------------------------
+
+
+def _object_state(obj: SharedObject) -> Any:
+    """The mutable, behaviour-relevant fields of one shared object."""
+    if isinstance(obj, Mutex):
+        return obj.owner
+    if isinstance(obj, CondVar):
+        return tuple(obj.waiters)
+    if isinstance(obj, Semaphore):
+        return obj.count
+    if isinstance(obj, Barrier):
+        return tuple(obj.waiting)
+    if isinstance(obj, RWLock):
+        return (obj.writer, tuple(obj.readers))
+    if isinstance(obj, SharedArray):
+        return tuple(obj.cells)
+    return obj.value  # SharedVar / Atomic
+
+
+def state_fingerprint(kernel: "Kernel", enabled: Tuple[int, ...]) -> Optional[Any]:
+    """A hashable identity for the *full* execution state, or ``None``.
+
+    Unlike :meth:`LassoDetector._fingerprint` (which brackets a single run
+    and can lean on the monotonic ``store_version``), this digest must be
+    comparable across *different* executions of the same program, so it
+    hashes the actual contents of every named shared object, every live
+    thread's status/poised-op/frame, and the results of finished threads
+    (a joiner may still read them).  Plain-Python shared state (lists,
+    namespaces) is covered by the frame digests — the shared namespace is
+    a local of every thread body.  ``None`` means "cannot be stably
+    fingerprinted"; callers must treat such states as unique.
+    """
+    from .state import ThreadStatus
+
+    shared: List[Any] = []
+    for obj in kernel.naming.objects:
+        sv = _stable_value(_object_state(obj), 1)
+        if sv is _UNSTABLE:
+            return None
+        shared.append((obj.name, sv))
+    parts: List[Any] = [tuple(shared), enabled]
+    for ts in kernel.threads:
+        if ts.status is ThreadStatus.FINISHED:
+            handle = getattr(ts, "handle", None)
+            result = getattr(handle, "result", None) if handle is not None else None
+            sv = _stable_value(result, 1)
+            if sv is _UNSTABLE:
+                return None
+            parts.append(("fin", ts.tid, sv))
+            continue
+        op = ts.pending
+        if op is not None:
+            op_key = (op.kind, op.site, getattr(op.target, "name", None))
+        elif ts.wait_obj is not None:
+            op_key = (
+                "wait",
+                getattr(ts.wait_obj, "name", None),
+                getattr(ts.wait_data, "name", None),
+            )
+        else:
+            return None
+        digest = _frame_digest(ts.gen.gi_frame)
+        if digest is _UNSTABLE:
+            return None
+        parts.append((ts.tid, int(ts.status), op_key, digest))
+    return tuple(parts)
 
 
 class LassoDetector:

@@ -665,14 +665,32 @@ class Kernel:
             self.store_version += 1
             return None, False
         if k is _RMW:
-            cell: Atomic = op.target
+            target = op.target
+            if isinstance(target, SharedArray):
+                # Array variant: arg is the cell index, arg2 the function.
+                old = target.read(op.arg)
+                if op.arg2 is not None:
+                    target.write(op.arg, op.arg2(old))
+                    self.store_version += 1
+                return old, False
+            cell: Atomic = target
             old = cell.value
             if op.arg is not None:
                 cell.value = op.arg(old)
                 self.store_version += 1
             return old, False
         if k is _CAS:
-            cell = op.target
+            target = op.target
+            if isinstance(target, SharedArray):
+                # Array variant: arg is the cell index, arg2 (expected, new).
+                expected, new = op.arg2
+                old = target.read(op.arg)
+                if old == expected:
+                    target.write(op.arg, new)
+                    self.store_version += 1
+                    return (True, old), False
+                return (False, old), False
+            cell = target
             old = cell.value
             if old == op.arg:
                 cell.value = op.arg2

@@ -110,6 +110,14 @@ def location_of(op: Op) -> Location:
     return (op.target.name, None)
 
 
+def _atomic_fence_name(op: Op) -> str:
+    """Fence-clock identity for an RMW/CAS: per cell for array atomics, so
+    atomics on distinct cells of one array do not order each other."""
+    if isinstance(op.target, SharedArray):
+        return f"{op.target.name}[{op.arg}]"
+    return op.target.name
+
+
 class FastTrackDetector(ExecutionObserver):
     """Observe one (or more) executions and collect data races.
 
@@ -163,7 +171,7 @@ class FastTrackDetector(ExecutionObserver):
             return
         if k in _ATOMIC_KINDS:
             vc = self._clock(tid)
-            lvc = self._lock_vc("@atomic:" + op.target.name)
+            lvc = self._lock_vc("@atomic:" + _atomic_fence_name(op))
             vc.join(lvc)
             lvc.join(vc)
             return

@@ -219,6 +219,49 @@ class ThreadContext:
         """Compare-and-swap; yields ``(success, observed)``."""
         return Op(OpKind.CAS, target=cell, arg=expected, arg2=new, site=site or _caller_site())
 
+    # -- atomics on array cells ---------------------------------------------
+    #
+    # Array variants carry the cell index in ``arg`` (like load_elem /
+    # store_elem) and push the RMW function / CAS operands into ``arg2``.
+
+    def atomic_rmw_elem(
+        self,
+        array: SharedArray,
+        index: int,
+        fn: Callable[[Any], Any],
+        site: Optional[str] = None,
+    ) -> Op:
+        """Apply ``fn(old) -> new`` atomically to one cell; yields *old*."""
+        return Op(OpKind.RMW, target=array, arg=index, arg2=fn, site=site or _caller_site())
+
+    def fetch_add_elem(
+        self, array: SharedArray, index: int, delta: Any = 1, site: Optional[str] = None
+    ) -> Op:
+        return Op(
+            OpKind.RMW,
+            target=array,
+            arg=index,
+            arg2=lambda old, _d=delta: old + _d,
+            site=site or _caller_site(),
+        )
+
+    def cas_elem(
+        self,
+        array: SharedArray,
+        index: int,
+        expected: Any,
+        new: Any,
+        site: Optional[str] = None,
+    ) -> Op:
+        """Compare-and-swap one array cell; yields ``(success, observed)``."""
+        return Op(
+            OpKind.CAS,
+            target=array,
+            arg=index,
+            arg2=(expected, new),
+            site=site or _caller_site(),
+        )
+
     # -- passive busy-wait -------------------------------------------------
 
     def await_value(

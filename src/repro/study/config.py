@@ -10,8 +10,10 @@ from typing import Dict, List, Optional
 #: The paper's per-benchmark budget: "a limit of 10,000 terminal schedules".
 PAPER_SCHEDULE_LIMIT = 10_000
 
-#: Techniques in the order the paper's phases run.
-TECHNIQUES = ("IPB", "IDB", "DFS", "Rand", "MapleAlg")
+#: Techniques in the order the paper's phases run, with the partial-order
+#: reduction extensions (DPOR, and its iterative preemption-bounded
+#: combination BPOR) slotted in with the systematic techniques.
+TECHNIQUES = ("IPB", "IDB", "DFS", "DPOR", "BPOR", "Rand", "MapleAlg")
 
 
 def derive_seed(base_seed: int, technique: str, bench_name: str) -> int:

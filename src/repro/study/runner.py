@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import (
@@ -199,10 +200,10 @@ def make_technique_explorers(
 
     ``config.cell_shards > 1`` turns on intra-cell sharding
     (:mod:`repro.core.sharding`) for the techniques that support it
-    (IPB/IDB/DFS/Rand/PCT); the benchmark name doubles as the picklable
-    program source for pool workers.  MapleAlg and DPOR are inherently
+    (IPB/IDB/DFS/DPOR/BPOR/Rand/PCT); the benchmark name doubles as the
+    picklable program source for pool workers.  MapleAlg is inherently
     sequential (each run's schedule depends on every previous run) and
-    always execute serially.
+    always executes serially.
     """
     shard_kwargs = {}
     if config.cell_shards > 1 and bench_name:
@@ -226,8 +227,23 @@ def make_technique_explorers(
         from ..core.dpor import DPORExplorer
 
         return DPORExplorer(
-            visible_filter=visible_filter, max_steps=config.max_steps
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+            **shard_kwargs,
         )
+
+    def _bpor():
+        from ..core.dpor import IterativeBPORExplorer
+
+        explorer = IterativeBPORExplorer(
+            visible_filter=visible_filter,
+            max_steps=config.max_steps,
+            **shard_kwargs,
+        )
+        # Study cells report under the paper-style name "BPOR" rather
+        # than the engine's internal "IBPOR" label.
+        explorer.technique = "BPOR"
+        return explorer
 
     factories = {
         "IPB": lambda: make_ipb(
@@ -259,6 +275,7 @@ def make_technique_explorers(
         ),
         "PCT": _pct,
         "DPOR": _dpor,
+        "BPOR": _bpor,
     }
     wanted = config.techniques if techniques is None else techniques
     return {name: factories[name]() for name in wanted}
@@ -301,6 +318,14 @@ def _run_technique(
 ) -> ExplorationStats:
     """Run one technique on one benchmark — the shared core of the serial
     runner and the parallel work cell."""
+    if config.cell_shards > 1 and technique not in SHARDABLE_TECHNIQUES:
+        warnings.warn(
+            f"{info.name}: technique {technique} does not support "
+            f"intra-cell sharding; cell_shards={config.cell_shards} "
+            "ignored (running serially)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     explorer = make_technique_explorers(
         config, visible_filter, info.name, [technique]
     )[technique]
@@ -342,7 +367,9 @@ def _cell_budget(config: StudyConfig) -> Optional[Budget]:
 
 #: Techniques whose cells honour ``config.cell_shards`` (see
 #: :func:`make_technique_explorers`).
-SHARDABLE_TECHNIQUES = frozenset({"IPB", "IDB", "DFS", "Rand", "PCT"})
+SHARDABLE_TECHNIQUES = frozenset(
+    {"IPB", "IDB", "DFS", "DPOR", "BPOR", "Rand", "PCT"}
+)
 
 #: Techniques whose random stream is derived from a per-cell seed —
 #: journaled per cell so ``--resume``/``--retry-errors`` replays the exact

@@ -81,13 +81,17 @@ def table3(study: StudyResult) -> str:
     """
     header = (
         f"{'id':>2} {'name':<26}|{'thr':>4}{'en':>4}{'pts':>6}|"
-        f"{'IPB':^22}|{'IDB':^22}|{'DFS':^16}|{'Rand':^12}|{'Maple':^10}"
+        f"{'IPB':^22}|{'IDB':^22}|{'DFS':^16}|{'DPOR':^16}|{'BPOR':^22}|"
+        f"{'Rand':^12}|{'Maple':^10}"
     )
     sub = (
         f"{'':>2} {'':<26}|{'':>4}{'':>4}{'':>6}|"
         f"{'bnd':>4}{'1st':>6}{'tot':>6}{'new':>6}|"
         f"{'bnd':>4}{'1st':>6}{'tot':>6}{'new':>6}|"
-        f"{'1st':>6}{'tot':>6}{'bug':>4}|{'1st':>6}{'bug':>6}|{'fnd':>4}{'tot':>6}"
+        f"{'1st':>6}{'tot':>6}{'bug':>4}|"
+        f"{'1st':>6}{'tot':>6}{'bug':>4}|"
+        f"{'bnd':>4}{'1st':>6}{'tot':>6}{'new':>6}|"
+        f"{'1st':>6}{'bug':>6}|{'fnd':>4}{'tot':>6}"
     )
     lines = [header, sub, "-" * len(sub)]
     for r in study:
@@ -95,6 +99,8 @@ def table3(study: StudyResult) -> str:
         ipb = r.stats.get("IPB")
         idb = r.stats.get("IDB")
         dfs = r.stats.get("DFS")
+        dpor = r.stats.get("DPOR")
+        bpor = r.stats.get("BPOR")
         rnd = r.stats.get("Rand")
         mpl = r.stats.get("MapleAlg")
 
@@ -109,12 +115,16 @@ def table3(study: StudyResult) -> str:
                 return f"{bound:>4}{first:>6}{tot:>6}{new:>6}"
             return f"{first:>6}{tot:>6}{st.buggy_schedules:>4}"
 
-        dfs_cols = (
-            f"{(_fmt(dfs.schedules_to_first_bug, limit + 1) if dfs.found_bug else MISS_MARK):>6}"
-            f"{_fmt(dfs.schedules, limit):>6}{dfs.buggy_schedules:>4}"
-            if dfs
-            else " " * 16
-        )
+        def dfs_style_cols(st):
+            if st is None:
+                return " " * 16
+            return (
+                f"{(_fmt(st.schedules_to_first_bug, limit + 1) if st.found_bug else MISS_MARK):>6}"
+                f"{_fmt(st.schedules, limit):>6}{st.buggy_schedules:>4}"
+            )
+
+        dfs_cols = dfs_style_cols(dfs)
+        dpor_cols = dfs_style_cols(dpor)
         rand_cols = (
             f"{(_fmt(rnd.schedules_to_first_bug, limit + 1) if rnd.found_bug else MISS_MARK):>6}"
             f"{rnd.buggy_schedules:>6}"
@@ -131,7 +141,8 @@ def table3(study: StudyResult) -> str:
             f"{(ipb or idb or dfs).threads_created if (ipb or idb or dfs) else 0:>4}"
             f"{(ipb or idb or dfs).max_enabled if (ipb or idb or dfs) else 0:>4}"
             f"{(ipb or idb or dfs).max_choice_points if (ipb or idb or dfs) else 0:>6}|"
-            f"{tech_cols(ipb)}|{tech_cols(idb)}|{dfs_cols}|{rand_cols}|{mpl_cols}"
+            f"{tech_cols(ipb)}|{tech_cols(idb)}|{dfs_cols}|{dpor_cols}|"
+            f"{tech_cols(bpor)}|{rand_cols}|{mpl_cols}"
         )
     return "\n".join(lines)
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import Budget, BudgetExceeded, DFSExplorer, RandomExplorer
 from repro.core.budget import _CLOCK_STRIDE
+from repro.core.dpor import DPORExplorer, IterativeBPORExplorer
 from repro.core.iterative import IterativeBoundingExplorer, make_idb, make_ipb
 from repro.engine import Outcome, RoundRobinStrategy, execute
 
@@ -146,8 +147,10 @@ class TestExplorerDeadline:
             lambda b: make_ipb(budget=b),
             lambda b: make_idb(budget=b),
             lambda b: RandomExplorer(seed=1, budget=b),
+            lambda b: DPORExplorer(budget=b),
+            lambda b: IterativeBPORExplorer(budget=b),
         ],
-        ids=["DFS", "IPB", "IDB", "Rand"],
+        ids=["DFS", "IPB", "IDB", "Rand", "DPOR", "BPOR"],
     )
     def test_partial_stats_on_deadline(self, make):
         budget = ScriptedBudget(after=3).start()

@@ -1,12 +1,16 @@
 """Dynamic partial-order reduction: reduction and soundness vs full DFS."""
 
+import heapq
+from types import SimpleNamespace
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import DFSExplorer
 from repro.core.dpor import DPORExplorer, dependent
-from repro.runtime import Mutex, SharedVar
+from repro.engine import ExecutionObserver, ReplayStrategy, execute
+from repro.runtime import CondVar, Mutex, Program, SharedArray, SharedVar
 from repro.runtime.context import ThreadContext
 
 from .programs import (
@@ -16,7 +20,7 @@ from .programs import (
     safe_counter,
     unsafe_counter,
 )
-from .test_properties import build_program, compact, program_st
+from .test_properties import brute_force, build_program, compact, program_st
 
 
 class TestDependency:
@@ -123,6 +127,272 @@ class TestReduction:
         assert dfs.found_bug
         assert dpor.found_bug
         assert dpor.schedules < dfs.schedules
+
+
+class TestArrayCellDependency:
+    """Regression: atomic RMW/CAS on a :class:`SharedArray` cell must carry
+    the *per-cell* dependency key.  The old relation gave them the
+    whole-object key, which did not intersect a racing STORE's per-cell
+    key — ``dependent()`` returned False and DPOR pruned the buggy
+    interleaving."""
+
+    def setup_method(self):
+        self.ctx = ThreadContext(0)
+        self.arr = SharedArray(2, name="a")
+
+    def test_cas_conflicts_with_store_same_cell(self):
+        cas = self.ctx.cas_elem(self.arr, 0, 0, 1)
+        store = self.ctx.store_elem(self.arr, 0, 9)
+        assert dependent(cas, store)
+        assert dependent(store, cas)
+
+    def test_cas_commutes_with_store_other_cell(self):
+        cas = self.ctx.cas_elem(self.arr, 0, 0, 1)
+        assert not dependent(cas, self.ctx.store_elem(self.arr, 1, 9))
+
+    def test_rmw_conflicts_with_load_same_cell_only(self):
+        rmw = self.ctx.fetch_add_elem(self.arr, 0, 1)
+        assert dependent(rmw, self.ctx.load_elem(self.arr, 0))
+        assert not dependent(rmw, self.ctx.load_elem(self.arr, 1))
+
+    def test_rmw_pairs_on_same_cell_conflict(self):
+        a = self.ctx.fetch_add_elem(self.arr, 1, 1)
+        b = self.ctx.atomic_rmw_elem(self.arr, 1, lambda v: v * 2)
+        assert dependent(a, b)
+
+    def test_dpor_finds_the_array_cas_store_race(self):
+        """A CAS on arr[0] races a plain STORE to arr[0]: the CAS fails
+        only when the store lands first.  Full DFS always finds the
+        failing order; DPOR must too (pre-fix, the CAS/STORE pair was
+        deemed independent and the store-first order was pruned)."""
+
+        def setup():
+            return SimpleNamespace(arr=SharedArray(2, name="arr"))
+
+        def casser(ctx, sh):
+            ok, _old = yield ctx.cas_elem(sh.arr, 0, 0, 1, site="cas")
+            ctx.check(ok, "cas lost the race")
+
+        def storer(ctx, sh):
+            yield ctx.store_elem(sh.arr, 0, 7, site="store")
+
+        def main(ctx, sh):
+            h1 = yield ctx.spawn(casser)
+            h2 = yield ctx.spawn(storer)
+            yield ctx.join(h1)
+            yield ctx.join(h2)
+
+        program = Program("array_cas_race", setup, main)
+        dfs = DFSExplorer().explore(program, 10_000)
+        dpor = DPORExplorer().explore(program, 10_000)
+        assert dfs.completed and dpor.completed
+        assert dfs.found_bug
+        assert dpor.found_bug
+        assert dpor.schedules <= dfs.schedules
+
+
+# --- rich op vocabulary for the trace-coverage property ---------------------
+#
+# Extends test_properties' script language with SharedArray accesses
+# (including cell-level CAS/RMW) and a condvar wait/signal pair, so the
+# dependency relation's per-cell keys and COND_WAIT's mutex interaction
+# (``_extra_key``) are both exercised by the hypothesis suite.
+
+N_CELLS = 2
+
+rich_action_st = st.one_of(
+    st.tuples(st.just("load"), st.integers(0, 1)),
+    st.tuples(st.just("store"), st.integers(0, 1)),
+    st.tuples(st.just("aload"), st.integers(0, N_CELLS - 1)),
+    st.tuples(st.just("astore"), st.integers(0, N_CELLS - 1)),
+    st.tuples(st.just("acas"), st.integers(0, N_CELLS - 1)),
+    st.tuples(st.just("armw"), st.integers(0, N_CELLS - 1)),
+    st.tuples(st.just("lock_unlock"), st.just(0)),
+    st.tuples(st.just("wait"), st.just(0)),
+    st.tuples(st.just("signal"), st.just(0)),
+    st.tuples(st.just("yield"), st.just(0)),
+)
+
+_ACTION_COST = {"wait": 3, "lock_unlock": 2}
+
+rich_program_st = st.lists(
+    st.lists(rich_action_st, min_size=1, max_size=3), min_size=1, max_size=3
+).filter(
+    lambda ts: sum(_ACTION_COST.get(a[0], 1) for t in ts for a in t) <= 6
+)
+
+
+def build_rich_program(threads, name="rich"):
+    def setup():
+        return SimpleNamespace(
+            vars=[SharedVar(0, f"v{i}") for i in range(2)],
+            arr=SharedArray(N_CELLS, name="arr"),
+            m=Mutex("m"),
+            cv=CondVar("cv"),
+        )
+
+    def worker(ctx, sh, script, wid):
+        for j, (kind, idx) in enumerate(script):
+            site = f"w{wid}:{j}:{kind}{idx}"
+            if kind == "load":
+                yield ctx.load(sh.vars[idx], site=site)
+            elif kind == "store":
+                yield ctx.store(sh.vars[idx], wid * 100 + j, site=site)
+            elif kind == "aload":
+                yield ctx.load_elem(sh.arr, idx, site=site)
+            elif kind == "astore":
+                yield ctx.store_elem(sh.arr, idx, wid * 100 + j, site=site)
+            elif kind == "acas":
+                yield ctx.cas_elem(sh.arr, idx, 0, wid + 1, site=site)
+            elif kind == "armw":
+                yield ctx.fetch_add_elem(sh.arr, idx, 1, site=site)
+            elif kind == "lock_unlock":
+                yield ctx.lock(sh.m, site=site + ":l")
+                yield ctx.unlock(sh.m, site=site + ":u")
+            elif kind == "wait":
+                yield ctx.lock(sh.m, site=site + ":l")
+                yield ctx.cond_wait(sh.cv, sh.m, site=site + ":w")
+                yield ctx.unlock(sh.m, site=site + ":u")
+            elif kind == "signal":
+                yield ctx.cond_signal(sh.cv, site=site)
+            elif kind == "yield":
+                yield ctx.sched_yield(site=site)
+
+    def main(ctx, sh):
+        handles = []
+        for wid, script in enumerate(threads):
+            handles.append((yield ctx.spawn(worker, script, wid)))
+        for h in handles:
+            yield ctx.join(h)
+
+    return Program(name, setup, main)
+
+
+class _OpTrace(ExecutionObserver):
+    """Records the (tid, op) sequence of one execution."""
+
+    def __init__(self):
+        self.steps = []
+
+    def on_step(self, tid, op, result, visible):
+        self.steps.append((tid, op))
+
+
+def _trace_steps(program, schedule):
+    obs = _OpTrace()
+    execute(
+        program,
+        ReplayStrategy(list(schedule), strict=True),
+        observers=(obs,),
+        record_enabled=False,
+    )
+    return obs.steps
+
+
+def _canon_trace(steps):
+    """Canonical word of the Mazurkiewicz trace.
+
+    Identifies each step by (tid, per-thread occurrence index) — the
+    scripts are straight-line, so that names the op uniquely — builds the
+    dependence DAG (program order plus every ``dependent`` pair, oriented
+    by observed order), and emits the lexicographically-least topological
+    linearisation.  Equivalent schedules induce the same DAG (dependent
+    pairs keep their order under commutation of independent ops), so they
+    canonicalise identically; inequivalent ones flip at least one
+    dependence edge and differ.  Greedy adjacent-swap bubbling is *not*
+    enough here: it has multiple fixpoints per class (an op can be unable
+    to pass a smaller-tid independent neighbour)."""
+    counters = {}
+    nodes = []
+    for tid, op in steps:
+        k = counters.get(tid, 0)
+        counters[tid] = k + 1
+        nodes.append((tid, k, op))
+    n = len(nodes)
+    succs = [[] for _ in range(n)]
+    preds = [0] * n
+    for i in range(n):
+        ti, _, oi = nodes[i]
+        for j in range(i + 1, n):
+            tj, _, oj = nodes[j]
+            if ti == tj or dependent(oi, oj):
+                succs[i].append(j)
+                preds[j] += 1
+    ready = [(t, k, i) for i, (t, k, _) in enumerate(nodes) if not preds[i]]
+    heapq.heapify(ready)
+    out = []
+    while ready:
+        t, k, i = heapq.heappop(ready)
+        out.append((t, k))
+        for j in succs[i]:
+            preds[j] -= 1
+            if not preds[j]:
+                tj, kj, _ = nodes[j]
+                heapq.heappush(ready, (tj, kj, j))
+    return tuple(out)
+
+
+class TestTraceCoverageProperty:
+    @given(threads=rich_program_st)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dpor_keeps_one_representative_per_trace(self, threads):
+        """DPOR's terminal schedules are a subset of DFS's, with at least
+        one representative per Mazurkiewicz equivalence class.  The state
+        cache is off: a cache hit legitimately skips re-counting a
+        revisited class, which is sound for bug-finding but breaks the
+        per-class-representative accounting this test checks."""
+        program = build_rich_program(threads)
+        brute = [
+            r for r in brute_force(program) if r.outcome.is_terminal_schedule
+        ]
+        dfs_scheds = {tuple(r.schedule) for r in brute}
+        log = []
+        dpor = DPORExplorer(state_cache=False)
+        dpor._run_log = log
+        stats = dpor.explore(program, 50_000)
+        assert stats.completed
+        dpor_scheds = {
+            tuple(r.schedule)
+            for r in log
+            if r is not None and r.outcome.is_terminal_schedule
+        }
+        assert dpor_scheds <= dfs_scheds
+        canon_dfs = {_canon_trace(_trace_steps(program, s)) for s in dfs_scheds}
+        canon_dpor = {_canon_trace(_trace_steps(program, s)) for s in dpor_scheds}
+        assert canon_dpor == canon_dfs
+
+    @given(threads=rich_program_st)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_state_cache_preserves_the_verdict(self, threads):
+        """The fingerprint cache may prune revisited subtrees (fewer
+        counted schedules) but never changes completion or bug-finding."""
+        program = build_rich_program(threads)
+        on = DPORExplorer().explore(program, 50_000)
+        off = DPORExplorer(state_cache=False).explore(program, 50_000)
+        assert on.completed and off.completed
+        assert on.found_bug == off.found_bug
+        assert on.schedules <= off.schedules
+
+    @given(threads=rich_program_st)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rich_vocabulary_agrees_with_dfs_on_bugs(self, threads):
+        program = build_rich_program(threads)
+        dfs = DFSExplorer().explore(program, 50_000)
+        dpor = DPORExplorer().explore(program, 50_000)
+        assert dfs.completed and dpor.completed
+        assert dpor.found_bug == dfs.found_bug
 
 
 class TestSoundnessProperty:

@@ -5,7 +5,8 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.core import DFSExplorer, RandomExplorer
+from repro.core import Budget, DFSExplorer, RandomExplorer
+from repro.core.dpor import DPORExplorer
 from repro.engine import (
     CallbackStrategy,
     Outcome,
@@ -39,6 +40,7 @@ ABORTERS = sorted(
 EXPLORERS = {
     "DFS": lambda: DFSExplorer(max_steps=300),
     "Rand": lambda: RandomExplorer(seed=7, max_steps=300),
+    "DPOR": lambda: DPORExplorer(max_steps=300),
 }
 
 
@@ -226,6 +228,24 @@ class TestSelfCheckMode:
                 Outcome.STEP_LIMIT,
                 Outcome.DEADLOCK,
             ), (info.name, result.outcome)
+
+    def test_dpor_survives_adversarial_corpus_under_check_mode(self):
+        """DPOR explores every adversarial program under the paranoid
+        self-checks with a live budget: aborts are contained and counted,
+        nothing escapes as an exception, and the budget keeps the always-
+        aborting subjects from spinning."""
+        set_engine_check(True)
+        for info in ADVERSARIAL:
+            stats = DPORExplorer(
+                max_steps=150,
+                budget=Budget(deadline_seconds=60.0).start(),
+            ).explore(info.factory(), 10)
+            assert stats.executions > 0, info.name
+            sig = EXPECTED[info.name]
+            if sig.startswith("abort:"):
+                assert stats.aborts > 0, info.name
+                assert stats.abort_kinds.get(sig.split(":", 1)[1], 0) > 0
+                assert not stats.found_bug, info.name
 
 
 class TestRegistry:

@@ -48,7 +48,9 @@ class TestRunner:
 
     def test_every_technique_present(self, small_study):
         for r in small_study:
-            assert set(r.stats) == {"IPB", "IDB", "DFS", "Rand", "MapleAlg"}
+            assert set(r.stats) == {
+                "IPB", "IDB", "DFS", "DPOR", "BPOR", "Rand", "MapleAlg",
+            }
 
     def test_easy_bugs_found_by_bounding(self, small_study):
         for name in SMALL_SET:
@@ -84,6 +86,33 @@ class TestRunner:
         assert set(result.stats) == {"IDB", "PCT", "DPOR"}
         assert result.stats["DPOR"].found_bug
         assert result.stats["PCT"].technique == "PCT"
+
+    def test_bpor_cell_reports_study_label(self):
+        config = quick_config(limit=100)
+        config.techniques = ["BPOR"]
+        result = run_benchmark(get("CS.lazy01_bad"), config)
+        assert result.stats["BPOR"].technique == "BPOR"
+        assert result.stats["BPOR"].found_bug
+
+    def test_non_shardable_technique_warns_per_cell(self):
+        from repro.study.runner import run_cell
+
+        config = quick_config(limit=20)
+        config.cell_shards = 2
+        with pytest.warns(RuntimeWarning, match="MapleAlg"):
+            run_cell("CS.lazy01_bad", "MapleAlg", config)
+
+    def test_shardable_technique_does_not_warn(self):
+        import warnings
+
+        from repro.study.runner import run_cell
+
+        config = quick_config(limit=50)
+        config.cell_shards = 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            record = run_cell("CS.lazy01_bad", "DPOR", config)
+        assert record["status"] == "bug"
 
 
 class TestTables:
