@@ -1,12 +1,13 @@
-"""Search-overhead benchmark: restart-per-bound vs frontier resumption.
+"""Search-overhead benchmark: replay elimination across three layers.
 
-For each subject the script runs iterative bounding twice — the classic
-restart backend (``resume_frontier=False``) and the frontier-resuming
-backend (default) — asserts their ``as_dict()`` stats are byte-identical,
-and records executions, visible steps, replayed steps, saved executions
-and wall-clock for both.  Results land in ``BENCH_search.json``.
+Three sections, all landing in ``BENCH_search.json``:
 
-Subjects are chosen so both regimes show up:
+**frontier** — restart-per-bound vs frontier resumption.  For each
+subject the script runs iterative bounding twice — the classic restart
+backend (``resume_frontier=False``) and the frontier-resuming backend
+(default) — asserts their ``as_dict()`` stats are byte-identical, and
+records executions, visible steps, replayed steps, saved executions and
+wall-clock for both.  Subjects are chosen so both regimes show up:
 
 - the *exhaustive* group (fixed twins of sctbench programs — bug-free, so
   iterative bounding drains the whole space through final bounds 3-8):
@@ -16,13 +17,31 @@ Subjects are chosen so both regimes show up:
   bound 2, the final bound dominates, and the saving is structurally small
   — recorded to keep the report honest, not subject to the 2x floor.
 
+**snapshots** — end-to-end wall clock of fork-based COW prefix snapshots
+(``snapshots=True``, :mod:`repro.engine.snapshot`) on the deep-prelude
+account twin, whose schedule tree hangs below a ~768-step single-threaded
+warm-up with real per-step computation.  Exhaustive DFS re-walks that
+prefix once per schedule; snapshots resume forked live images instead and
+must cut wall-clock by >= 2x with byte-identical stats (enforced unless
+``--no-check``).  The IPB row is recorded *without* a floor: iterative
+bounding re-roots each frontier subtree from step 0, so snapshots only
+eliminate intra-subtree replay there (~1.1x — honest, architectural).
+
+**vclock** — the batched (SWAR-packed big-int)
+:class:`~repro.racedetect.vectorclock.VectorClock` vs the sparse
+``DictVectorClock`` reference on a FastTrack-shaped operation mix
+(tick, release copy, lock/acquire joins, epoch check) at 8 and 32
+threads.  Identical final clock states required; floors: within noise of
+the dict at 8 threads (>= 0.7x), clearly ahead at 32 (>= 1.2x) — the
+batching win grows with thread count.
+
 Run:  PYTHONPATH=src python benchmarks/bench_search_overhead.py
       [--limit N] [--out BENCH_search.json] [--subjects a,b,...]
-      [--techniques IPB,IDB] [--no-check]
+      [--techniques IPB,IDB] [--sections frontier,snapshots,vclock]
+      [--no-check]
 
-Exit status is non-zero when equivalence fails, when a frontier run
-executes more than its restart twin, or when an exhaustive subject misses
-the 2x floor.
+Exit status is non-zero when any equivalence check fails or a gated
+section misses its floor.
 """
 
 from __future__ import annotations
@@ -32,12 +51,15 @@ import json
 import sys
 import time
 
-from repro.core import make_idb, make_ipb
+from repro.core import DFSExplorer, make_idb, make_ipb
+from repro.engine import snapshot as snapshot_mod
+from repro.racedetect.vectorclock import DictVectorClock, VectorClock
 from repro.sctbench import get as get_benchmark
 from repro.sctbench.fixed import (
     make_account_fixed,
     make_counter_fixed,
     make_ctrace_fixed,
+    make_prelude_fixed,
     make_reorder_fixed,
     make_stack_fixed,
 )
@@ -86,6 +108,85 @@ def run_cell(name: str, factory, technique: str, limit: int) -> dict:
     }
 
 
+#: Snapshot end-to-end subjects: (technique, gated?).  DFS is the headline
+#: (one tree — snapshots eliminate *all* prefix replay); IPB is the honest
+#: control (frontier subtrees re-root from step 0, so the win is small).
+SNAPSHOT_TECHNIQUES = (("DFS", True), ("IPB", False))
+
+
+def run_snapshot_cell(technique: str, gated: bool, limit: int) -> dict:
+    """Serial vs ``snapshots=True`` wall clock on the deep-prelude twin."""
+    factory = make_prelude_fixed
+    makers = {
+        "DFS": lambda **kw: DFSExplorer(max_steps=4000, counters=True, **kw),
+        "IPB": lambda **kw: make_ipb(max_steps=4000, counters=True, **kw),
+    }
+    make = makers[technique]
+    t0 = time.perf_counter()
+    serial = make().explore(factory(), limit)
+    t1 = time.perf_counter()
+    snapped = make(snapshots=True).explore(factory(), limit)
+    t2 = time.perf_counter()
+    serial_s, snap_s = t1 - t0, t2 - t1
+    return {
+        "subject": "fixed.prelude",
+        "technique": technique,
+        "limit": limit,
+        "gated": gated,
+        "stats_identical": serial.as_dict() == snapped.as_dict(),
+        "schedules": snapped.schedules,
+        "completed": snapped.completed,
+        "serial": {
+            "seconds": round(serial_s, 4),
+            "counters": serial.counters.to_payload(),
+        },
+        "snapshots": {
+            "seconds": round(snap_s, 4),
+            "counters": snapped.counters.to_payload(),
+        },
+        "wall_clock_ratio": round(serial_s / max(1e-9, snap_s), 3),
+    }
+
+
+def _vclock_workload(clock_cls, threads: int, iters: int = 40_000) -> tuple:
+    """A FastTrack-shaped hot loop: per iteration one thread ticks,
+    releases a lock (clock copy + join into the lock clock), the next
+    thread acquires (join), and runs the epoch fast-path check — the
+    detector's per-step op mix, minus the executor around it."""
+    tclocks = [clock_cls({t: 1}) for t in range(threads)]
+    lock = clock_cls()
+    t0 = time.perf_counter()
+    for i in range(iters):
+        t = i % threads
+        vc = tclocks[t]
+        vc.tick(t)
+        lock.join(vc)
+        released = vc.copy()
+        nxt = tclocks[(t + 1) % threads]
+        nxt.join(released)
+        nxt.covers_epoch(vc.epoch(t))
+    seconds = time.perf_counter() - t0
+    state = [dict(c.items()) for c in tclocks] + [dict(lock.items())]
+    return seconds, state
+
+
+def run_vclock_cell() -> dict:
+    """Packed big-int clock vs the dict reference on the FastTrack mix."""
+    cell: dict = {"workload": "fasttrack-mix", "threads": {}}
+    identical = True
+    for threads in (8, 32):
+        dict_s, dict_state = _vclock_workload(DictVectorClock, threads)
+        packed_s, packed_state = _vclock_workload(VectorClock, threads)
+        identical = identical and dict_state == packed_state
+        cell["threads"][str(threads)] = {
+            "dict_seconds": round(dict_s, 4),
+            "packed_seconds": round(packed_s, 4),
+            "speedup": round(dict_s / max(1e-9, packed_s), 3),
+        }
+    cell["states_identical"] = identical
+    return cell
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--limit", type=int, default=20_000)
@@ -96,14 +197,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--techniques", default="IPB,IDB")
     parser.add_argument(
+        "--sections", default="frontier,snapshots,vclock",
+        help="comma-separated subset of: frontier, snapshots, vclock",
+    )
+    parser.add_argument(
         "--no-check", action="store_true",
-        help="record results without enforcing the 2x floor",
+        help="record results without enforcing the floors",
     )
     args = parser.parse_args(argv)
+    sections = {s.strip() for s in args.sections.split(",") if s.strip()}
 
     cells = []
     failures = []
-    for name in args.subjects.split(","):
+    subjects = args.subjects.split(",") if "frontier" in sections else []
+    for name in subjects:
         factory, exhaustive = SUBJECTS[name.strip()]
         for technique in args.techniques.split(","):
             cell = run_cell(name.strip(), factory, technique.strip(), args.limit)
@@ -126,16 +233,69 @@ def main(argv=None) -> int:
             if exhaustive and not args.no_check and ratio < 2.0:
                 failures.append(f"{tag}: execution ratio {ratio:.2f} < 2.0")
 
+    snapshot_cells = []
+    if "snapshots" in sections:
+        if snapshot_mod.fork_available():
+            for technique, gated in SNAPSHOT_TECHNIQUES:
+                cell = run_snapshot_cell(technique, gated, args.limit)
+                snapshot_cells.append(cell)
+                tag = f"{cell['subject']} {technique} snapshots"
+                print(
+                    f"{tag:32s} schedules={cell['schedules']:>5} "
+                    f"wall {cell['serial']['seconds']:>7.3f}s -> "
+                    f"{cell['snapshots']['seconds']:>7.3f}s "
+                    f"(x{cell['wall_clock_ratio']:.2f})"
+                )
+                if not cell["stats_identical"]:
+                    failures.append(f"{tag}: as_dict() diverged")
+                if gated and not args.no_check and cell["wall_clock_ratio"] < 2.0:
+                    failures.append(
+                        f"{tag}: wall-clock ratio "
+                        f"{cell['wall_clock_ratio']:.2f} < 2.0"
+                    )
+        else:
+            print("snapshots: os.fork unavailable, section skipped")
+
+    vclock = None
+    if "vclock" in sections:
+        vclock = run_vclock_cell()
+        for threads, row in vclock["threads"].items():
+            print(
+                f"{'vclock fasttrack-mix T=' + threads:32s} "
+                f"wall {row['dict_seconds']:>7.3f}s -> "
+                f"{row['packed_seconds']:>7.3f}s (x{row['speedup']:.2f})"
+            )
+        if not vclock["states_identical"]:
+            failures.append("vclock: clock states diverged between backends")
+        if not args.no_check:
+            floors = {"8": 0.7, "32": 1.2}
+            for threads, floor in floors.items():
+                speedup = vclock["threads"][threads]["speedup"]
+                if speedup < floor:
+                    failures.append(
+                        f"vclock T={threads}: x{speedup:.2f} < {floor}"
+                    )
+
     exhaustive_ratios = [c["execution_ratio"] for c in cells if c["exhaustive"]]
+    gated_snapshot_ratios = [
+        c["wall_clock_ratio"] for c in snapshot_cells if c["gated"]
+    ]
     payload = {
         "bench": "search_overhead",
         "limit": args.limit,
         "cells": cells,
+        "snapshot_cells": snapshot_cells,
+        "vector_clock": vclock,
         "summary": {
             "subjects": len({c["subject"] for c in cells}),
-            "all_stats_identical": all(c["stats_identical"] for c in cells),
+            "all_stats_identical": all(c["stats_identical"] for c in cells)
+            and all(c["stats_identical"] for c in snapshot_cells),
             "min_exhaustive_ratio": min(exhaustive_ratios, default=None),
             "max_exhaustive_ratio": max(exhaustive_ratios, default=None),
+            "min_gated_snapshot_ratio": min(gated_snapshot_ratios, default=None),
+            "vclock_speedups": None if vclock is None else {
+                t: row["speedup"] for t, row in vclock["threads"].items()
+            },
         },
     }
     with open(args.out, "w") as fh:

@@ -19,6 +19,12 @@ This is the CI ``chaos-smoke`` job; run it locally with::
 
     REPRO_ENGINE_CHECK=1 PYTHONPATH=src python scripts/chaos_smoke.py
 
+With ``--snapshots`` the systematic techniques additionally run under
+fork-based COW prefix snapshots (:mod:`repro.engine.snapshot`) with the
+fork threshold forced low, so every adversarial cell exercises holder
+forking, the woken-child containment paths, and (with
+``REPRO_ENGINE_CHECK=1``) the post-restore shared-state audit.
+
 Exit status 0 means the engine shrugged off the whole corpus; any
 violation prints the (program, technique) cell and exits 1.
 """
@@ -43,10 +49,20 @@ from repro.sctbench.adversarial import EXPECTED
 MAX_STEPS = 400
 LIMIT = 30
 
+SNAPSHOTS = "--snapshots" in sys.argv[1:]
+if SNAPSHOTS:
+    # Force forking on the short adversarial programs so every cell
+    # actually exercises the snapshot holder/containment machinery.
+    import repro.engine.snapshot as _snapshot_mod
+
+    _snapshot_mod.DEFAULT_MIN_FORK_STEPS = 1
+
+_SNAP = {"snapshots": True} if SNAPSHOTS else {}
+
 EXPLORERS = {
-    "IPB": lambda: make_ipb(max_steps=MAX_STEPS),
-    "IDB": lambda: make_idb(max_steps=MAX_STEPS),
-    "DFS": lambda: DFSExplorer(max_steps=MAX_STEPS),
+    "IPB": lambda: make_ipb(max_steps=MAX_STEPS, **_SNAP),
+    "IDB": lambda: make_idb(max_steps=MAX_STEPS, **_SNAP),
+    "DFS": lambda: DFSExplorer(max_steps=MAX_STEPS, **_SNAP),
     "Rand": lambda: RandomExplorer(seed=3, max_steps=MAX_STEPS),
     "MapleAlg": lambda: MapleAlgExplorer(seed=3, max_steps=MAX_STEPS),
 }

@@ -174,6 +174,37 @@ class Budget:
         if self.expired:
             raise BudgetExceeded(self._reason or "budget exceeded")
 
+    # -- fork transfer -----------------------------------------------------
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock allowance left (``None`` = no deadline; 0 floor)."""
+        if self.deadline_seconds is None:
+            return None
+        if self._t0 is None:
+            return self.deadline_seconds
+        return max(0.0, self.deadline_seconds - (self._clock() - self._t0))
+
+    def fork_reanchor(self) -> None:
+        """Re-anchor the deadline in a freshly-forked child.
+
+        A forked snapshot worker inherits this object's state by memory
+        image, including ``_t0`` — an anchor read on the *parent's* clock.
+        ``time.monotonic`` happens to be process-agnostic on the platforms
+        that have ``os.fork``, but an injected clock need not be, and a
+        child must never widen its allowance either way.  Call this in the
+        child immediately after the fork: the remaining allowance is
+        computed once against the inherited anchor, the deadline rebased to
+        it, and the anchor reset so the first poll re-reads the child's own
+        clock.  ``_tick_gas`` is zeroed so a nearly-expired deadline is
+        noticed on the very next step tick rather than up to
+        ``_CLOCK_STRIDE`` steps late.  Work ceilings transfer as inherited
+        counts (the child's allowance is what the parent had left).
+        """
+        if self.deadline_seconds is not None:
+            self.deadline_seconds = self.remaining_seconds()
+            self._t0 = None
+        self._tick_gas = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = []
         if self.deadline_seconds is not None:

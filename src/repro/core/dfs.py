@@ -374,6 +374,17 @@ class _DFSStrategy(SchedulerStrategy):
                 parent_link,
             )
         )
+        hook = dfs._fork_hook
+        if hook is not None and len(candidates) > 1:
+            # Snapshot capture (engine/snapshot.py): if the point is deep
+            # enough, the current process forks one parked holder owning
+            # every untried sibling and truncates the point to its default
+            # candidate; a freshly-woken holder instead retargets it at
+            # *its* first sibling.  Either way the point's selection after
+            # the hook is what this run executes.
+            hook(stack[-1], step_index, kernel)
+            cp = stack[-1]
+            return cp.candidates[cp.idx]
         return candidates[0]
 
 
@@ -436,6 +447,12 @@ class BoundedDFS:
         self._pruned_this_run = False
         self._exhausted = False
         self._frontier = frontier
+        #: Optional snapshot-capture hook ``(choice_point, step_index,
+        #: kernel) -> None``, armed by engine/snapshot.py while its runner
+        #: drives this search (in the parent and in every forked holder);
+        #: called right after a *new* multi-candidate choice point is
+        #: pushed, on any run.
+        self._fork_hook = None
         self._order_cache: OrderCache = order_cache if order_cache is not None else {}
         if root is not None:
             self._root_schedule = list(root.schedule)

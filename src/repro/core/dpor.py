@@ -477,6 +477,7 @@ class DPORExplorer(Explorer):
         shards: int = 1,
         program_source: Any = None,
         budget: Any = None,
+        snapshots: bool = False,
     ) -> None:
         self.visible_filter = visible_filter
         if budget is not None:
@@ -501,6 +502,11 @@ class DPORExplorer(Explorer):
         self.root_payload = root_payload
         self.shards = shards
         self.program_source = program_source
+        #: Opt-in fork dispatch for the branch farm (engine/snapshot.py):
+        #: branch workers fork off the live process image instead of
+        #: re-importing a picklable source, so the root prefix and program
+        #: setup transfer by COW.  Falls back to pool/inline without fork.
+        self.snapshots = snapshots
         #: State-cache prunes taken (diagnostic; not part of stats).
         self.state_cache_hits = 0
         self._use_state_cache = state_cache and preemption_bound is None
@@ -618,7 +624,7 @@ class DPORExplorer(Explorer):
     # -- exploration ----------------------------------------------------------
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
-        if self.shards > 1 and self.root_payload is None:
+        if (self.shards > 1 or self.snapshots) and self.root_payload is None:
             from .sharding import explore_sharded_dpor
 
             return explore_sharded_dpor(self, program, limit)
@@ -851,6 +857,7 @@ class IterativeBPORExplorer(Explorer):
         shards: int = 1,
         program_source: Any = None,
         budget: Any = None,
+        snapshots: bool = False,
     ) -> None:
         self.visible_filter = visible_filter
         if budget is not None:
@@ -860,6 +867,9 @@ class IterativeBPORExplorer(Explorer):
         self.resume_frontier = resume_frontier
         self.shards = shards
         self.program_source = program_source
+        #: Fork-dispatch the per-bound entry farm off the live image (see
+        #: :class:`DPORExplorer.snapshots`); implies the frontier loop.
+        self.snapshots = snapshots
 
     def _inner(
         self,
@@ -895,7 +905,7 @@ class IterativeBPORExplorer(Explorer):
         return False
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
-        if self.resume_frontier and self.shards > 1:
+        if self.resume_frontier and (self.shards > 1 or self.snapshots):
             from .sharding import explore_sharded_ibpor
 
             return explore_sharded_ibpor(self, program, limit)

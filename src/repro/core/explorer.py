@@ -118,9 +118,19 @@ class EngineCounters:
     frontier resumption skipped (computed per entered bound, so the final
     bound is counted as if naive restart ran it to the same stopping
     point's bound start — exact for every completed bound).
+    ``snapshot_restored_steps`` counts prefix steps a forked snapshot
+    worker inherited from its parent's live process image instead of
+    replaying (the ``engine/snapshot.py`` backend's analogue of
+    ``replayed_steps``; always 0 without ``snapshots=``).
     """
 
-    __slots__ = ("executions", "steps", "replayed_steps", "saved_executions")
+    __slots__ = (
+        "executions",
+        "steps",
+        "replayed_steps",
+        "saved_executions",
+        "snapshot_restored_steps",
+    )
 
     def __init__(
         self,
@@ -128,17 +138,22 @@ class EngineCounters:
         steps: int = 0,
         replayed_steps: int = 0,
         saved_executions: int = 0,
+        snapshot_restored_steps: int = 0,
     ) -> None:
         self.executions = executions
         self.steps = steps
         self.replayed_steps = replayed_steps
         self.saved_executions = saved_executions
+        self.snapshot_restored_steps = snapshot_restored_steps
 
     def observe(self, result: ExecutionResult) -> None:
         """Fold one execution's cost in."""
         self.executions += 1
         self.steps += result.steps
         self.replayed_steps += min(result.recorded_from, result.steps)
+        restored = getattr(result, "restored_steps", 0)
+        if restored:
+            self.snapshot_restored_steps += restored
 
     def to_payload(self) -> dict:
         return {
@@ -146,6 +161,7 @@ class EngineCounters:
             "steps": self.steps,
             "replayed_steps": self.replayed_steps,
             "saved_executions": self.saved_executions,
+            "snapshot_restored_steps": self.snapshot_restored_steps,
         }
 
     @classmethod
@@ -155,12 +171,14 @@ class EngineCounters:
             payload["steps"],
             payload["replayed_steps"],
             payload["saved_executions"],
+            payload.get("snapshot_restored_steps", 0),
         )
 
     def __repr__(self) -> str:
         return (
             f"EngineCounters(executions={self.executions}, steps={self.steps}, "
-            f"replayed={self.replayed_steps}, saved={self.saved_executions})"
+            f"replayed={self.replayed_steps}, saved={self.saved_executions}, "
+            f"restored={self.snapshot_restored_steps})"
         )
 
 

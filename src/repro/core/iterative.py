@@ -194,6 +194,8 @@ class DFSExplorer(Explorer):
         shards: int = 1,
         program_source=None,
         split_runs: Optional[int] = None,
+        snapshots: bool = False,
+        snapshot_procs: Optional[int] = None,
     ) -> None:
         self.visible_filter = visible_filter
         self.max_steps = max_steps
@@ -211,6 +213,14 @@ class DFSExplorer(Explorer):
         #: Per-shard-task run budget before a cooperative split
         #: (``None`` = :data:`repro.core.sharding.DEFAULT_SPLIT_RUNS`).
         self.split_runs = split_runs
+        #: Opt-in fork-based COW prefix snapshots (engine/snapshot.py):
+        #: identical records in identical order, with deep shared prefixes
+        #: inherited from live process images instead of replayed.  Falls
+        #: back to the plain replay fast path where ``os.fork`` is
+        #: unavailable.  Composes with ``shards`` (workers fork holders).
+        self.snapshots = snapshots
+        #: Snapshot look-ahead width (``None`` = platform default).
+        self.snapshot_procs = snapshot_procs
 
     def explore(self, program: Program, limit: int) -> ExplorationStats:
         if self.shards > 1:
@@ -225,11 +235,28 @@ class DFSExplorer(Explorer):
                 max_steps=self.max_steps,
                 spurious_wakeups=self.spurious_wakeups,
                 budget=self.budget,
+                snapshots=self.snapshots,
             )
             try:
                 return self._drain(dfs, program, limit)
             finally:
                 dfs.close()
+        if self.snapshots:
+            from ..engine import snapshot as snapshot_mod
+
+            if snapshot_mod.fork_available():
+                runner = snapshot_mod.snapshot_dfs(
+                    program,
+                    visible_filter=self.visible_filter,
+                    max_steps=self.max_steps,
+                    spurious_wakeups=self.spurious_wakeups,
+                    budget=self.budget,
+                    procs=self.snapshot_procs,
+                )
+                try:
+                    return self._drain(runner, program, limit)
+                finally:
+                    runner.close()
         dfs = BoundedDFS(
             program,
             NoBoundCost(),
@@ -304,6 +331,8 @@ class IterativeBoundingExplorer(Explorer):
         shards: int = 1,
         program_source=None,
         split_runs: Optional[int] = None,
+        snapshots: bool = False,
+        snapshot_procs: Optional[int] = None,
     ) -> None:
         self.cost_model = cost_model
         self.technique = technique
@@ -320,6 +349,11 @@ class IterativeBoundingExplorer(Explorer):
         self.program_source = program_source
         #: Per-shard-task run budget before a cooperative split.
         self.split_runs = split_runs
+        #: Opt-in COW prefix snapshots (see :class:`DFSExplorer`); like
+        #: sharding this implies the frontier backend — identical
+        #: accounting, the same set and order of records.
+        self.snapshots = snapshots
+        self.snapshot_procs = snapshot_procs
         #: Safety net: stop raising the bound past this (a benchmark whose
         #: space is exhausted stops earlier via the pruning signal).
         self.max_bound = max_bound
@@ -347,11 +381,26 @@ class IterativeBoundingExplorer(Explorer):
                 max_steps=self.max_steps,
                 spurious_wakeups=self.spurious_wakeups,
                 budget=self.budget,
+                snapshots=self.snapshots,
             )
             try:
                 return self._drain(search, stats, limit)
             finally:
                 search.close()
+        if self.snapshots:
+            from ..engine import snapshot as snapshot_mod
+
+            if snapshot_mod.fork_available():
+                search = snapshot_mod.SnapshotFrontierSearch(
+                    program,
+                    self.cost_model,
+                    procs=self.snapshot_procs,
+                    visible_filter=self.visible_filter,
+                    max_steps=self.max_steps,
+                    spurious_wakeups=self.spurious_wakeups,
+                    budget=self.budget,
+                )
+                return self._drain(search, stats, limit)
         backend = FrontierSearch if self.resume_frontier else RestartSearch
         search = backend(
             program,

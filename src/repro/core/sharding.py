@@ -160,6 +160,7 @@ class RunSummary:
         "misuse",
         "leaks",
         "lasso_len",
+        "restored_steps",
     )
 
     def __init__(
@@ -175,6 +176,7 @@ class RunSummary:
         misuse: Optional[MisuseReport],
         leaks: Tuple[str, ...],
         lasso_len: int,
+        restored_steps: int = 0,
     ) -> None:
         self.outcome = outcome
         self.bug = bug
@@ -187,20 +189,29 @@ class RunSummary:
         self.misuse = misuse
         self.leaks = leaks
         self.lasso_len = lasso_len
+        #: Prefix steps inherited from a live fork snapshot instead of
+        #: being replayed (engine/snapshot.py holders; 0 everywhere else).
+        self.restored_steps = restored_steps
 
     @property
     def is_buggy(self) -> bool:
         return self.outcome.is_bug
 
     @classmethod
-    def from_result(cls, result) -> "RunSummary":
+    def from_result(cls, result, schedule_base: int = 0) -> "RunSummary":
+        """``schedule_base`` > 0 ships only ``schedule[schedule_base:]``
+        — the snapshot runner's delta encoding (engine/snapshot.py): the
+        prefix is reconstructed at the collecting root from the previous
+        run in the stream, so a forked child never touches (and so never
+        copy-on-write-faults or re-pickles) the deep shared prefix."""
         bug = result.bug
         if bug is not None:
             bug = BugStub(str(bug), getattr(bug, "traceback", None))
         return cls(
             result.outcome,
             bug,
-            list(result.schedule),
+            result.schedule[schedule_base:] if schedule_base
+            else list(result.schedule),
             result.steps,
             result.choice_points,
             result.max_enabled,
@@ -226,6 +237,7 @@ class ShardSpec:
         "spurious_wakeups",
         "fast_replay",
         "budget",
+        "snapshots",
     )
 
     def __init__(
@@ -237,6 +249,7 @@ class ShardSpec:
         spurious_wakeups: int,
         fast_replay: bool,
         budget,
+        snapshots: bool = False,
     ) -> None:
         self.program_source = program_source
         self.cost_name = cost_name
@@ -245,6 +258,10 @@ class ShardSpec:
         self.spurious_wakeups = spurious_wakeups
         self.fast_replay = fast_replay
         self.budget = budget
+        #: Wrap each worker's subtree search in a COW snapshot runner
+        #: (``engine/snapshot.py``) — shard workers are natural fork
+        #: sites, so sharding and snapshotting compose.
+        self.snapshots = snapshots
 
 
 def _subtree_worker(
@@ -268,7 +285,7 @@ def _subtree_worker(
     if program is None:
         program = _cached_program(spec.program_source)
     frontier: Optional[List[PrunedEdge]] = [] if want_frontier else None
-    dfs = BoundedDFS(
+    search = BoundedDFS(
         program,
         _COST_MODELS[spec.cost_name],
         bound,
@@ -280,22 +297,50 @@ def _subtree_worker(
         fast_replay=spec.fast_replay,
         budget=spec.budget,
     )
+    runner = None
+    if spec.snapshots:
+        from ..engine import snapshot as snapshot_mod
+
+        if snapshot_mod.fork_available():
+            # The worker is single-subtree, so holders stay lazy
+            # (procs=1): pure replay elimination, no oversubscription of
+            # the pool's cores.
+            runner = snapshot_mod.SnapshotRunner(search, procs=1)
+            search = runner
     runs: List[Tuple[RunSummary, int, bool]] = []
     leftovers: List[dict] = []
-    for record in dfs.runs():
-        summary = RunSummary.from_result(record.result)
-        runs.append((summary, record.cost, record.pruned_any))
-        if summary.outcome is Outcome.TIMEOUT:
-            # Budget expired mid-subtree: the parent stops the whole
-            # exploration at this record, so the remainder is moot.
-            break
-        if split_runs is not None and len(runs) >= split_runs and not dfs.exhausted:
-            leftovers = [e.to_payload() for e in dfs.split_remaining()]
-            break
+    try:
+        for record in search.runs():
+            result = record.result
+            summary = (
+                result
+                if isinstance(result, RunSummary)
+                else RunSummary.from_result(result)
+            )
+            runs.append((summary, record.cost, record.pruned_any))
+            if summary.outcome is Outcome.TIMEOUT:
+                # Budget expired mid-subtree: the parent stops the whole
+                # exploration at this record, so the remainder is moot.
+                break
+            if (
+                split_runs is not None
+                and len(runs) >= split_runs
+                and not search.exhausted
+                # A snapshot runner mid holder batch holds records that
+                # have no edge descriptor (their child already exited);
+                # overrun the soft split budget to the batch boundary
+                # rather than lose them.
+                and not getattr(search, "mid_batch", False)
+            ):
+                leftovers = [e.to_payload() for e in search.split_remaining()]
+                break
+    finally:
+        if runner is not None:
+            runner.close()
     frontier_payloads = (
         [e.to_payload() for e in frontier] if frontier else []
     )
-    return runs, frontier_payloads, leftovers, dfs.exhausted
+    return runs, frontier_payloads, leftovers, search.exhausted
 
 
 def _random_shard_worker(
@@ -395,6 +440,7 @@ class ShardedSearchBase:
         spurious_wakeups: int = 0,
         fast_replay: bool = True,
         budget=None,
+        snapshots: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -417,6 +463,7 @@ class ShardedSearchBase:
             spurious_wakeups,
             fast_replay,
             budget,
+            snapshots,
         )
         self._order_cache: OrderCache = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -476,14 +523,14 @@ class ShardedSearchBase:
     def _drive(
         self,
         bound: Optional[int],
-        root_payloads: List[dict],
+        root_items: List[_ShardItem],
         want_frontier: bool,
         on_frontier: Optional[Callable[[List[dict]], None]] = None,
         on_last: Optional[Callable[[], None]] = None,
     ) -> Iterator[RunRecord]:
         """Dispatch descriptors and emit their runs in exact DFS order.
 
-        ``root_payloads`` must already be in ascending ``order_path``
+        ``root_items`` must already be in ascending ``order_path``
         order (``split_remaining`` and the sorted frontier both are).
         The head item's runs are emitted the moment its result arrives;
         leftovers from a split are spliced *in place of* the head —
@@ -493,7 +540,7 @@ class ShardedSearchBase:
         analogue of the serial search's eager backtracking: ``exhausted``
         is accurate at every yield).
         """
-        items = [_ShardItem(p) for p in root_payloads]
+        items = list(root_items)
         in_flight: dict = {}
         emit_idx = 0
         try:
@@ -583,7 +630,10 @@ class ShardedDFS(ShardedSearchBase):
             return
         yield first
         yield from self._drive(
-            None, roots, want_frontier=False, on_last=self._mark_exhausted
+            None,
+            [_ShardItem(p) for p in roots],
+            want_frontier=False,
+            on_last=self._mark_exhausted,
         )
 
 
@@ -633,7 +683,7 @@ class ShardedFrontierSearch(ShardedSearchBase):
             if roots:
                 yield from self._drive(
                     bound,
-                    roots,
+                    [_ShardItem(p) for p in roots],
                     want_frontier=True,
                     on_frontier=self._absorb_frontier,
                 )
@@ -645,7 +695,7 @@ class ShardedFrontierSearch(ShardedSearchBase):
         unlocked.sort(key=lambda p: tuple(p["order_path"]))
         yield from self._drive(
             bound,
-            unlocked,
+            [_ShardItem(p) for p in unlocked],
             want_frontier=True,
             on_frontier=self._absorb_frontier,
         )
@@ -1031,25 +1081,44 @@ def explore_sharded_dpor(explorer, program: Program, limit: int):
     backtrack = {first}
     done: set = set()
     pending: dict = {}
-    use_pool = explorer.program_source is not None
+    use_fork = bool(getattr(explorer, "snapshots", False))
+    snapshot_mod = None
+    registry = None
+    if use_fork:
+        from ..engine import snapshot as snapshot_mod
+
+        use_fork = snapshot_mod.fork_available()
+    if use_fork:
+        registry = snapshot_mod.FdRegistry()
+    use_pool = not use_fork and explorer.program_source is not None
     pool = ProcessPoolExecutor(max_workers=explorer.shards) if use_pool else None
     try:
         head = first
         while True:
             # Dispatch the head plus predicted successors (min-order over
             # currently-known candidates), each under its predicted sleep
-            # context.  Inline (no picklable source): same code path, no
+            # context.  Fork mode (``snapshots=``) forks branch workers
+            # off the live process image — no picklable source needed —
+            # and speculates only when shards allow it.  Inline (neither
+            # fork nor a picklable source): same code path, no
             # speculation — a mispredicted inline branch is pure waste.
             rest = backtrack - done - {head}
             if bound is not None:
                 rest = {t for t in rest if increments[t] <= bound}
             predicted = [head] + sorted(rest)
-            width = explorer.shards if use_pool else 1
+            width = explorer.shards if (use_pool or use_fork) else 1
             ctx = set(done)
             for cand in predicted[:width]:
                 key = (cand, frozenset(ctx))
                 if key not in pending:
-                    if use_pool:
+                    if use_fork:
+                        pending[key] = snapshot_mod.fork_call(
+                            _dpor_branch_worker,
+                            (spec, payload(cand, ctx), program),
+                            registry=registry,
+                            budget=explorer.budget,
+                        )
+                    elif use_pool:
                         pending[key] = pool.submit(
                             _dpor_branch_worker, spec, payload(cand, ctx)
                         )
@@ -1110,7 +1179,12 @@ def explore_sharded_ibpor(explorer, program: Program, limit: int):
                 if stats.deadline_hit or stats.schedules >= limit:
                     return stats
             else:
-                use_pool = explorer.program_source is not None
+                use_fork = bool(getattr(explorer, "snapshots", False))
+                if use_fork:
+                    from ..engine import snapshot as snapshot_mod
+
+                    use_fork = snapshot_mod.fork_available()
+                use_pool = not use_fork and explorer.program_source is not None
                 if use_pool and pool is None:
                     pool = ProcessPoolExecutor(max_workers=explorer.shards)
                 spec = DporShardSpec(
@@ -1123,7 +1197,16 @@ def explore_sharded_ibpor(explorer, program: Program, limit: int):
                     explorer.budget,
                     limit,
                 )
-                if use_pool:
+                if use_fork:
+                    # Entry workers forked off the live image (ordered,
+                    # windowed; closing the generator cancels the rest).
+                    results = snapshot_mod.fork_map(
+                        _ibpor_entry_worker,
+                        [(spec, entry, program) for entry in frontier],
+                        width=explorer.shards,
+                        budget=explorer.budget,
+                    )
+                elif use_pool:
                     results = (
                         fut.result()
                         for fut in [

@@ -1,0 +1,941 @@
+"""Fork-based copy-on-write prefix snapshots for the bounded DFS.
+
+The stateless search re-executes the shared schedule prefix of sibling
+subtrees on every run — the replay fast path (PR 2) makes each replayed
+step cheap, but on deep trees replay still dominates: in the exhaustive
+``fixed.*`` cells ~75% of all visible steps are replayed prefix.  This
+module removes the replay entirely for deep subtrees: when the search
+pushes a *new* multi-candidate choice point far enough from the root, the
+process ``os.fork()``s one **parked holder** child that owns every untried
+sibling of that point.  The parent keeps only the default candidate and
+explores on; when the parent's search unwinds past the point, the holder
+is woken and resumes *from the live process image* — its copy of the
+interpreter already sits inside ``execute()`` at the forked step, so the
+sibling schedules run with **zero replayed steps**.  Holders fork holders
+recursively, so an entire deep subtree is enumerated with each shared
+prefix executed exactly once, machine-wide.
+
+Results stream back over a pipe as the same serializable run-summary
+payloads the sharded merge uses (:class:`repro.core.sharding.RunSummary`),
+in exact serial DFS order, so the unmodified explorer accounting loops
+consume the merged stream and every ``ExplorationStats.as_dict()`` field
+matches the serial run by construction.  (As with sharding, only the
+opt-in ``EngineCounters`` telemetry knows the difference:
+``snapshot_restored_steps`` counts the prefix steps inherited from live
+images, and ``replayed_steps`` shrinks accordingly.)  Two transport
+details keep the pipes off the profile: batches ship as opaque
+pre-pickled *segments* that ancestor holders relay as bytes (a summary
+is pickled once no matter how many chain hops it crosses), and a resumed
+run's schedule is *delta-encoded* — only the suffix past the fork point
+travels; the root re-attaches the shared prefix from the previous run in
+the stream.
+
+Profitability, measured on the development box (single core): a resumed
+execution costs a fixed ~2.5–3ms regardless of prefix depth — ~1.3ms
+``os.fork`` of the ~20MB engine image, ~1.3ms kernel teardown of the
+child address space at exit, plus pipe/pickle change — while serial
+replay costs the prefix re-executed per run: ~2.5µs/step when steps are
+pure engine bookkeeping, tens of µs when the subject does real work
+between scheduling points (as native SCT targets do).  The break-even
+prefix is therefore ~100–1000 steps depending on step weight;
+``min_fork_steps`` (default 256) gates forking on exactly that depth.
+Shallow trees — most of SCTBench — never fork and run the classic
+search unchanged; deep-prefix subjects (``fixed.prelude``) run ≥2×
+faster end-to-end.  The win is *not* parallelism (holders are parked,
+and the default ``procs`` is 1 on a 1-core box): it is replay
+elimination, which is why it holds even on a single CPU.
+
+Failure containment:
+
+- a holder that dies or errors is *re-explored inline* from its stored
+  edge descriptors — the same ``PrunedEdge`` payloads sharding ships —
+  so the merged stream (including any exception the subtree legitimately
+  raises) matches serial exactly, just slower;
+- under ``REPRO_ENGINE_CHECK=1`` every fork records a digest of the
+  shared-object state (:func:`repro.runtime.objects.snapshot`) and the
+  woken child audits its inherited state against it; a mismatch raises
+  :class:`~repro.runtime.errors.EngineInvariantError` loudly — that is a
+  broken engine, never something to paper over;
+- a woken child can never "escape" into inherited parent frames: every
+  ``next()`` on the search generator goes through :meth:`SnapshotRunner.
+  _next`, which diverts a freshly-woken child into the holder drain loop
+  and turns any escaping exception into an ``("err", traceback)`` message
+  followed by ``os._exit``;
+- platforms without ``os.fork`` (or monkeypatched unavailability) fall
+  back to the plain replay fast path automatically — ``snapshots=`` is
+  a pure go-faster knob, never a semantics switch.
+
+This module is imported lazily by its consumers (the explorers and the
+sharded subtree worker); it must stay out of ``repro.engine.__init__``
+to avoid an import cycle through :mod:`repro.core.sharding`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import struct
+import traceback
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.bounds import NoBoundCost
+from ..core.dfs import BoundedDFS, PrunedEdge, RunRecord, _PathNode
+from ..core.iterative import FrontierSearch
+from ..core.sharding import RunSummary
+from ..runtime.errors import EngineInvariantError
+from ..runtime.objects import snapshot as objects_snapshot
+from .executor import DEFAULT_MAX_STEPS
+from .hardening import engine_check_enabled
+from .trace import Outcome
+
+#: Minimum absolute step depth of a choice point before forking a holder
+#: for it.  A resumed execution has a fixed ~2.5-3ms cost (fork + child
+#: address-space teardown at engine heap size); replaying the prefix
+#: costs ~2.5µs/step for bookkeeping-only subjects and tens of µs/step
+#: when steps do real work, so break-even sits at ~100-1000 steps.
+#: Shallower points replay faster than they fork.
+DEFAULT_MIN_FORK_STEPS = 256
+
+#: Ceiling on simultaneously parked holders per process (a parked holder
+#: is one sleeping child process).  Deeper points past the ceiling are
+#: explored by classic backtrack+replay in-process.
+DEFAULT_MAX_HOLDERS = 64
+
+
+def default_procs() -> int:
+    """Default look-ahead width: how many holders may run concurrently
+    (the collected one plus eagerly-woken successors).  Capped low — the
+    speedup comes from replay elimination, not parallelism."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def fork_available() -> bool:
+    """Whether COW snapshot workers can run here.
+
+    All consumers call this lazily through the module (never ``from``-
+    imported), so tests can monkeypatch it to exercise the non-fork
+    fallback on any platform.
+    """
+    return os.name == "posix" and hasattr(os, "fork")
+
+
+# -- pipe framing ------------------------------------------------------------
+
+_LEN = struct.Struct("<Q")
+
+
+def _write_msg(fd: int, obj) -> None:
+    """Length-prefixed pickle to a pipe fd (handles partial writes)."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    view = memoryview(_LEN.pack(len(data)) + data)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _read_exact(fd: int, n: int) -> Optional[bytes]:
+    chunks = []
+    while n:
+        chunk = os.read(fd, min(n, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_msg(fd: int):
+    """Read one framed message; ``None`` on EOF (dead peer)."""
+    header = _read_exact(fd, _LEN.size)
+    if header is None:
+        return None
+    data = _read_exact(fd, _LEN.unpack(header)[0])
+    if data is None:
+        return None
+    return pickle.loads(data)
+
+
+class SnapshotWorkerError(RuntimeError):
+    """A forked snapshot worker died without delivering a usable result."""
+
+
+class FdRegistry:
+    """Parent-side pipe ends that freshly forked children must close.
+
+    Every pipe end the parent keeps open is registered here *after* the
+    fork that created it, so the owning child's memory image never lists
+    its own pipe (it closes its copies of the parent ends explicitly).
+    Children forked later inherit the registry by COW and drop every
+    listed fd on entry — which is what makes go-pipe EOF a reliable
+    "parent is gone" signal for parked holders.
+    """
+
+    __slots__ = ("fds",)
+
+    def __init__(self) -> None:
+        self.fds: List[int] = []
+
+    def add(self, *fds: int) -> None:
+        self.fds.extend(fds)
+
+    def discard(self, fd: int) -> None:
+        try:
+            self.fds.remove(fd)
+        except ValueError:
+            pass
+
+    def close_all_in_child(self) -> None:
+        for fd in self.fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self.fds = []
+
+
+# -- generic fork futures (DPOR/BPOR farms) ----------------------------------
+
+
+class ForkFuture:
+    """Handle to one :func:`fork_call` child.
+
+    Duck-types the slice of :class:`concurrent.futures.Future` the
+    sharded DPOR farm drives (``result()`` / ``cancel()``): ``result()``
+    blocks on the child's pipe, reaps it, and returns the value or raises
+    :class:`SnapshotWorkerError`; ``cancel()`` kills the child outright.
+    """
+
+    __slots__ = ("pid", "fd", "_registry", "_done")
+
+    def __init__(self, pid: int, fd: int, registry: Optional[FdRegistry]) -> None:
+        self.pid = pid
+        self.fd = fd
+        self._registry = registry
+        self._done = False
+
+    def result(self):
+        if self._done:
+            raise SnapshotWorkerError("fork result already consumed")
+        msg = _read_msg(self.fd)
+        self._finalize(kill=False)
+        if msg is None:
+            raise SnapshotWorkerError(
+                f"snapshot worker {self.pid} died before replying"
+            )
+        status, value = msg
+        if status != "ok":
+            raise SnapshotWorkerError(
+                f"snapshot worker {self.pid} failed:\n{value}"
+            )
+        return value
+
+    def cancel(self) -> bool:
+        if self._done:
+            return False
+        self._finalize(kill=True)
+        return True
+
+    def _finalize(self, kill: bool) -> None:
+        self._done = True
+        if kill:
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except OSError:
+                pass
+        if self._registry is not None:
+            self._registry.discard(self.fd)
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+        try:
+            os.waitpid(self.pid, 0)
+        except (ChildProcessError, OSError):
+            pass
+
+
+def fork_call(fn, args: tuple, *, registry: Optional[FdRegistry] = None,
+              budget=None) -> ForkFuture:
+    """Run ``fn(*args)`` in a forked child; return a :class:`ForkFuture`.
+
+    The child works on the live COW image — nothing is pickled *in*, only
+    the return value comes back, which is what lets the DPOR farm ship an
+    unpicklable ``Program`` to workers.  ``budget`` (the parent's live
+    :class:`~repro.core.budget.Budget`) is re-anchored in the child so an
+    almost-expired deadline still expires on time there.
+    """
+    res_r, res_w = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            os.close(res_r)
+            if registry is not None:
+                registry.close_all_in_child()
+            if budget is not None:
+                budget.fork_reanchor()
+            try:
+                out = ("ok", fn(*args))
+                code = 0
+            except BaseException:
+                out = ("err", traceback.format_exc())
+            _write_msg(res_w, out)
+        except BaseException:
+            code = 1
+        os._exit(code)
+    os.close(res_w)
+    if registry is not None:
+        registry.add(res_r)
+    return ForkFuture(pid, res_r, registry)
+
+
+def fork_map(fn, arg_tuples, *, width: int, budget=None):
+    """Ordered generator over ``fn(*args)`` with at most ``width`` forked
+    children alive at once (the IBPOR entry farm).  Closing the generator
+    early cancels every child still pending."""
+    registry = FdRegistry()
+    tasks = list(arg_tuples)
+    pending: List[ForkFuture] = []
+    issued = 0
+    try:
+        for _ in range(len(tasks)):
+            while issued < len(tasks) and len(pending) < max(1, width):
+                pending.append(
+                    fork_call(fn, tasks[issued], registry=registry,
+                              budget=budget)
+                )
+                issued += 1
+            yield pending.pop(0).result()
+    finally:
+        for fut in pending:
+            fut.cancel()
+
+
+# -- the snapshot runner -----------------------------------------------------
+
+
+def _payload_runs(sub: dict) -> List[Tuple[RunSummary, int, bool]]:
+    """Flatten a holder batch into ``(RunSummary, cost, pruned_any)``
+    tuples.  Shipped batches carry opaque pre-pickled ``segments``
+    (decoded exactly once, here at the root); the inline-fallback path
+    produces a plain in-process ``runs`` list."""
+    if "runs" in sub:
+        return sub["runs"]
+    out: List[Tuple[RunSummary, int, bool]] = []
+    for seg in sub["segments"]:
+        out.extend(pickle.loads(seg))
+    return out
+
+
+class _Holder:
+    """Parent-side handle to one parked snapshot child.
+
+    ``stack_len`` is the DFS stack depth *including* the forked point —
+    the collection key: the holder's subtree precedes every run the
+    parent produces after its stack unwinds shallower than that.
+    ``edges`` are the untried siblings as :class:`PrunedEdge` objects,
+    kept as the re-dispatch fallback if the child dies.  They hold the
+    (immutable, structure-shared) prefix chain by reference; the
+    O(prefix) payload walk is deferred to :meth:`edge_payloads`, which
+    only the cold failure/split paths ever call.
+    """
+
+    __slots__ = ("pid", "go_w", "res_r", "stack_len", "edges", "woken")
+
+    def __init__(self, pid: int, go_w: int, res_r: int, stack_len: int,
+                 edges: List[PrunedEdge]) -> None:
+        self.pid = pid
+        self.go_w = go_w
+        self.res_r = res_r
+        self.stack_len = stack_len
+        self.edges = edges
+        self.woken = False
+
+    def edge_payloads(self) -> List[dict]:
+        """Materialise the siblings as plain shard descriptors."""
+        return [e.to_payload() for e in self.edges]
+
+    def wake(self, registry: FdRegistry) -> bool:
+        """Unpark the child (idempotent).  Returns whether the wake byte
+        was delivered — ``False`` means the child is already dead."""
+        if self.woken:
+            return True
+        self.woken = True
+        fd, self.go_w = self.go_w, -1
+        try:
+            os.write(fd, b"!")
+            ok = True
+        except OSError:
+            ok = False
+        registry.discard(fd)
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        return ok
+
+    def reap(self, registry: FdRegistry) -> None:
+        """Close remaining fds and collect the exit status."""
+        for attr in ("go_w", "res_r"):
+            fd = getattr(self, attr)
+            if fd >= 0:
+                setattr(self, attr, -1)
+                registry.discard(fd)
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        try:
+            os.waitpid(self.pid, 0)
+        except (ChildProcessError, OSError):
+            pass
+
+    def destroy(self, registry: FdRegistry) -> None:
+        """Kill the child (parked or running) and reap it."""
+        try:
+            os.kill(self.pid, signal.SIGKILL)
+        except OSError:
+            pass
+        self.reap(registry)
+
+
+class SnapshotRunner:
+    """Drive a :class:`BoundedDFS` with fork-based prefix snapshots.
+
+    Drop-in for the search's run stream: exposes ``runs()`` /
+    ``exhausted`` / ``split_remaining()`` with the exact serial contract
+    (same records, same order, ``exhausted`` accurate at every yield),
+    plus ``close()`` for cleanup.  The wrapped search must be freshly
+    constructed and driven only through this runner.
+    """
+
+    def __init__(
+        self,
+        dfs: BoundedDFS,
+        *,
+        procs: int = 1,
+        min_fork_steps: Optional[int] = None,
+        max_holders: Optional[int] = None,
+    ) -> None:
+        self.dfs = dfs
+        self.procs = max(1, procs)
+        # ``None`` resolves the module constants at construction time so
+        # tests/benchmarks can tune the fork heuristic globally.
+        self.min_fork_steps = (
+            DEFAULT_MIN_FORK_STEPS if min_fork_steps is None else min_fork_steps
+        )
+        self.max_holders = (
+            DEFAULT_MAX_HOLDERS if max_holders is None else max_holders
+        )
+        self._holders: List[_Holder] = []
+        self._registry = FdRegistry()
+        #: Set in a freshly-woken child by :meth:`_park`; the flag that
+        #: diverts the next ``_next()`` return into the holder drain loop
+        #: instead of letting the child unwind inherited parent frames.
+        self._woke: Optional[dict] = None
+        self._complete = False
+        self._fork_broken = False
+        #: Schedule of the most recently emitted run — the delta-decode
+        #: base for the next suffix-encoded holder summary.
+        self._last_sched: List[int] = []
+        #: True while :meth:`runs` is inside a collected holder batch
+        #: (records already decoded but not yet yielded); see
+        #: :attr:`mid_batch`.
+        self._mid_batch = False
+
+    # -- public stream contract --------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return self._complete
+
+    @property
+    def mid_batch(self) -> bool:
+        """Whether the stream is suspended inside a collected holder batch.
+
+        A holder ships its whole subtree as one message, so records past
+        the current yield already left their child process and exist only
+        in this generator — :meth:`split_remaining` cannot hand them back
+        as resumable edges.  Consumers that stop early to split (the
+        sharding workers) must keep draining until this goes ``False``
+        (it is cleared *on* the batch's final record, not after it).
+        """
+        return self._mid_batch
+
+    def runs(self) -> Iterator[RunRecord]:
+        """The merged run stream: own (truncated-tree) runs interleaved
+        with collected holder batches, in exact serial DFS order."""
+        dfs = self.dfs
+        dfs._fork_hook = self._hook
+        gen = dfs.runs()
+        try:
+            while True:
+                try:
+                    record = self._next(gen)
+                except StopIteration:
+                    break
+                if dfs.exhausted and not self._holders:
+                    self._complete = True
+                self._last_sched = record.result.schedule
+                yield record
+                # Holders whose forked point is deeper than the post-
+                # backtrack stack hold subtrees that precede every later
+                # own run: collect them now, newest (deepest) first.
+                depth = len(dfs._stack)
+                while self._holders and self._holders[-1].stack_len > depth:
+                    final_ok = dfs.exhausted and len(self._holders) == 1
+                    yield from self._emit_holder(final_ok)
+            while self._holders:  # pragma: no cover - drained at last yield
+                yield from self._emit_holder(len(self._holders) == 1)
+        finally:
+            dfs._fork_hook = None
+            self.close()
+
+    def split_remaining(self) -> List[PrunedEdge]:
+        """Detach all unexplored work — the in-process remainder plus
+        every parked holder's siblings — as resumable edge descriptors in
+        ascending ``order_path`` (serial DFS) order.  Holders are killed:
+        ownership of their subtrees transfers with the edges.
+
+        Only valid at a batch boundary (:attr:`mid_batch` ``False``):
+        records still buffered inside a collected batch have no edge
+        descriptor and would be lost."""
+        edges = self.dfs.split_remaining()
+        for holder in self._holders:
+            edges.extend(holder.edges)
+            holder.destroy(self._registry)
+        self._holders = []
+        edges.sort(key=lambda e: e.order_path)
+        self._complete = True
+        return edges
+
+    def close(self) -> None:
+        """Kill and reap every outstanding holder (idempotent)."""
+        for holder in self._holders:
+            holder.destroy(self._registry)
+        self._holders = []
+
+    # -- fork site ----------------------------------------------------------
+
+    def _hook(self, cp, step_index: int, kernel) -> None:
+        """Called by the search right after pushing a new multi-candidate
+        choice point (in whichever process is exploring)."""
+        if (
+            self._fork_broken
+            or step_index < self.min_fork_steps
+            or len(self._holders) >= self.max_holders
+        ):
+            return
+        digest = (
+            objects_snapshot(kernel.naming.objects)
+            if engine_check_enabled()
+            else None
+        )
+        self._fork_holder(cp, step_index, kernel, digest)
+
+    def _fork_holder(self, cp, step_index: int, kernel, digest) -> bool:
+        """Fork one parked holder owning ``cp.candidates[1:]`` and
+        truncate the point to its first candidate.  Returns ``True`` on
+        the parent side (holder registered, or fork unavailable), and
+        ``False`` in a freshly *woken* holder child — by then the child's
+        recursive :meth:`_park` has already retargeted the point and set
+        ``self._woke``, so the caller must return immediately and let the
+        inherited ``execute()`` resume."""
+        # O(1) per sibling: the PrunedEdge shares the immutable prefix
+        # chain; nothing walks it unless the child later dies.
+        edges = [
+            PrunedEdge(
+                cp.parent_link,
+                cp.order_positions[j],
+                cp.candidates[j],
+                cp.cost_before + cp.increments[j],
+                cp.cp_after,
+                cp.maxen_after,
+            )
+            for j in range(1, len(cp.candidates))
+        ]
+        try:
+            go_r, go_w = os.pipe()
+            res_r, res_w = os.pipe()
+        except OSError:
+            self._fork_broken = True
+            return True
+        try:
+            pid = os.fork()
+        except OSError:
+            for fd in (go_r, go_w, res_r, res_w):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            self._fork_broken = True
+            return True
+        if pid == 0:
+            self._park(go_r, go_w, res_r, res_w, cp, step_index, kernel,
+                       digest)
+            return False  # woken: resume as the first untried sibling
+        os.close(go_r)
+        os.close(res_w)
+        self._registry.add(go_w, res_r)
+        self._holders.append(
+            _Holder(pid, go_w, res_r, len(self.dfs._stack), edges)
+        )
+        # The holder owns every untried sibling now; this process explores
+        # only the default continuation of the point.
+        del cp.candidates[1:]
+        del cp.increments[1:]
+        del cp.order_positions[1:]
+        return True
+
+    def _park(self, go_r, go_w, res_r, res_w, cp, step_index, kernel,
+              digest) -> None:
+        """Child side of the fork: drop parent fds, sleep until woken (or
+        EOF = parent gone), then retarget the forked point at the first
+        untried sibling and let the inherited ``execute()`` continue."""
+        for fd in (go_w, res_r):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._registry.close_all_in_child()
+        self._holders = []
+        self._woke = None
+        self._complete = False
+        try:
+            wake = os.read(go_r, 1)
+        except OSError:  # pragma: no cover - pipe failure
+            wake = b""
+        try:
+            os.close(go_r)
+        except OSError:  # pragma: no cover
+            pass
+        if not wake:
+            os._exit(2)  # parent finished or died without needing us
+        budget = self.dfs.budget
+        if budget is not None:
+            budget.fork_reanchor()
+        if digest is not None:
+            state = objects_snapshot(kernel.naming.objects)
+            if state != digest:
+                changed = sorted(
+                    k for k in set(digest) | set(state)
+                    if digest.get(k) != state.get(k)
+                )
+                try:
+                    _write_msg(res_w, (
+                        "invariant",
+                        "snapshot restore audit failed: shared-object "
+                        f"state at wake (step {step_index}) differs from "
+                        f"the fork-time digest; changed: {changed}",
+                    ))
+                finally:
+                    os._exit(3)
+        # The inherited per-run pruning flag belongs to the *parent's*
+        # execution (pruning observed before the fork point).  A serial
+        # sibling run starts with a clear flag and never re-observes
+        # prefix pruning during replay, so the woken child must match:
+        # only pruning at fresh choice points below the fork counts.
+        self.dfs._pruned_this_run = False
+        # Retarget the forked point: drop the parent's default candidate,
+        # select the first sibling, rebuild the path link for it.
+        del cp.candidates[0]
+        del cp.increments[0]
+        del cp.order_positions[0]
+        cp.idx = 0
+        cp.link = _PathNode(cp.parent_link, cp.order_positions[0],
+                            cp.candidates[0])
+        # Untried siblings at shallower points belong to the parent.
+        for point in self.dfs._stack[:-1]:
+            del point.candidates[point.idx + 1:]
+            del point.increments[point.idx + 1:]
+            del point.order_positions[point.idx + 1:]
+        # Chain-fork: park a follow-on holder for the siblings *after*
+        # the one this child is about to run, so every sibling at the
+        # point — not just the first — resumes from a live image instead
+        # of replaying the whole prefix.  The follow-on child repeats
+        # this at its own wake, walking the candidate list one live
+        # resume at a time.  The shared-state digest carries over
+        # unchanged: nothing has stepped since the original fork.
+        if len(cp.candidates) > 1 and not self._fork_broken:
+            if not self._fork_holder(cp, step_index, kernel, digest):
+                return  # we are the follow-on holder; _woke is set
+        frontier = self.dfs._frontier
+        self._woke = {
+            "res_w": res_w,
+            "restored": step_index,
+            "frontier_base": 0 if frontier is None else len(frontier),
+        }
+
+    # -- child containment ---------------------------------------------------
+
+    def _next(self, gen) -> RunRecord:
+        """Advance the search generator with woken-child containment: a
+        child that just resumed inside ``execute()`` surfaces here on its
+        first completed run and is diverted into the holder drain loop;
+        anything it raises is shipped as an error instead of unwinding
+        into frames inherited from the parent."""
+        try:
+            record = next(gen)
+        except StopIteration:
+            if self._woke is not None:  # pragma: no cover - impossible
+                self._child_fail("woken holder produced no run")
+            raise
+        except BaseException:
+            if self._woke is not None:
+                self._child_fail(traceback.format_exc())
+            raise
+        if self._woke is not None:
+            self._become_holder(record, gen)  # never returns
+        return record
+
+    def _child_fail(self, text: str) -> None:
+        info, self._woke = self._woke, None
+        try:
+            _write_msg(info["res_w"], ("err", text))
+        except BaseException:
+            pass
+        os._exit(1)
+
+    def _become_holder(self, first: RunRecord, gen) -> None:
+        """Woken child: drain the sibling subtree synchronously, ship the
+        batch on the result pipe, exit.  Never returns."""
+        info, self._woke = self._woke, None
+        code = 1
+        try:
+            payload = self._drain_as_holder(first, gen, info)
+            _write_msg(info["res_w"], ("ok", payload))
+            code = 0
+        except BaseException:
+            try:
+                _write_msg(info["res_w"], ("err", traceback.format_exc()))
+            except BaseException:
+                pass
+        os._exit(code)
+
+    def _drain_as_holder(self, first: RunRecord, gen, info: dict) -> dict:
+        """Holder drain loop: same merge logic as :meth:`runs`, but
+        synchronous, accumulating ``(RunSummary, cost, pruned_any)``
+        tuples plus the frontier edges this subtree pruned (own edges
+        from ``frontier_base`` on, flushed in order around each nested
+        batch).
+
+        The batch ships as a list of opaque pre-pickled *segments*: own
+        runs are pickled once here, nested holder batches are spliced in
+        as the byte segments they arrived as.  Relaying bytes through an
+        ancestor costs a memcpy, not a re-serialization, so a summary
+        crossing a deep holder chain is pickled exactly once no matter
+        how many hops it takes to reach the root."""
+        dfs = self.dfs
+        segments: List[bytes] = []
+        cur: List[Tuple[RunSummary, int, bool]] = []
+        out_frontier: List[dict] = []
+        fcur = info["frontier_base"]
+        ppid = os.getppid()
+
+        def flush_cur() -> None:
+            if cur:
+                segments.append(
+                    pickle.dumps(cur, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                del cur[:]
+
+        def flush_frontier() -> None:
+            nonlocal fcur
+            sink = dfs._frontier
+            if sink is not None and fcur < len(sink):
+                out_frontier.extend(e.to_payload() for e in sink[fcur:])
+                fcur = len(sink)
+
+        # Delta encoding: this run's first ``restored`` schedule entries
+        # are bit-identical to the stream predecessor's (both executed
+        # the shared prefix up to the fork point), so ship only the
+        # suffix.  ``restored_steps`` doubles as the prefix length; the
+        # root re-attaches the prefix in :meth:`_emit_holder`.  Slicing
+        # past the prefix also keeps this child from copy-on-write
+        # faulting every page the prefix entries live on.
+        summary = RunSummary.from_result(
+            first.result, schedule_base=info["restored"])
+        summary.restored_steps = info["restored"]
+        cur.append((summary, first.cost, bool(first.pruned_any)))
+        exhausted = True
+        while True:
+            if summary.outcome is Outcome.TIMEOUT:
+                exhausted = False
+                break
+            if os.getppid() != ppid:  # orphaned mid-drain
+                os._exit(2)
+            depth = len(dfs._stack)
+            while self._holders and self._holders[-1].stack_len > depth:
+                flush_frontier()
+                sub = self._reap_holder(self._holders.pop())
+                flush_cur()
+                if "segments" in sub:
+                    segments.extend(sub["segments"])
+                else:  # inline fallback batch: pickle it once here
+                    segments.append(pickle.dumps(
+                        sub["runs"], protocol=pickle.HIGHEST_PROTOCOL))
+                out_frontier.extend(sub["frontier"])
+                if not sub["exhausted"]:
+                    exhausted = False
+                    break
+            if not exhausted:
+                break
+            try:
+                record = self._next(gen)
+            except StopIteration:
+                break
+            summary = RunSummary.from_result(record.result)
+            cur.append((summary, record.cost, bool(record.pruned_any)))
+        for holder in self._holders:  # only on an early (timeout) stop
+            holder.destroy(self._registry)
+        self._holders = []
+        flush_cur()
+        flush_frontier()
+        return {"segments": segments, "frontier": out_frontier,
+                "exhausted": exhausted}
+
+    # -- parent-side collection ----------------------------------------------
+
+    def _reap_holder(self, holder: _Holder) -> dict:
+        """Wake one holder and block for its batch.  A dead or failed
+        holder degrades to inline re-exploration of its stored edges —
+        same records, same order, no snapshot win."""
+        msg = None
+        if holder.wake(self._registry):
+            msg = _read_msg(holder.res_r)
+        holder.reap(self._registry)
+        if msg is not None:
+            status, value = msg
+            if status == "ok":
+                return value
+            if status == "invariant":
+                raise EngineInvariantError(value)
+            # "err": the subtree raised.  Re-explore inline so the
+            # exception (if deterministic) surfaces exactly as the serial
+            # search would raise it.
+        return self._explore_edges_inline(holder.edge_payloads())
+
+    def _explore_edges_inline(self, edge_payloads: List[dict]) -> dict:
+        dfs = self.dfs
+        runs: List[Tuple[RunSummary, int, bool]] = []
+        out_frontier: List[dict] = []
+        exhausted = True
+        for payload in edge_payloads:
+            sink: Optional[List[PrunedEdge]] = (
+                [] if dfs._frontier is not None else None
+            )
+            sub = BoundedDFS(
+                dfs.program,
+                dfs.cost_model,
+                dfs.bound,
+                visible_filter=dfs.visible_filter,
+                max_steps=dfs.max_steps,
+                spurious_wakeups=dfs.spurious_wakeups,
+                root=PrunedEdge.from_payload(payload),
+                frontier=sink,
+                order_cache=dfs._order_cache,
+                fast_replay=dfs.fast_replay,
+                budget=dfs.budget,
+            )
+            for record in sub.runs():
+                summary = RunSummary.from_result(record.result)
+                runs.append((summary, record.cost, bool(record.pruned_any)))
+                if summary.outcome is Outcome.TIMEOUT:
+                    exhausted = False
+                    break
+            if sink:
+                out_frontier.extend(e.to_payload() for e in sink)
+            if not exhausted:
+                break
+        return {"runs": runs, "frontier": out_frontier,
+                "exhausted": exhausted}
+
+    def _emit_holder(self, final_ok: bool) -> Iterator[RunRecord]:
+        """Collect the newest holder and emit its batch.  ``final_ok``:
+        this batch can carry the stream's final record (own search
+        exhausted and no other holder outstanding)."""
+        if self.procs > 1:
+            # Look-ahead: unpark the next few holders so they explore
+            # while we drain this one; batches buffer in their pipes and
+            # emission order is fixed at collection regardless.
+            for holder in self._holders[-self.procs:]:
+                holder.wake(self._registry)
+        sub = self._reap_holder(self._holders.pop())
+        sink = self.dfs._frontier
+        if sink is not None and sub["frontier"]:
+            sink.extend(PrunedEdge.from_payload(p) for p in sub["frontier"])
+        runs = _payload_runs(sub)
+        last = len(runs) - 1
+        if final_ok and sub["exhausted"] and last < 0:
+            self._complete = True  # pragma: no cover - batches are nonempty
+        for i, (summary, cost, pruned_any) in enumerate(runs):
+            if summary.restored_steps:
+                # Delta decode: the first ``restored_steps`` entries were
+                # elided child-side (identical to the previous stream
+                # run's — the shared prefix up to the fork point).
+                summary.schedule = (
+                    self._last_sched[:summary.restored_steps]
+                    + summary.schedule
+                )
+            self._last_sched = summary.schedule
+            if final_ok and sub["exhausted"] and i == last:
+                self._complete = True
+            self._mid_batch = i < last
+            yield RunRecord(summary, cost, pruned_any)
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def snapshot_dfs(
+    program,
+    *,
+    visible_filter=None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    spurious_wakeups: int = 0,
+    budget=None,
+    procs: Optional[int] = None,
+    min_fork_steps: Optional[int] = None,
+    max_holders: Optional[int] = None,
+) -> SnapshotRunner:
+    """A snapshot-backed unbounded DFS (the ``DFSExplorer`` backend)."""
+    dfs = BoundedDFS(
+        program,
+        NoBoundCost(),
+        None,
+        visible_filter=visible_filter,
+        max_steps=max_steps,
+        spurious_wakeups=spurious_wakeups,
+        fast_replay=True,
+        budget=budget,
+    )
+    return SnapshotRunner(
+        dfs,
+        procs=default_procs() if procs is None else procs,
+        min_fork_steps=min_fork_steps,
+        max_holders=max_holders,
+    )
+
+
+class SnapshotFrontierSearch(FrontierSearch):
+    """Frontier-resuming backend whose per-subtree searches fork COW
+    holders: ``snapshots=`` under IPB/IDB.  Same enumerated set, order,
+    and frontier as :class:`~repro.core.iterative.FrontierSearch`."""
+
+    def __init__(self, program, cost_model, *, procs: Optional[int] = None,
+                 min_fork_steps: Optional[int] = None,
+                 max_holders: Optional[int] = None, **kwargs) -> None:
+        super().__init__(program, cost_model, **kwargs)
+        self._snapshot_opts = dict(
+            procs=default_procs() if procs is None else procs,
+            min_fork_steps=min_fork_steps,
+            max_holders=max_holders,
+        )
+
+    def _subtree(self, bound, root) -> SnapshotRunner:
+        # The runner's ``runs()`` closes itself (try/finally) even when
+        # the consumer stops mid-stream, so the base-class enumeration
+        # needs no extra cleanup.
+        return SnapshotRunner(
+            super()._subtree(bound, root), **self._snapshot_opts
+        )

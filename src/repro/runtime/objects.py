@@ -317,7 +317,18 @@ SharedCell = (SharedVar, Atomic)
 
 
 def snapshot(objects: Sequence[SharedObject]) -> Dict[str, Any]:
-    """Debug helper: capture the observable state of shared objects."""
+    """Capture the observable state of shared objects.
+
+    Two consumers: ad-hoc debugging, and the fork-snapshot audit — under
+    ``REPRO_ENGINE_CHECK=1`` the snapshot engine records this dict at
+    every holder fork and the woken child compares its inherited state
+    against it before resuming (:mod:`repro.engine.snapshot`), so a COW
+    image that drifted from the fork point raises ``EngineInvariantError``
+    instead of silently exploring a corrupt prefix.  That makes the
+    *completeness* of this capture load-bearing: a new shared-object
+    type or observable field omitted here weakens the audit, never the
+    engine — extend it alongside any ``SharedObject`` change.
+    """
     out: Dict[str, Any] = {}
     for obj in objects:
         if isinstance(obj, (SharedVar, Atomic)):

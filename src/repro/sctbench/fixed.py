@@ -373,6 +373,73 @@ def make_counter_fixed() -> Program:
     return Program("fixed.counter", setup, main)
 
 
+def make_prelude_fixed(prelude_steps: int = 768,
+                       step_work: int = 300) -> Program:
+    """account with a deep sequential prelude: the main thread performs
+    ``prelude_steps`` single-threaded visible steps of ledger warm-up,
+    each folding ``step_work`` rounds of a 32-bit LCG into a digest
+    (~15µs of real computation at the default), before spawning the
+    account contention.
+
+    The warm-up creates no scheduling choice (one enabled thread), so the
+    schedule space is exactly the account twin's — but every one of its
+    ~920 executions must re-run the prelude first.  That makes this the
+    reference *deep-prefix* cell for the prefix-snapshot benchmark
+    (``benchmarks/bench_search_overhead.py``): serial search replays the
+    prelude per execution, fork snapshots execute it once.  The per-step
+    computation matters as much as the depth: real SCT targets run
+    native code between scheduling points, so a replayed step costs far
+    more than the engine's own bookkeeping, while a fork snapshot of an
+    engine-sized heap costs a fixed ~2-3ms per resumed execution no
+    matter how heavy the prefix was.  The defaults put prefix re-execution
+    (~12ms) well above that fixed cost.  Deliberately
+    **not** in :data:`FIXED_TWINS` — it is a perf subject, not an extra
+    negative control, and it would slow the tier-1 suite for no coverage.
+    """
+
+    iters = max(1, prelude_steps // 2)
+
+    def setup():
+        return SimpleNamespace(
+            m=Mutex("prelude.m"),
+            balance=SharedVar(0, "prelude.balance"),
+            ledger=SharedVar(0, "prelude.ledger"),
+        )
+
+    def deposit(ctx, sh):
+        yield from locked_add(ctx, sh.m, sh.balance, +10, "deposit")
+
+    def withdraw(ctx, sh):
+        yield ctx.lock(sh.m)
+        b = yield ctx.load(sh.balance)
+        if b >= 10:
+            yield ctx.store(sh.balance, b - 10)
+        yield ctx.unlock(sh.m)
+
+    def audit(ctx, sh):
+        yield ctx.lock(sh.m)
+        b = yield ctx.load(sh.balance)
+        yield ctx.unlock(sh.m)
+        ctx.check(b >= 0, f"account overdrawn: balance={b}")
+
+    def main(ctx, sh):
+        digest = 0
+        for _ in range(iters):
+            v = yield ctx.load(sh.ledger)
+            acc = v + 1
+            for _ in range(step_work):
+                acc = (acc * 1103515245 + 12345) & 0xFFFFFFFF
+            digest ^= acc
+            yield ctx.store(sh.ledger, v + 1)
+        handles = yield from spawn_all(ctx, [deposit, withdraw, audit])
+        yield from join_all(ctx, handles)
+        total = yield ctx.load(sh.ledger)
+        ctx.check(total == iters, f"ledger clobbered: {total}")
+        ctx.check(digest >= 0, "warm-up digest lost")
+
+    return Program("fixed.prelude", setup, main)
+
+
 #: All fixed twins, for the negative-control tests.
 FIXED_TWINS = [
     make_account_fixed,

@@ -76,6 +76,14 @@ def main(argv=None) -> int:
              "serial exploration",
     )
     parser.add_argument(
+        "--snapshots", action="store_true",
+        help="fork-based copy-on-write prefix snapshots for the "
+             "systematic techniques (IPB/IDB/DFS/DPOR/BPOR): deep "
+             "schedule prefixes resume from live process images instead "
+             "of being replayed; results byte-identical, falls back to "
+             "serial replay where os.fork is unavailable",
+    )
+    parser.add_argument(
         "--profile-cell", action="store_true", dest="profile_cells",
         help="dump a per-cell cProfile (<bench>.<technique>.prof + pstats "
              "text) under --profile-dir; pure telemetry, never part of "
@@ -121,6 +129,7 @@ def main(argv=None) -> int:
     config.benchmarks = args.benchmarks
     config.jobs = max(1, args.jobs)
     config.cell_shards = max(1, args.shards)
+    config.snapshots = args.snapshots
     config.profile_cells = args.profile_cells
     config.profile_dir = args.profile_dir
     config.engine_counters = args.engine_counters

@@ -82,6 +82,13 @@ class StudyConfig:
     #: index-seeded random stream), so it joins the fingerprint whenever
     #: it is not 1.
     cell_shards: int = 1
+    #: Fork-based copy-on-write prefix snapshots (``--snapshots``,
+    #: :mod:`repro.engine.snapshot`) for the systematic techniques
+    #: (IPB/IDB/DFS/DPOR/BPOR).  A pure go-faster knob: the merged run
+    #: stream is byte-identical to serial by construction, and platforms
+    #: without ``os.fork`` fall back to the replay fast path — so like
+    #: the telemetry knobs it never joins the fingerprint.
+    snapshots: bool = False
     #: Dump a per-cell ``cProfile`` (``--profile-cell``) as
     #: ``<bench>.<technique>.prof`` (binary) plus ``.txt`` (pstats top
     #: functions) under :attr:`profile_dir`.  Pure telemetry, never
@@ -189,6 +196,10 @@ class StudyConfig:
         payload.pop("profile_cells", None)
         payload.pop("profile_dir", None)
         payload.pop("cell_shards", None)
+        # Snapshot exploration is result-identical by construction (and
+        # falls back to serial where fork is unavailable), so resuming
+        # with a different ``--snapshots`` is supported.
+        payload.pop("snapshots", None)
         if self.cell_shards > 1:
             payload["index_seeded_random"] = True
         if payload.get("cell_deadline") is None:

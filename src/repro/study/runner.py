@@ -204,6 +204,13 @@ def make_technique_explorers(
     picklable program source for pool workers.  MapleAlg is inherently
     sequential (each run's schedule depends on every previous run) and
     always executes serially.
+
+    ``config.snapshots`` additionally turns on fork-based COW prefix
+    snapshots (:mod:`repro.engine.snapshot`) for the systematic
+    techniques (IPB/IDB/DFS/DPOR/BPOR) — results are byte-identical, deep
+    schedule prefixes are executed once instead of replayed per run.
+    Rand/PCT re-execute full schedules by design and MapleAlg is
+    sequential, so the knob does not apply to them.
     """
     shard_kwargs = {}
     if config.cell_shards > 1 and bench_name:
@@ -211,6 +218,10 @@ def make_technique_explorers(
             "shards": config.cell_shards,
             "program_source": ("bench", bench_name),
         }
+    # COW prefix snapshots (engine/snapshot.py): systematic techniques
+    # only; a pure perf knob, composes with sharding (shard workers fork
+    # holders at their subtree choice points).
+    snap_kwargs = {"snapshots": True} if config.snapshots else {}
 
     def _pct():
         from ..core import PCTExplorer
@@ -230,6 +241,7 @@ def make_technique_explorers(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             **shard_kwargs,
+            **snap_kwargs,
         )
 
     def _bpor():
@@ -239,6 +251,7 @@ def make_technique_explorers(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             **shard_kwargs,
+            **snap_kwargs,
         )
         # Study cells report under the paper-style name "BPOR" rather
         # than the engine's internal "IBPOR" label.
@@ -251,18 +264,21 @@ def make_technique_explorers(
             max_steps=config.max_steps,
             counters=config.engine_counters,
             **shard_kwargs,
+            **snap_kwargs,
         ),
         "IDB": lambda: make_idb(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             counters=config.engine_counters,
             **shard_kwargs,
+            **snap_kwargs,
         ),
         "DFS": lambda: DFSExplorer(
             visible_filter=visible_filter,
             max_steps=config.max_steps,
             counters=config.engine_counters,
             **shard_kwargs,
+            **snap_kwargs,
         ),
         "Rand": lambda: RandomExplorer(
             seed=config.seed_for("Rand", bench_name),

@@ -1,0 +1,340 @@
+"""Snapshot-backed exploration is observationally identical to serial replay.
+
+The contract (DESIGN.md section 15): with ``snapshots=True`` the
+systematic explorers (IPB/IDB/DFS/DPOR/BPOR) produce byte-identical
+``as_dict()`` stats and enumerate the same terminal schedules in the same
+order as the classic serial search; only wall-clock and the telemetry
+counters (``replayed_steps`` vs ``snapshot_restored_steps``) differ.  The
+knob composes with ``shards=`` and silently degrades to the serial replay
+fast path where ``os.fork`` is unavailable.
+
+Also here, because they ship in the same change:
+
+- :meth:`repro.core.budget.Budget.fork_reanchor` — the deadline-transfer
+  handshake a forked snapshot child performs so an inherited budget never
+  widens and is polled promptly;
+- property tests pinning the dense array-backed
+  :class:`repro.racedetect.vectorclock.VectorClock` to the sparse
+  :class:`~repro.racedetect.vectorclock.DictVectorClock` reference model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    DELAY,
+    PREEMPTION,
+    DFSExplorer,
+    DPORExplorer,
+    IterativeBPORExplorer,
+    make_idb,
+    make_ipb,
+)
+from repro.core.bounds import NoBoundCost
+from repro.core.budget import Budget
+from repro.core.dfs import BoundedDFS
+from repro.core.iterative import FrontierSearch
+from repro.engine import snapshot as snap
+from repro.racedetect.vectorclock import DictVectorClock, VectorClock
+
+from .programs import (
+    barrier_rendezvous,
+    crasher,
+    figure1,
+    lock_order_deadlock,
+    lost_signal,
+    producer_consumer_sem,
+    safe_counter,
+    unsafe_counter,
+)
+
+GRID = [
+    figure1,
+    lambda: figure1(clone_count=2),
+    lambda: unsafe_counter(workers=2, increments=1),
+    lambda: unsafe_counter(workers=2, increments=2),
+    lambda: unsafe_counter(workers=3, increments=1),
+    lambda: safe_counter(workers=2, increments=2),
+    lock_order_deadlock,
+    lost_signal,
+    lambda: barrier_rendezvous(parties=2),
+    lambda: producer_consumer_sem(items=2),
+    crasher,
+]
+
+#: A smaller slice for the expensive modes (sharded workers, raw streams).
+SMALL_GRID = [
+    figure1,
+    lambda: unsafe_counter(workers=2, increments=2),
+    lost_signal,
+]
+
+MAKERS = {
+    "IPB": make_ipb,
+    "IDB": make_idb,
+    "DFS": lambda **kw: DFSExplorer(**kw),
+}
+
+needs_fork = pytest.mark.skipif(
+    not snap.fork_available(), reason="os.fork unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def eager_forking(monkeypatch):
+    """Force holder forks on these tiny programs (the production default
+    of :data:`repro.engine.snapshot.DEFAULT_MIN_FORK_STEPS` would never
+    fork below a few hundred steps)."""
+    monkeypatch.setattr(snap, "DEFAULT_MIN_FORK_STEPS", 1)
+
+
+def _explore(make, factory, limit=10_000, **kwargs):
+    return make(counters=True, **kwargs).explore(factory(), limit)
+
+
+# -- byte-identical stats ----------------------------------------------------
+
+
+@needs_fork
+@pytest.mark.parametrize("name", sorted(MAKERS))
+@pytest.mark.parametrize("factory", GRID)
+def test_stats_identical_with_snapshots(factory, name):
+    make = MAKERS[name]
+    serial = _explore(make, factory)
+    snapped = _explore(make, factory, snapshots=True)
+    assert serial.as_dict() == snapped.as_dict()
+
+
+@needs_fork
+@pytest.mark.parametrize("name", sorted(MAKERS))
+@pytest.mark.parametrize("factory", SMALL_GRID)
+def test_stats_identical_with_snapshots_and_shards(factory, name):
+    # snapshots=True composes with intra-cell sharding: the shard workers
+    # fork holders beneath their subtrees and the merge stays exact.
+    make = MAKERS[name]
+    serial = _explore(make, factory)
+    snapped = _explore(make, factory, snapshots=True, shards=3)
+    assert serial.as_dict() == snapped.as_dict()
+
+
+@needs_fork
+@pytest.mark.parametrize("limit", [1, 2, 3, 5, 8, 13])
+def test_stats_identical_under_limit_truncation(limit):
+    # Stopping mid-stream must collect parked holders without disturbing
+    # the enumerated prefix.
+    for name, make in sorted(MAKERS.items()):
+        serial = _explore(make, figure1, limit=limit)
+        snapped = _explore(make, figure1, limit=limit, snapshots=True)
+        assert serial.as_dict() == snapped.as_dict(), (name, limit)
+
+
+@needs_fork
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda **kw: DPORExplorer(**kw),
+        lambda **kw: IterativeBPORExplorer(**kw),
+    ],
+    ids=["DPOR", "BPOR"],
+)
+@pytest.mark.parametrize(
+    "factory",
+    [figure1, lambda: unsafe_counter(workers=2, increments=2)],
+    ids=["figure1", "counter"],
+)
+def test_partial_order_reduction_stats_identical(factory, make):
+    serial = make().explore(factory(), 10_000)
+    snapped = make(snapshots=True).explore(factory(), 10_000)
+    assert serial.as_dict() == snapped.as_dict()
+
+
+# -- identical run streams ---------------------------------------------------
+
+
+def _stream(runs, cap=400):
+    out = []
+    for record in itertools.islice(runs, cap):
+        out.append(
+            (
+                tuple(record.result.schedule),
+                record.result.outcome,
+                record.cost,
+                record.pruned_any,
+            )
+        )
+    return out
+
+
+@needs_fork
+@pytest.mark.parametrize("factory", GRID)
+def test_dfs_run_stream_identical_in_order(factory):
+    serial = BoundedDFS(factory(), NoBoundCost(), None, fast_replay=True)
+    runner = snap.snapshot_dfs(factory(), procs=2)
+    try:
+        assert _stream(serial.runs()) == _stream(runner.runs())
+        assert serial.exhausted == runner.exhausted
+    finally:
+        runner.close()
+
+
+@needs_fork
+@pytest.mark.parametrize("cost_model", [PREEMPTION, DELAY], ids=["PC", "DC"])
+@pytest.mark.parametrize("factory", SMALL_GRID)
+def test_bounded_run_streams_identical_in_order(factory, cost_model):
+    def enumerate_all(search_cls):
+        search = search_cls(factory(), cost_model)
+        out = []
+        for bound in range(9):
+            out.extend(
+                (bound, entry)
+                for entry in _stream(search.runs_at_bound(bound))
+            )
+            if not search.pruned_at_bound():
+                return out, True
+        return out, False
+
+    serial, serial_done = enumerate_all(FrontierSearch)
+    snapped, snapped_done = enumerate_all(snap.SnapshotFrontierSearch)
+    assert serial == snapped  # same records, same order, same bounds
+    assert serial_done == snapped_done
+
+
+# -- counters and fallback ---------------------------------------------------
+
+
+@needs_fork
+def test_counters_account_restored_prefix_steps():
+    factory = lambda: unsafe_counter(workers=3, increments=1)
+    serial = _explore(MAKERS["DFS"], factory)
+    snapped = _explore(MAKERS["DFS"], factory, snapshots=True)
+    assert serial.counters.snapshot_restored_steps == 0
+    # Forked children resume live instead of re-walking the prefix: the
+    # replayed share drops and reappears as restored snapshot steps.
+    assert snapped.counters.snapshot_restored_steps > 0
+    assert snapped.counters.replayed_steps < serial.counters.replayed_steps
+    assert serial.as_dict() == snapped.as_dict()
+
+
+@pytest.mark.parametrize("name", sorted(MAKERS))
+def test_fork_unavailable_falls_back_to_serial(name, monkeypatch):
+    monkeypatch.setattr(snap, "fork_available", lambda: False)
+    make = MAKERS[name]
+    serial = _explore(make, figure1)
+    snapped = _explore(make, figure1, snapshots=True)
+    assert serial.as_dict() == snapped.as_dict()
+    # the fallback really is the serial engine: nothing was restored
+    assert snapped.counters.snapshot_restored_steps == 0
+
+
+# -- Budget.fork_reanchor ----------------------------------------------------
+
+
+def test_fork_reanchor_transfers_remaining_deadline():
+    now = [0.0]
+    budget = Budget(deadline_seconds=10.0, clock=lambda: now[0]).start()
+    now[0] = 9.25
+    budget.fork_reanchor()
+    # the child's allowance is exactly what the parent had left...
+    assert budget.deadline_seconds == pytest.approx(0.75)
+    # ...anchored on the child's *own* clock, which need not resemble the
+    # parent's (the next poll re-reads it).
+    now[0] = 100.0
+    assert not budget.expired
+    now[0] = 100.5
+    assert not budget.expired
+    now[0] = 100.8
+    assert budget.expired
+
+
+def test_fork_reanchor_never_widens_an_expired_deadline():
+    now = [0.0]
+    budget = Budget(deadline_seconds=5.0, clock=lambda: now[0]).start()
+    now[0] = 7.0  # parent already past its deadline at fork time
+    budget.fork_reanchor()
+    assert budget.deadline_seconds == 0.0
+    budget.tick()  # first poll anchors the child clock...
+    assert budget.expired  # ...and the allowance is already gone
+    assert budget.start_execution()  # the next execution never starts
+
+
+def test_fork_reanchor_without_deadline_is_harmless():
+    budget = Budget(max_total_steps=2).start()
+    budget.fork_reanchor()
+    assert budget.deadline_seconds is None
+    assert budget.remaining_seconds() is None
+    # inherited work ceilings keep counting from the parent's tally
+    assert not budget.tick()
+    assert not budget.tick()
+    assert budget.tick()
+
+
+# -- VectorClock vs the DictVectorClock reference model ----------------------
+
+
+TIDS = 6  # thread-id universe for the property tests
+
+
+def _check_pair(dense: VectorClock, sparse: DictVectorClock) -> None:
+    assert dense.clocks == sparse.clocks
+    assert list(dense.items()) == list(sparse.items())
+    for tid in range(TIDS + 2):  # also probe past the dense buffer
+        assert dense.get(tid) == sparse.get(tid)
+        assert dense.epoch(tid) == sparse.epoch(tid)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_vector_clock_matches_dict_reference(seed):
+    rng = random.Random(seed)
+    dense = [VectorClock(), VectorClock()]
+    sparse = [DictVectorClock(), DictVectorClock()]
+    for _ in range(250):
+        which = rng.randrange(2)
+        other = 1 - which
+        op = rng.choice(("tick", "tick", "set", "join", "copy"))
+        if op == "tick":
+            tid = rng.randrange(TIDS)
+            dense[which].tick(tid)
+            sparse[which].tick(tid)
+        elif op == "set":
+            tid, val = rng.randrange(TIDS), rng.randrange(5)
+            dense[which].set(tid, val)
+            sparse[which].set(tid, val)
+        elif op == "join":
+            dense[which].join(dense[other])
+            sparse[which].join(sparse[other])
+        else:  # copy: COW alias on the dense side, plain copy on the ref
+            dense[which] = dense[other].copy()
+            sparse[which] = sparse[other].copy()
+        _check_pair(dense[0], sparse[0])
+        _check_pair(dense[1], sparse[1])
+        assert dense[0].leq(dense[1]) == sparse[0].leq(sparse[1])
+        assert dense[1].leq(dense[0]) == sparse[1].leq(sparse[0])
+        assert (dense[0] == dense[1]) == (sparse[0] == sparse[1])
+        for tid in range(TIDS):
+            assert dense[0].covers_epoch(dense[1].epoch(tid)) == sparse[
+                0
+            ].covers_epoch(sparse[1].epoch(tid))
+
+
+def test_vector_clock_copy_is_isolated():
+    # copy() shares the packed value; a mutation on either side must not
+    # leak into the other (the FastTrack release rule depends on this).
+    base = VectorClock({0: 3, 2: 1})
+    alias = base.copy()
+    base.tick(0)
+    alias.tick(2)
+    assert base.clocks == {0: 4, 2: 1}
+    assert alias.clocks == {0: 3, 2: 2}
+
+
+def test_vector_clock_trailing_zeros_do_not_matter():
+    assert VectorClock({0: 1, 3: 0}) == VectorClock({0: 1})
+    assert VectorClock() == VectorClock({5: 0})
+    a = VectorClock({1: 2})
+    b = VectorClock({1: 2, 4: 7})
+    assert a != b and b != a
+    assert a.leq(b) and not b.leq(a)
