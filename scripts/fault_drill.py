@@ -12,9 +12,18 @@ Faults are injected through the ``REPRO_STUDY_FAULTS`` environment
 variable, which is deliberately *not* part of the study fingerprint: the
 faulted pass and the healing pass share one checkpoint journal.
 
-This is the CI ``fault-smoke`` job; run it locally with::
+A third drill (``resource``) exercises the supervision stack the same
+way: injected ``oom`` ballast against an RSS ceiling (healed by the
+in-run retry, with graceful degradation logged), a deliberately leaked
+``orphan`` process (contained and classified ``resource``), and a forced
+``disk-full`` reading — then scans ``/proc`` to assert **zero** processes
+survived the study.
 
-    PYTHONPATH=src python scripts/fault_drill.py
+This is the CI ``fault-smoke`` job (and, with the ``resource`` argument,
+the ``resource-drill`` job); run it locally with::
+
+    PYTHONPATH=src python scripts/fault_drill.py            # crash/hang
+    PYTHONPATH=src python scripts/fault_drill.py resource   # supervision
 
 Exit status 0 means every degradation path behaved; any assertion prints
 what went wrong and exits 1.
@@ -32,6 +41,7 @@ import time
 from repro.study import ParallelStudyRunner, quick_config, taxonomy
 from repro.study.faults import ENV_FAULTS
 from repro.study.parallel import read_journal
+from repro.study import supervisor as sup
 
 BENCHMARKS = ["CS.lazy01_bad", "CS.din_phil2_sat"]
 CRASH_CELL = ("CS.din_phil2_sat", "IDB")
@@ -126,5 +136,127 @@ def main() -> int:
         shutil.rmtree(ckpt, ignore_errors=True)
 
 
+RESOURCE_BENCH = "CS.reorder_3_bad"
+RESOURCE_CELL = (RESOURCE_BENCH, "Rand")
+
+
+def resource_config(**ceilings):
+    config = quick_config(limit=60)
+    config.benchmarks = [RESOURCE_BENCH]
+    config.techniques = ["Rand"]
+    config.retry_backoff = 0.0
+    for knob, value in ceilings.items():
+        setattr(config, knob, value)
+    return config
+
+
+def no_survivors(what: str) -> None:
+    """Assert every process this drill spawned is gone (grace: 5s for
+    pool teardown joins to land)."""
+    deadline = time.monotonic() + 5.0
+    leftover = sup.descendant_pids(os.getpid())
+    while leftover and time.monotonic() < deadline:
+        time.sleep(0.1)
+        leftover = sup.descendant_pids(os.getpid())
+    check(not leftover, f"zero surviving processes after {what} {leftover or ''}")
+
+
+def resource_main() -> int:
+    """The supervision drill: oom / orphan / disk-full containment."""
+    if not sup.proc_available():
+        print("resource drill skipped: /proc not available")
+        return 0
+    progress = lambda m: print(f"    {m}", flush=True)  # noqa: E731
+    ckpt = tempfile.mkdtemp(prefix="resource-drill-")
+    try:
+        print("pass 1: oom ballast vs a 200 MiB RSS ceiling (jobs=2)")
+        os.environ[ENV_FAULTS] = json.dumps([
+            {"cell": "/".join(RESOURCE_CELL), "kind": "oom",
+             "attempts": [0], "bytes": 400 * 1024 * 1024},
+        ])
+        cfg = resource_config(cell_max_rss=200 * 1024 * 1024, snapshots=True)
+        runner = ParallelStudyRunner(
+            cfg, jobs=2, run_id="oom", checkpoint_dir=ckpt, progress=progress,
+        )
+        study = runner.run()
+        check(
+            study.by_name(RESOURCE_BENCH).statuses == {},
+            "breached cell healed by the in-run retry",
+        )
+        supv = study.supervision or {}
+        actions = [ev["action"] for ev in supv.get("degradation", ())]
+        check(
+            "disable-snapshots" in actions,
+            f"graceful degradation fired (events: {actions})",
+        )
+        check(
+            runner._effective.snapshots is False and cfg.snapshots is True,
+            "degradation touched the effective config, not the original",
+        )
+        kinds = [
+            json.loads(line)["kind"]
+            for line in open(os.path.join(ckpt, "oom.jsonl"))
+        ]
+        check("supervision" in kinds, "supervision summary journaled")
+        no_survivors("the oom pass")
+
+        print("pass 2: leaked orphan process is contained and classified")
+        os.environ[ENV_FAULTS] = json.dumps([
+            {"cell": "/".join(RESOURCE_CELL), "kind": "orphan",
+             "attempts": [0, 1, 2, 3], "seconds": 300},
+        ])
+        study = ParallelStudyRunner(
+            resource_config(cell_max_rss=1 << 40),  # arm supervision only
+            jobs=2, run_id="orphan", checkpoint_dir=ckpt, progress=progress,
+        ).run()
+        bench = study.by_name(RESOURCE_BENCH)
+        check(
+            bench.statuses.get("Rand") == taxonomy.RESOURCE,
+            "orphan cell classified 'resource' (retryable)",
+        )
+        reaped = bench.resources.get("Rand", {}).get("reaped_pids", [])
+        check(bool(reaped), f"orphan pid(s) attributed in the record {reaped}")
+        still = [p for p in reaped if sup._read_stat_fields(p) is not None]
+        check(not still, f"every reaped orphan is actually dead {still or ''}")
+        no_survivors("the orphan pass")
+
+        print("pass 3: forced disk-full reading trips the free-space floor")
+        os.environ[ENV_FAULTS] = json.dumps([
+            {"cell": "/".join(RESOURCE_CELL), "kind": "disk-full",
+             "attempts": [0, 1, 2, 3]},
+        ])
+        study = ParallelStudyRunner(
+            resource_config(min_free_disk=1024),
+            jobs=2, run_id="disk", checkpoint_dir=ckpt, progress=progress,
+        ).run()
+        check(
+            study.by_name(RESOURCE_BENCH).statuses.get("Rand")
+            == taxonomy.RESOURCE,
+            "disk-full cell classified 'resource'",
+        )
+        no_survivors("the disk pass")
+
+        print("pass 4: fault-free supervised run is event-free")
+        del os.environ[ENV_FAULTS]
+        study = ParallelStudyRunner(
+            resource_config(cell_max_rss=1 << 40),
+            jobs=2, run_id="clean", checkpoint_dir=ckpt, progress=progress,
+        ).run()
+        check(study.supervision is None, "no supervision events without faults")
+        kinds = [
+            json.loads(line)["kind"]
+            for line in open(os.path.join(ckpt, "clean.jsonl"))
+        ]
+        check("supervision" not in kinds, "journal carries no supervision record")
+        no_survivors("the clean pass")
+        print("resource drill passed")
+        return 0
+    finally:
+        os.environ.pop(ENV_FAULTS, None)
+        shutil.rmtree(ckpt, ignore_errors=True)
+
+
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "resource":
+        sys.exit(resource_main())
     sys.exit(main())

@@ -174,6 +174,20 @@ class Budget:
         if self.expired:
             raise BudgetExceeded(self._reason or "budget exceeded")
 
+    def trip(self, reason: str) -> None:
+        """Expire the budget from outside (first trip wins).
+
+        The supervisor's breach channel: a resource watchdog thread
+        (:class:`repro.study.supervisor.CellSupervisor`) cannot raise
+        into the exploring thread, but it can trip the budget — the
+        exploration then stops cooperatively at its very next poll with
+        partial, well-formed stats, exactly like a deadline expiry.
+        Writing ``_reason`` is atomic under the GIL and every poll entry
+        point checks it first, so no lock is needed.
+        """
+        if self._reason is None:
+            self._reason = reason
+
     # -- fork transfer -----------------------------------------------------
 
     def remaining_seconds(self) -> Optional[float]:

@@ -66,6 +66,38 @@ from .dfs import BoundedDFS, OrderCache, PrunedEdge, RunRecord
 #: Default per-task run budget before a worker splits its remainder.
 DEFAULT_SPLIT_RUNS = 64
 
+#: ``prctl(2)`` option: deliver a signal to this process when its parent
+#: dies.  Linux-only; the initializer degrades to a no-op elsewhere.
+_PR_SET_PDEATHSIG = 1
+
+
+def _shard_worker_init() -> None:
+    """Shard-pool worker initializer: die with the parent, reset signals.
+
+    A shard worker whose cell worker is SIGKILLed (watchdog, kernel OOM
+    killer) is reparented to init and would keep exploring headless.
+    ``PR_SET_PDEATHSIG`` makes the kernel SIGKILL the worker the moment
+    its parent dies — containment that needs no supervisor to be
+    watching.  Signal dispositions are reset so a study-parent's drain
+    handlers (inherited through two fork levels) cannot make the worker
+    ignore termination.
+    """
+    import signal as _signal
+
+    try:
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(_PR_SET_PDEATHSIG, _signal.SIGKILL, 0, 0, 0)
+    except (OSError, AttributeError):  # pragma: no cover - non-Linux
+        pass
+
+
 #: Shippable cost models, by :attr:`BoundCost.name`.  Sharded search
 #: sends the *name* across the process boundary and resolves it here, so
 #: custom cost models must be registered (or run unsharded).
@@ -479,7 +511,9 @@ class ShardedSearchBase:
         if self.inline:
             return None
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.shards, initializer=_shard_worker_init
+            )
         return self._pool
 
     def close(self) -> None:
@@ -843,7 +877,9 @@ def _run_index_shards(
         return _merge_shard_payloads(
             stats, payloads, explorer.stop_at_first_bug
         )
-    pool = ProcessPoolExecutor(max_workers=shards)
+    pool = ProcessPoolExecutor(
+        max_workers=shards, initializer=_shard_worker_init
+    )
     try:
         futures = [
             pool.submit(*submit_args_fn(seeds[start:stop]))
@@ -1091,7 +1127,13 @@ def explore_sharded_dpor(explorer, program: Program, limit: int):
     if use_fork:
         registry = snapshot_mod.FdRegistry()
     use_pool = not use_fork and explorer.program_source is not None
-    pool = ProcessPoolExecutor(max_workers=explorer.shards) if use_pool else None
+    pool = (
+        ProcessPoolExecutor(
+            max_workers=explorer.shards, initializer=_shard_worker_init
+        )
+        if use_pool
+        else None
+    )
     try:
         head = first
         while True:
@@ -1186,7 +1228,10 @@ def explore_sharded_ibpor(explorer, program: Program, limit: int):
                     use_fork = snapshot_mod.fork_available()
                 use_pool = not use_fork and explorer.program_source is not None
                 if use_pool and pool is None:
-                    pool = ProcessPoolExecutor(max_workers=explorer.shards)
+                    pool = ProcessPoolExecutor(
+                        max_workers=explorer.shards,
+                        initializer=_shard_worker_init,
+                    )
                 spec = DporShardSpec(
                     explorer.program_source,
                     explorer.visible_filter,

@@ -72,12 +72,13 @@ to avoid an import cycle through :mod:`repro.core.sharding`.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import signal
 import struct
 import traceback
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from ..core.bounds import NoBoundCost
 from ..core.dfs import BoundedDFS, PrunedEdge, RunRecord, _PathNode
@@ -157,6 +158,56 @@ def _read_msg(fd: int):
 
 class SnapshotWorkerError(RuntimeError):
     """A forked snapshot worker died without delivering a usable result."""
+
+
+# -- live-child accounting ---------------------------------------------------
+
+#: Pids of every forked child (parked holder or fork-call worker) this
+#: process currently owns.  The normal paths unregister on reap; the
+#: :func:`atexit` hook below is the abnormal-exit backstop — a run that
+#: unwinds past ``SnapshotRunner.close()`` (``sys.exit``, an uncaught
+#: exception in a non-runner frame) must not leave parked holders
+#: sleeping on COW pages forever.
+_live_children: Set[int] = set()
+
+
+def _register_child(pid: int) -> None:
+    _live_children.add(pid)
+
+
+def _unregister_child(pid: int) -> None:
+    _live_children.discard(pid)
+
+
+def _reset_child_registry() -> None:
+    """Called on the child side of every fork: the inherited set lists
+    *siblings and ancestors' children*, none of which this process owns."""
+    _live_children.clear()
+
+
+def reap_all_children() -> List[int]:
+    """Kill and reap every still-registered forked child (idempotent).
+
+    Returns the pids that were still alive.  Runs automatically at
+    interpreter exit; callers that tear down an exploration abnormally
+    (test harnesses, the study's cell wrapper) may call it directly.
+    """
+    reaped = []
+    for pid in sorted(_live_children):
+        try:
+            os.kill(pid, signal.SIGKILL)
+            reaped.append(pid)
+        except OSError:
+            pass
+        try:
+            os.waitpid(pid, 0)
+        except (ChildProcessError, OSError):
+            pass
+    _live_children.clear()
+    return reaped
+
+
+atexit.register(reap_all_children)
 
 
 class FdRegistry:
@@ -252,6 +303,7 @@ class ForkFuture:
             os.waitpid(self.pid, 0)
         except (ChildProcessError, OSError):
             pass
+        _unregister_child(self.pid)
 
 
 def fork_call(fn, args: tuple, *, registry: Optional[FdRegistry] = None,
@@ -270,6 +322,7 @@ def fork_call(fn, args: tuple, *, registry: Optional[FdRegistry] = None,
         code = 1
         try:
             os.close(res_r)
+            _reset_child_registry()
             if registry is not None:
                 registry.close_all_in_child()
             if budget is not None:
@@ -284,6 +337,7 @@ def fork_call(fn, args: tuple, *, registry: Optional[FdRegistry] = None,
             code = 1
         os._exit(code)
     os.close(res_w)
+    _register_child(pid)
     if registry is not None:
         registry.add(res_r)
     return ForkFuture(pid, res_r, registry)
@@ -389,6 +443,7 @@ class _Holder:
             os.waitpid(self.pid, 0)
         except (ChildProcessError, OSError):
             pass
+        _unregister_child(self.pid)
 
     def destroy(self, registry: FdRegistry) -> None:
         """Kill the child (parked or running) and reap it."""
@@ -576,6 +631,7 @@ class SnapshotRunner:
             return False  # woken: resume as the first untried sibling
         os.close(go_r)
         os.close(res_w)
+        _register_child(pid)
         self._registry.add(go_w, res_r)
         self._holders.append(
             _Holder(pid, go_w, res_r, len(self.dfs._stack), edges)
@@ -597,6 +653,7 @@ class SnapshotRunner:
                 os.close(fd)
             except OSError:
                 pass
+        _reset_child_registry()
         self._registry.close_all_in_child()
         self._holders = []
         self._woke = None

@@ -18,7 +18,14 @@ from .report import (
     found_pattern_comparison,
     full_report,
     headline_findings,
+    resource_usage_summary,
     status_summary,
+)
+from .supervisor import (
+    CellSupervisor,
+    DegradationController,
+    ResourceBreach,
+    StudySupervisor,
 )
 from .compare import RunDiff, diff_runs
 from .config import derive_seed
@@ -69,7 +76,12 @@ __all__ = [
     "ScatterPoint",
     "full_report",
     "engine_cost_summary",
+    "resource_usage_summary",
     "status_summary",
+    "CellSupervisor",
+    "StudySupervisor",
+    "DegradationController",
+    "ResourceBreach",
     "found_pattern_comparison",
     "bound_comparison",
     "headline_findings",

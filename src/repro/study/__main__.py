@@ -23,6 +23,27 @@ import sys
 import time
 
 from .config import StudyConfig, quick_config
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G/T suffix (``512M``,
+    ``2G``, ``1048576``).  Binary units (1K = 1024)."""
+    text = text.strip()
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    suffix = text[-1:].upper()
+    if suffix in multipliers:
+        number, scale = text[:-1], multipliers[suffix]
+    else:
+        number, scale = text, 1
+    try:
+        value = int(float(number) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 512M, 2G, or bytes)"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive: {text!r}")
+    return value
 from .figures import (
     figure3_series,
     figure4_series,
@@ -118,7 +139,35 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--retry-errors", action="store_true",
         help="on resume, re-run journaled cells whose status is "
-             "timeout/diverged/error/quarantined instead of skipping them",
+             "timeout/diverged/error/quarantined/oom/resource instead of "
+             "skipping them",
+    )
+    parser.add_argument(
+        "--max-rss", type=parse_size, default=None, metavar="SIZE",
+        help="RSS ceiling per cell *process tree* (worker + shard workers "
+             "+ snapshot holders), e.g. 512M or 2G; a breach stops the "
+             "cell cooperatively with status 'oom' (partial stats kept) "
+             "and may trigger graceful degradation (default: no ceiling)",
+    )
+    parser.add_argument(
+        "--max-fds", type=int, default=None, metavar="N",
+        help="open-file-descriptor ceiling per cell process tree; a "
+             "breach stops the cell with status 'resource' (default: no "
+             "ceiling)",
+    )
+    parser.add_argument(
+        "--min-free-disk", type=parse_size, default=None, metavar="SIZE",
+        help="free-disk floor under the checkpoint directory, e.g. 1G; "
+             "dropping below it stops the cell with status 'resource' "
+             "before a full disk can corrupt the journal (default: no "
+             "floor)",
+    )
+    parser.add_argument(
+        "--no-auto-degrade", action="store_false", dest="auto_degrade",
+        help="disable graceful degradation (by default, after an 'oom' "
+             "cell the runner turns off snapshots, then halves shards, "
+             "for subsequent cells — go-slower knobs only, never part of "
+             "the fingerprint)",
     )
     args = parser.parse_args(argv)
 
@@ -135,6 +184,11 @@ def main(argv=None) -> int:
     config.engine_counters = args.engine_counters
     config.engine_check = args.engine_check
     config.cell_deadline = args.cell_deadline
+    config.cell_max_rss = args.max_rss
+    config.cell_max_fds = args.max_fds
+    config.min_free_disk = args.min_free_disk
+    config.auto_degrade = args.auto_degrade
+    config.supervise_dir = args.checkpoint_dir
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
     t0 = time.time()

@@ -113,6 +113,34 @@ class StudyConfig:
     #: Base seconds for exponential retry backoff (attempt ``k`` waits
     #: ``retry_backoff * 2**(k-1)``).  Never part of the fingerprint.
     retry_backoff: float = 0.5
+    #: Per-cell resident-set ceiling in bytes (``--max-rss``), summed
+    #: over the cell's whole process tree — worker, shard workers, and
+    #: parked snapshot holders (:mod:`repro.study.supervisor`).  A
+    #: breach stops the cell cooperatively (partial stats kept), kills
+    #: the descendant tree, and records status ``oom``.  Affects results
+    #: when hit, so it joins the fingerprint when set (and is absent
+    #: when ``None``, keeping old journals resumable).
+    cell_max_rss: Optional[int] = None
+    #: Per-cell open-file-descriptor ceiling (``--max-fds``), summed
+    #: over the tree; breach records status ``resource``.  Fingerprint
+    #: rule as :attr:`cell_max_rss`.
+    cell_max_fds: Optional[int] = None
+    #: Free-disk floor in bytes (``--min-free-disk``) for the
+    #: checkpoint/results filesystem; a cell that observes less free
+    #: space stops with status ``resource`` instead of filling the disk
+    #: with journal/artifact writes.  Fingerprint rule as
+    #: :attr:`cell_max_rss`.
+    min_free_disk: Optional[int] = None
+    #: Directory the disk guard watches (set by the runner/CLI to the
+    #: checkpoint directory; falls back to the working directory).
+    #: Observational — never part of the fingerprint.
+    supervise_dir: Optional[str] = None
+    #: Let the study runner degrade under sustained memory pressure:
+    #: after repeated ``oom`` cells it disables fork snapshots, then
+    #: halves intra-cell shards (floor 2), for subsequent cells.  Pure
+    #: go-slower knobs — the affected settings are already excluded
+    #: from the fingerprint, and so is this switch.
+    auto_degrade: bool = True
     #: Deterministic fault-injection plan (list of spec dicts, see
     #: :mod:`repro.study.faults`).  Testing only; merged with the
     #: ``REPRO_STUDY_FAULTS`` environment variable.
@@ -202,8 +230,18 @@ class StudyConfig:
         payload.pop("snapshots", None)
         if self.cell_shards > 1:
             payload["index_seeded_random"] = True
+        # Degradation is a pure go-slower policy switch; the disk-guard
+        # directory is observational.
+        payload.pop("auto_degrade", None)
+        payload.pop("supervise_dir", None)
         if payload.get("cell_deadline") is None:
             payload.pop("cell_deadline", None)
+        # Resource ceilings affect results only when hit (partial stats,
+        # like a deadline): fingerprinted when set, absent when None so
+        # journals from before these fields existed remain resumable.
+        for knob in ("cell_max_rss", "cell_max_fds", "min_free_disk"):
+            if payload.get(knob) is None:
+                payload.pop(knob, None)
         if not payload.get("faults"):
             payload.pop("faults", None)
         blob = json.dumps(payload, sort_keys=True, default=str)

@@ -30,10 +30,27 @@ Kinds:
 ``corrupt-journal``
     The cell runs normally, but its journal line is written garbled —
     exercises CRC detection and mid-file recovery on resume.
+``oom``
+    Allocates ``bytes`` (default 64 MiB) of real, touched memory and
+    holds it for the rest of the cell — exercises the
+    :class:`repro.study.supervisor.CellSupervisor` RSS ceiling, the
+    ``oom`` classification, and graceful degradation.
+``orphan``
+    Forks a child that sleeps ``seconds`` and deliberately leaks it —
+    exercises descendant reaping (the cell ends with the orphan
+    contained and classified ``resource``, never left running).
+``disk-full``
+    Forces the disk guard to read 0 bytes free
+    (:func:`repro.study.supervisor.set_disk_override`) — exercises the
+    disk floor and the ``resource`` classification without actually
+    filling a filesystem.
 
 ``crash`` and ``hang`` are meaningful only under the pool runner
 (``jobs > 1``); in-process they would take the whole study down, which is
-exactly the behaviour the pool exists to contain.
+exactly the behaviour the pool exists to contain.  The resource kinds
+leave worker-global state behind (held ballast, a forced disk reading);
+:func:`clear_injected_state` — called by the pool's cell wrapper after
+every cell — releases it so a reused worker starts clean.
 """
 
 from __future__ import annotations
@@ -50,13 +67,21 @@ ENV_FAULTS = "REPRO_STUDY_FAULTS"
 #: Exit status used by injected worker crashes (distinctive in logs).
 CRASH_EXIT_CODE = 66
 
-KINDS = ("crash", "hang", "diverge", "corrupt-journal")
+#: Ballast held by an injected ``oom`` fault when the spec names no size.
+DEFAULT_OOM_BYTES = 64 * 1024 * 1024
+
+KINDS = ("crash", "hang", "diverge", "corrupt-journal", "oom", "orphan",
+         "disk-full")
+
+#: Ballast bytearrays held by fired ``oom`` faults (module global so the
+#: memory stays resident until :func:`clear_injected_state`).
+_ballast: List[bytearray] = []
 
 
 class FaultSpec:
     """One declarative fault: where it fires and what it does."""
 
-    __slots__ = ("bench", "technique", "kind", "attempts", "seconds")
+    __slots__ = ("bench", "technique", "kind", "attempts", "seconds", "bytes")
 
     def __init__(
         self,
@@ -65,6 +90,7 @@ class FaultSpec:
         kind: str,
         attempts: Sequence[int] = (0,),
         seconds: float = 3600.0,
+        bytes: int = DEFAULT_OOM_BYTES,
     ) -> None:
         if kind not in KINDS:
             raise ValueError(f"unknown fault kind {kind!r} (one of {KINDS})")
@@ -73,6 +99,7 @@ class FaultSpec:
         self.kind = kind
         self.attempts = tuple(attempts)
         self.seconds = float(seconds)
+        self.bytes = int(bytes)
 
     @classmethod
     def from_dict(cls, spec: dict) -> "FaultSpec":
@@ -88,6 +115,7 @@ class FaultSpec:
             spec.get("kind", ""),
             attempts=spec.get("attempts", (0,)),
             seconds=spec.get("seconds", 3600.0),
+            bytes=spec.get("bytes", DEFAULT_OOM_BYTES),
         )
 
     def matches(self, bench: str, technique: str, attempt: int) -> bool:
@@ -103,6 +131,7 @@ class FaultSpec:
             "kind": self.kind,
             "attempts": list(self.attempts),
             "seconds": self.seconds,
+            "bytes": self.bytes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -186,7 +215,47 @@ def fire(spec: FaultSpec) -> None:
             f"injected fault: forced divergence in "
             f"{spec.bench}/{spec.technique}"
         )
+    if spec.kind == "oom":
+        # The allocation alone is lazily-mapped zero pages (invisible to
+        # VmRSS); write one byte per page so the memory is actually
+        # resident and the supervisor's RSS ceiling trips on truth.
+        ballast = bytearray(spec.bytes)
+        for i in range(0, len(ballast), 4096):
+            ballast[i] = 1
+        _ballast.append(ballast)
+        return
+    if spec.kind == "orphan":
+        # Deliberately leak a sleeping child: fork and never wait.  The
+        # cell supervisor (or the parent's group sweep) must find and
+        # reap it — if neither exists, the drill's post-run process scan
+        # fails loudly instead of the host accumulating zombies.
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            return
+        pid = os.fork()
+        if pid == 0:
+            try:
+                time.sleep(spec.seconds)
+            finally:
+                os._exit(0)
+        return
+    if spec.kind == "disk-full":
+        from . import supervisor as supervisor_mod
+
+        supervisor_mod.set_disk_override(0)
+        return
     raise AssertionError(f"unfireable fault kind {spec.kind!r}")
+
+
+def clear_injected_state() -> None:
+    """Release worker-global residue of resource faults (held ballast,
+    forced disk readings).  Called after every cell by the pool's cell
+    wrapper: workers are reused, and a fault must only outlive its cell
+    when that is the fault's very point (``orphan`` leaks a process, not
+    state in this worker)."""
+    _ballast.clear()
+    from . import supervisor as supervisor_mod
+
+    supervisor_mod.set_disk_override(None)
 
 
 def corrupt_line(line: str) -> str:

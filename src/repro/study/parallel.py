@@ -42,6 +42,7 @@ pool — and produce results identical to :func:`repro.study.run_study`
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import signal
@@ -57,9 +58,11 @@ from typing import Dict, List, Optional, Set, TextIO, Tuple
 from ..engine.strategies import ReplayDivergence
 from ..sctbench import get as get_benchmark
 from . import faults as faults_mod
+from . import supervisor as supervisor_mod
 from . import taxonomy
 from .config import StudyConfig
 from .faults import FaultPlan
+from .supervisor import DegradationController, StudySupervisor
 from .runner import (
     BenchmarkResult,
     ProgressFn,
@@ -111,17 +114,26 @@ class StudyInterrupted(RuntimeError):
 
 
 def _worker_init() -> None:
-    """Pool-worker initializer: reset inherited signal handling.
+    """Pool-worker initializer: reset signals, enroll the process tree.
 
     Workers are forked after the parent installs its graceful-drain
     handlers, and would otherwise inherit them — a worker that *ignores*
     SIGTERM is unkillable by the watchdog and un-drainable on exit.
     SIGTERM goes back to the default (die, so ``terminate()`` works);
-    SIGINT is ignored (a terminal ^C hits the whole process group — the
-    parent alone runs the drain and then terminates the workers).
+    SIGINT is ignored (the parent alone runs the drain and then
+    terminates the workers).
+
+    Enrollment (:func:`repro.study.supervisor.enroll_cell_worker`) puts
+    the worker in its own process group.  Everything the worker's cells
+    fork — shard workers, parked snapshot holders, chain-forked holders
+    — inherits the group, so the watchdog and the drain can kill the
+    *whole tree* with one ``killpg`` instead of orphaning COW children.
+    (It also means a terminal ^C no longer reaches the workers at all,
+    which is exactly the drain contract above.)
     """
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    supervisor_mod.enroll_cell_worker()
 
 
 def _cell_worker(
@@ -152,6 +164,10 @@ def _cell_worker(
         )
     except BaseException:
         return error_record(bench_name, technique, traceback.format_exc())
+    finally:
+        # Injected resource faults (oom ballast, forced disk readings)
+        # must not outlive their cell: the pool reuses workers.
+        faults_mod.clear_injected_state()
 
 
 def error_record(
@@ -333,6 +349,20 @@ class ParallelStudyRunner:
         self._fault_plan = FaultPlan.from_config(self.config)
         self._interrupts = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: The configuration cells actually run under.  Starts as a copy
+        #: of :attr:`config`; the degradation controller may turn off
+        #: snapshots or halve shards here mid-run.  Only knobs excluded
+        #: from the fingerprint are ever touched, so the journal (which
+        #: records ``config.fingerprint()``) stays valid throughout.
+        self._effective = copy.copy(self.config)
+        if self._effective.supervise_dir is None and checkpoint_dir:
+            self._effective.supervise_dir = checkpoint_dir
+        #: Parent-side process-group ledger: watchdog/drain tree kills
+        #: plus the orphan sweep at pool teardown.
+        self._supervisor = StudySupervisor()
+        self._degrade = DegradationController(
+            enabled=self.config.auto_degrade, log=progress
+        )
 
     @property
     def checkpoint_path(self) -> Optional[str]:
@@ -376,6 +406,9 @@ class ParallelStudyRunner:
         record: dict,
     ) -> None:
         completed[(record["bench"], record["technique"])] = record
+        # Degradation watches the record stream: an ``oom`` cell may turn
+        # off snapshots / halve shards for every cell submitted after it.
+        self._degrade.observe(record, self._effective)
         if journal is not None:
             line = encode_journal_line(record)
             if self._fault_plan and self._fault_plan.corrupts_journal(
@@ -530,7 +563,14 @@ class ParallelStudyRunner:
                 self._run_pool(pending, completed, journal)
         finally:
             uninstall()
+            supervision = self._supervision_summary()
             if journal is not None:
+                if supervision is not None:
+                    rec = dict(supervision)
+                    rec["kind"] = "supervision"
+                    rec["ts"] = round(time.time(), 3)
+                    journal.write(encode_journal_line(rec) + "\n")
+                    journal.flush()
                 journal.close()
 
         if self._interrupted():
@@ -544,7 +584,23 @@ class ParallelStudyRunner:
                 if (info.name, tech) in completed
             ]
             results.append(BenchmarkResult.from_cells(info, records, config))
-        return StudyResult(config, results)
+        study = StudyResult(config, results)
+        study.supervision = supervision
+        return study
+
+    def _supervision_summary(self) -> Optional[dict]:
+        """What supervision had to do this run, or ``None`` when nothing
+        — the fault-free journal then carries no supervision record and
+        stays byte-identical to the pre-supervision format."""
+        events = self._degrade.events
+        sup = self._supervisor
+        if not events and not sup.reaped_orphans and not sup.tree_kills:
+            return None
+        return {
+            "degradation": [dict(ev) for ev in events],
+            "reaped_orphans": sup.reaped_orphans,
+            "tree_kills": sup.tree_kills,
+        }
 
     def _backoff(self, attempt: int) -> float:
         """Seconds to wait before submission ``attempt`` (0-based): the
@@ -564,18 +620,21 @@ class ParallelStudyRunner:
             if self._interrupted():
                 return
             attempt = 0
-            record = _cell_worker(bench, tech, self.config, attempt)
+            record = _cell_worker(bench, tech, self._effective, attempt)
             while (
-                taxonomy.status_of(record)
-                in (taxonomy.ERROR, taxonomy.DIVERGED)
+                taxonomy.status_of(record) in taxonomy.INRUN_RETRY_STATUSES
                 and attempt + 1 < MAX_ATTEMPTS
                 and not self._interrupted()
             ):
                 attempt += 1
+                # A resource breach degrades *before* its own retry: the
+                # controller only acts on journaled records, so feed it
+                # the discarded attempt (without journaling it).
+                self._degrade.observe(record, self._effective)
                 delay = self._backoff(attempt)
                 if delay > 0:
                     time.sleep(delay)
-                record = _cell_worker(bench, tech, self.config, attempt)
+                record = _cell_worker(bench, tech, self._effective, attempt)
             self._record(completed, journal, record)
 
     def _run_pool(
@@ -584,7 +643,7 @@ class ParallelStudyRunner:
         completed: Dict[CellKey, dict],
         journal: Optional[TextIO],
     ) -> None:
-        config = self.config
+        config = self._effective
         hard_limit = config.hard_timeout_for()
         self._pool = ProcessPoolExecutor(
             max_workers=self.jobs, initializer=_worker_init
@@ -595,6 +654,8 @@ class ParallelStudyRunner:
         attempts: Dict[CellKey, int] = {key: 0 for key in pending}
         #: Pool breaks each cell was in flight for (quarantine counter).
         crashes: Dict[CellKey, int] = {}
+        #: How many of those breaks were external SIGKILLs (OOM evidence).
+        sigkills: Dict[CellKey, int] = {}
         #: Cells the watchdog killed, pending their ``timeout`` record.
         overdue: Set[CellKey] = set()
         #: Cells waiting for a normal submission slot.  At most ``jobs``
@@ -616,6 +677,12 @@ class ParallelStudyRunner:
             )
             attempts[key] += 1
             in_flight[fut] = key
+            # Workers are lazily forked on first submit; (re-)register
+            # them so tree kills and the final orphan sweep see every
+            # process group this pool ever created.
+            for proc in getattr(self._pool, "_processes", {}).values():
+                if proc is not None and proc.pid is not None:
+                    self._supervisor.register_worker(proc.pid)
 
         def requeue(key: CellKey) -> None:
             delay = self._backoff(attempts[key])
@@ -627,12 +694,30 @@ class ParallelStudyRunner:
         def handle_record(key: CellKey, record: dict) -> None:
             status = taxonomy.status_of(record)
             if (
-                status in (taxonomy.ERROR, taxonomy.DIVERGED)
+                status in taxonomy.INRUN_RETRY_STATUSES
                 and attempts[key] < MAX_ATTEMPTS
             ):
+                # Resource breaches degrade before their own retry; the
+                # discarded attempt is observed (not journaled) so the
+                # requeued attempt runs under the go-slower knobs.
+                self._degrade.observe(record, self._effective)
                 requeue(key)
             else:
                 self._record(completed, journal, record)
+
+        def worker_exit_codes() -> List[int]:
+            """Exit codes of the dead pool workers (best effort)."""
+            procs = list(getattr(self._pool, "_processes", {}).values())
+            codes = []
+            deadline = time.monotonic() + 2.0
+            for proc in procs:
+                if proc is None:
+                    continue
+                self._supervisor.register_worker(proc.pid)
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.exitcode is not None:
+                    codes.append(proc.exitcode)
+            return codes
 
         def rebuild_pool(lost: List[CellKey]) -> None:
             """A worker died hard: these in-flight cells are lost.  Kill
@@ -640,10 +725,19 @@ class ParallelStudyRunner:
             nonlocal watchdog_fired
             was_watchdog = watchdog_fired
             watchdog_fired = False
+            # Attribution evidence first: a worker that exited on
+            # -SIGKILL without our watchdog having fired was killed from
+            # outside — on a loaded host that is the kernel OOM killer.
+            exit_codes = worker_exit_codes()
+            sigkilled = (
+                not was_watchdog
+                and any(code == -signal.SIGKILL for code in exit_codes)
+            )
             self._pool.shutdown(wait=False)
+            self._supervisor.sweep()  # no shard worker/holder outlives its worker
             self._pool = ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=_worker_init
-        )
+                max_workers=self.jobs, initializer=_worker_init
+            )
             sole_suspect = len(lost) == 1
             for k in lost:
                 if k in overdue:
@@ -655,7 +749,7 @@ class ParallelStudyRunner:
                             k[0],
                             k[1],
                             f"cell exceeded the hard watchdog limit "
-                            f"({hard_limit:g}s); worker killed",
+                            f"({hard_limit:g}s); worker process tree killed",
                             status=taxonomy.TIMEOUT,
                         ),
                     )
@@ -667,19 +761,39 @@ class ParallelStudyRunner:
                     # alone; otherwise it is merely a suspect to probe.
                     if sole_suspect:
                         crashes[k] = crashes.get(k, 0) + 1
+                        if sigkilled:
+                            sigkills[k] = sigkills.get(k, 0) + 1
                     if crashes.get(k, 0) >= QUARANTINE_CRASHES:
-                        self._record(
-                            completed,
-                            journal,
-                            error_record(
-                                k[0],
-                                k[1],
-                                f"worker process crashed with this cell "
-                                f"in flight {crashes[k]} times; cell "
-                                "quarantined",
-                                status=taxonomy.QUARANTINED,
-                            ),
-                        )
+                        if sigkills.get(k, 0) == crashes.get(k, 0):
+                            # Every crash of this cell was an external
+                            # SIGKILL: that is resource exhaustion, not
+                            # an engine bug — classify it as such.
+                            self._record(
+                                completed,
+                                journal,
+                                error_record(
+                                    k[0],
+                                    k[1],
+                                    f"worker killed by SIGKILL "
+                                    f"{crashes[k]} times with this cell "
+                                    "in flight (kernel OOM killer is the "
+                                    "usual sender); cell benched",
+                                    status=taxonomy.OOM,
+                                ),
+                            )
+                        else:
+                            self._record(
+                                completed,
+                                journal,
+                                error_record(
+                                    k[0],
+                                    k[1],
+                                    f"worker process crashed with this cell "
+                                    f"in flight {crashes[k]} times; cell "
+                                    "quarantined",
+                                    status=taxonomy.QUARANTINED,
+                                ),
+                            )
                     else:
                         if not sole_suspect:
                             crashes[k] = crashes.get(k, 0) + 1
@@ -776,13 +890,24 @@ class ParallelStudyRunner:
             self._pool = None
             if pool is not None:
                 pool.shutdown(wait=True)
+            # Last line of containment: anything still alive in a worker
+            # process group — shard workers, parked snapshot holders —
+            # is an orphan; kill and count it.
+            self._supervisor.sweep()
 
     def _kill_workers(self) -> None:
-        """Hard-kill every pool worker (the pool then reports broken)."""
+        """Hard-kill every pool worker *tree* (pool then reports broken).
+
+        Workers live in their own process groups (``_worker_init``), so
+        the kill reaches shard workers and parked snapshot holders too —
+        a watchdog firing on a cell stuck inside ``fork_map`` must not
+        leave the shard pool running headless.
+        """
         procs = list(getattr(self._pool, "_processes", {}).values())
         for proc in procs:
             if proc is not None and proc.is_alive():
-                proc.terminate()
+                if not self._supervisor.kill_worker_tree(proc.pid):
+                    proc.terminate()
 
     def _drain(
         self,
@@ -813,10 +938,14 @@ class ParallelStudyRunner:
         pool.shutdown(wait=False, cancel_futures=True)
         for proc in procs:
             if proc is not None and proc.is_alive():
-                proc.terminate()
+                if not self._supervisor.kill_worker_tree(
+                    proc.pid, sig=signal.SIGTERM
+                ):
+                    proc.terminate()
         for proc in procs:
             if proc is not None:
                 proc.join(timeout=2.0)
+        self._supervisor.sweep()
 
 
 def run_study_parallel(

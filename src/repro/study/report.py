@@ -264,6 +264,73 @@ def resource_audit_summary(study: StudyResult) -> str:
     return "\n".join(lines)
 
 
+def _fmt_bytes(n: int) -> str:
+    """Human byte count (binary units), exact below 1 KiB."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def resource_usage_summary(study: StudyResult) -> str:
+    """Supervision telemetry, when the run was supervised and eventful.
+
+    Per-cell peak process-tree RSS/fd/process counts (sampled by
+    :class:`repro.study.supervisor.CellSupervisor`), the run's graceful-
+    degradation events, and the orphan/tree-kill counts from the parent's
+    group sweep.  A run with no ceilings configured — or one whose
+    ceilings were never approached — emits nothing here and the section
+    is omitted from :func:`full_report`: supervision is operations
+    telemetry, never part of the study's science.
+    """
+    lines = []
+    rows = []
+    for r in study:
+        for tech, res in sorted(getattr(r, "resources", {}).items()):
+            rows.append(
+                f"{r.info.bench_id:>3} {r.info.name:<26} {tech:<9} "
+                f"{_fmt_bytes(res.get('peak_rss', 0)):>10} "
+                f"{res.get('peak_fds', 0):>5} "
+                f"{res.get('peak_procs', 0):>6}"
+                + (
+                    f"  reaped {len(res['reaped_pids'])} pid(s)"
+                    if res.get("reaped_pids")
+                    else ""
+                )
+            )
+    if rows:
+        lines += [
+            f"{'id':>3} {'benchmark':<26} {'technique':<9} "
+            f"{'peak rss':>10} {'fds':>5} {'procs':>6}",
+            "-" * 70,
+        ]
+        lines.extend(rows)
+        lines.append("-" * 70)
+    supervision = getattr(study, "supervision", None) or {}
+    events = supervision.get("degradation", ())
+    if events:
+        lines.append("degradation events (go-slower knobs, oldest first):")
+        for ev in events:
+            lines.append(
+                f"  [{ev.get('after_breaches', '?')} oom breach(es)] "
+                f"{ev.get('action', '?')}: {ev.get('reason', '')}"
+            )
+    reaped = supervision.get("reaped_orphans", 0)
+    kills = supervision.get("tree_kills", 0)
+    if reaped or kills:
+        lines.append(
+            f"process-tree supervision: {kills} tree kill(s), "
+            f"{reaped} orphaned process(es) reaped at teardown"
+        )
+    if not lines:
+        return "no supervision events (ceilings never approached)"
+    return "\n".join(lines)
+
+
 def full_report(study: StudyResult) -> str:
     """Every table, figure, comparison and headline in one text report."""
     from .tables import table1, table2, table3
@@ -311,4 +378,8 @@ def full_report(study: StudyResult) -> str:
         for st in r.stats.values()
     ):
         parts += ["", "## Resource audit", resource_audit_summary(study)]
+    if getattr(study, "supervision", None) or any(
+        getattr(r, "resources", None) for r in study
+    ):
+        parts += ["", "## Resource usage", resource_usage_summary(study)]
     return "\n".join(parts)

@@ -49,6 +49,7 @@ class BenchmarkResult:
         "seconds",
         "errors",
         "statuses",
+        "resources",
     )
 
     def __init__(
@@ -72,6 +73,10 @@ class BenchmarkResult:
         #: :mod:`repro.study.taxonomy`); empty when every cell succeeded,
         #: so fault-free output is unchanged.
         self.statuses: Dict[str, str] = dict(statuses) if statuses else {}
+        #: technique -> resource attribution (peak tree RSS/fds, reaped
+        #: pids) from the cell supervisor; populated only when resource
+        #: ceilings were configured, so unsupervised output is unchanged.
+        self.resources: Dict[str, dict] = {}
 
     @property
     def has_races(self) -> bool:
@@ -95,6 +100,8 @@ class BenchmarkResult:
             out["errors"] = dict(self.errors)
         if self.statuses:
             out["statuses"] = dict(self.statuses)
+        if self.resources:
+            out["resources"] = dict(self.resources)
         return out
 
     @classmethod
@@ -128,7 +135,7 @@ class BenchmarkResult:
             seconds += rec.get("seconds") or 0.0
             status = taxonomy.status_of(rec)
             if taxonomy.is_success(status) or (
-                status in (taxonomy.TIMEOUT, taxonomy.ABORTED)
+                status in taxonomy.PARTIAL_STATS_STATUSES
                 and rec.get("stats")
             ):
                 stats[tech] = ExplorationStats.from_payload(rec["stats"])
@@ -141,7 +148,14 @@ class BenchmarkResult:
                 errors[tech] = rec.get("error") or "unknown error"
             if not taxonomy.is_success(status):
                 statuses[tech] = status
+                # Partial-stats breaches (oom/resource with stats kept)
+                # still carry their attribution line.
+                if rec.get("error") and tech not in errors:
+                    errors[tech] = rec["error"]
         result = cls(info, None, stats, seconds, errors, statuses)
+        for tech, rec in by_tech.items():
+            if rec.get("resource"):
+                result.resources[tech] = rec["resource"]
         result.races = races
         result.racy_sites = racy_sites
         return result
@@ -153,6 +167,10 @@ class StudyResult:
     def __init__(self, config: StudyConfig, results: List[BenchmarkResult]) -> None:
         self.config = config
         self.results = results
+        #: Parallel-run supervision summary (degradation events, reaped
+        #: orphans, tree kills); ``None`` when nothing noteworthy
+        #: happened or the run was not supervised.
+        self.supervision: Optional[dict] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -372,11 +390,22 @@ def _abort_flagged(stats: ExplorationStats) -> bool:
     )
 
 
+def _supervised(config: StudyConfig) -> bool:
+    """Whether any resource ceiling is configured for this run."""
+    return (
+        config.cell_max_rss is not None
+        or config.cell_max_fds is not None
+        or config.min_free_disk is not None
+    )
+
+
 def _cell_budget(config: StudyConfig) -> Optional[Budget]:
-    """The cooperative per-cell budget, or ``None`` when no deadline is
-    configured (the fault-free fast path: zero overhead, zero behaviour
-    change)."""
-    if config.cell_deadline is None:
+    """The cooperative per-cell budget, or ``None`` when neither a
+    deadline nor a resource ceiling is configured (the fault-free fast
+    path: zero overhead, zero behaviour change).  With ceilings but no
+    deadline the budget is unbounded — it exists purely as the
+    supervisor's trip channel (:meth:`repro.core.budget.Budget.trip`)."""
+    if config.cell_deadline is None and not _supervised(config):
         return None
     return Budget(deadline_seconds=config.cell_deadline).start()
 
@@ -444,15 +473,48 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     info = get_benchmark(bench_name)
     report = detect_races_cached(info, config)
     budget = _cell_budget(config)
-    stats = _profiled(
-        config,
-        info.name,
-        technique,
-        lambda: _run_technique(
-            info.make(), info, technique, config, _filter_for(report), budget
-        ),
-    )
-    if stats.deadline_hit:
+    supervisor = None
+    if _supervised(config):
+        from .supervisor import CellSupervisor
+
+        supervisor = CellSupervisor.from_config(config, budget)
+        supervisor.start()
+    try:
+        stats = _profiled(
+            config,
+            info.name,
+            technique,
+            lambda: _run_technique(
+                info.make(), info, technique, config, _filter_for(report),
+                budget,
+            ),
+        )
+    except BaseException:
+        # A breach can surface as an exception instead of a cooperative
+        # stop (the supervisor SIGKILLed a holder/shard worker mid-use);
+        # the breach, not the secondary exception, is the attribution.
+        breach = supervisor.finish() if supervisor is not None else None
+        if breach is None:
+            raise
+        return {
+            "kind": "cell",
+            "bench": info.name,
+            "bench_id": info.bench_id,
+            "suite": info.suite,
+            "technique": technique,
+            "status": breach.status,
+            "races": len(report.races),
+            "racy_sites": len(report.racy_sites),
+            "seconds": round(time.monotonic() - t0, 6),
+            "ts": round(started_at, 3),
+            "stats": None,
+            "error": breach.detail,
+            "resource": supervisor.snapshot(),
+        }
+    breach = supervisor.finish() if supervisor is not None else None
+    if breach is not None:
+        status = breach.status
+    elif stats.deadline_hit:
         status = taxonomy.TIMEOUT
     elif stats.found_bug:
         status = taxonomy.BUG
@@ -472,8 +534,12 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
         "seconds": round(time.monotonic() - t0, 6),
         "ts": round(started_at, 3),
         "stats": stats.to_payload(),
-        "error": None,
+        "error": breach.detail if breach is not None else None,
     }
+    if supervisor is not None:
+        # Attribution + telemetry, present exactly when ceilings are
+        # configured — an unsupervised run's records carry no new keys.
+        record["resource"] = supervisor.snapshot()
     if technique in SEEDED_TECHNIQUES:
         # The seed this attempt *actually* drew from (retries run under
         # ``StudyConfig.for_attempt``'s bump, which the base config alone

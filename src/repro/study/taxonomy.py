@@ -20,6 +20,13 @@ quarantined the cell crashed its worker process (segfault/OOM/``os._exit``)
 aborted    at least half the cell's executions were contained program-API
            misuse aborts (:attr:`repro.engine.Outcome.ABORT`) — the
            subject abuses the harness; its stats are kept but flagged
+oom        the cell's process tree crossed its RSS ceiling
+           (``StudyConfig.cell_max_rss``), or its worker was killed by
+           SIGKILL with nothing else to blame (the kernel OOM killer) —
+           partial stats kept when the cooperative stop landed first
+resource   a non-memory ceiling breach: file-descriptor ceiling, disk
+           floor under the checkpoint/results directory, or descendant
+           processes found alive (and reaped) after the cell ended
 ========== =============================================================
 
 ``ok``/``bug`` are *successes* (their stats are complete and final);
@@ -37,15 +44,33 @@ DIVERGED = "diverged"
 ERROR = "error"
 QUARANTINED = "quarantined"
 ABORTED = "aborted"
+OOM = "oom"
+RESOURCE = "resource"
 
 #: Every status a cell record may carry (journal v2).
-ALL_STATUSES = (OK, BUG, TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED)
+ALL_STATUSES = (
+    OK, BUG, TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED, OOM, RESOURCE,
+)
 
 #: Completed-for-good statuses: the recorded stats are the final word.
 SUCCESS_STATUSES = frozenset({OK, BUG})
 
 #: Statuses ``--retry-errors`` re-runs on resume.
-RETRYABLE_STATUSES = frozenset({TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED})
+RETRYABLE_STATUSES = frozenset(
+    {TIMEOUT, DIVERGED, ERROR, QUARANTINED, ABORTED, OOM, RESOURCE}
+)
+
+#: Statuses the runner retries *in-run* (immediately, with backoff and a
+#: deterministic seed bump) before recording the failure.  Resource
+#: breaches are here because degradation may have changed the odds: the
+#: retry runs under the post-degradation knobs (snapshots off, fewer
+#: shards), which is exactly when a second attempt is worth it.
+INRUN_RETRY_STATUSES = frozenset({ERROR, DIVERGED, OOM, RESOURCE})
+
+#: Statuses that may carry partial (but well-formed) exploration stats:
+#: a cooperative stop — deadline expiry or a supervisor budget trip —
+#: leaves the measurement usable, only truncated.
+PARTIAL_STATS_STATUSES = frozenset({TIMEOUT, ABORTED, OOM, RESOURCE})
 
 #: A cell is flagged ``aborted`` when at least this fraction of its
 #: executions were contained misuse aborts.

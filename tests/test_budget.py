@@ -104,6 +104,95 @@ class TestBudgetUnit:
         clock.advance(0.6)
         assert b.expired
 
+    def test_trip_expires_from_outside(self):
+        b = Budget()  # unbounded: the supervisor's pure trip channel
+        assert not b.expired
+        b.trip("RSS ceiling breached")
+        assert b.expired
+        assert b.reason == "RSS ceiling breached"
+        assert b.tick()  # next poll notices immediately
+        assert b.start_execution()
+
+    def test_trip_first_wins(self):
+        b = Budget()
+        b.trip("first breach")
+        b.trip("second breach")
+        assert b.reason == "first breach"
+
+    def test_trip_does_not_mask_prior_expiry(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=1.0, clock=clock).start()
+        clock.advance(2.0)
+        assert b.expired
+        b.trip("late breach")
+        assert "deadline" in b.reason
+
+
+class TestForkReanchor:
+    def test_reanchor_rebases_remaining_allowance(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=10.0, clock=clock).start()
+        clock.advance(4.0)
+        b.fork_reanchor()  # "child" inherits 6s against a fresh anchor
+        assert b.deadline_seconds == pytest.approx(6.0)
+        assert not b.expired  # anchor reset: clock re-read on next poll
+        clock.advance(5.999)
+        assert not b.expired
+        clock.advance(0.002)
+        assert b.expired
+
+    def test_chained_reanchor_never_widens(self):
+        # Holder forks holder forks holder: each hop must shrink (never
+        # reset) the allowance, like the snapshot chain-fork path.
+        clock = FakeClock()
+        b = Budget(deadline_seconds=10.0, clock=clock).start()
+        for expect in (8.0, 6.0, 4.0):  # down to grandchild depth 3
+            assert not b.expired  # first poll in this "process" anchors
+            clock.advance(2.0)
+            assert not b.expired
+            b.fork_reanchor()
+            assert b.deadline_seconds == pytest.approx(expect)
+
+    def test_reanchor_of_exhausted_deadline_floors_at_zero(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=1.0, clock=clock).start()
+        clock.advance(5.0)
+        b.fork_reanchor()
+        assert b.deadline_seconds == 0.0
+        b.expired  # first poll anchors the child clock
+        assert b.expired
+
+    def test_reanchor_preserves_tripped_reason(self):
+        b = Budget(deadline_seconds=10.0).start()
+        b.trip("breach before fork")
+        b.fork_reanchor()
+        assert b.expired
+        assert b.reason == "breach before fork"
+
+    def test_reanchor_keeps_work_ceilings_as_counts(self):
+        b = Budget(max_executions=5).start()
+        for _ in range(3):
+            assert not b.start_execution()
+        b.fork_reanchor()
+        assert b.executions == 3  # inherited: child gets what was left
+        assert not b.start_execution()
+        assert not b.start_execution()
+        assert b.start_execution()
+
+    def test_reanchor_zeroes_tick_gas(self):
+        clock = FakeClock()
+        b = Budget(deadline_seconds=10.0, clock=clock).start()
+        b.tick()  # prime the stride counter
+        clock.advance(4.0)
+        b.fork_reanchor()  # 6s left; gas zeroed
+        b.tick()  # gas exhausted: this tick reads the clock and anchors
+        assert b._t0 is not None  # not up to _CLOCK_STRIDE ticks later
+        clock.advance(7.0)
+        # A full stride may elapse before the clock is re-read, but the
+        # reanchor guaranteed the *first* tick read it (gas was zero).
+        assert any(b.tick() for _ in range(_CLOCK_STRIDE))
+        assert b.expired
+
 
 class TestExecutorTimeout:
     def test_expired_budget_refuses_execution(self):
