@@ -135,6 +135,71 @@ def dependent(a: Op, b: Op) -> bool:
     return True
 
 
+def _mutex_roles(op: Op) -> Dict[DepKey, str]:
+    """Mutex-protocol roles an op plays, per dependency key.
+
+    ``"hold"``: valid only while the op's thread holds the mutex
+    exclusively (UNLOCK; COND_WAIT's implicit release).  ``"free"``: the
+    op is enabled only while the mutex is completely free (LOCK,
+    REACQUIRE, RW_WRLOCK).  ``"rw_hold"``: requires holding, but the hold
+    may be shared (RW_UNLOCK by a reader), so two of them can coexist.
+    TRYLOCK plays no role: it is enabled regardless of ownership.
+    """
+    kind = op.kind
+    if kind is OpKind.UNLOCK:
+        return {(op.target.name, None): "hold"}
+    if kind is OpKind.COND_WAIT:
+        return {(op.arg.name, None): "hold"}
+    if kind is OpKind.LOCK or kind is OpKind.REACQUIRE:
+        return {(op.target.name, None): "free"}
+    if kind is OpKind.RW_UNLOCK:
+        return {(op.target.name, None): "rw_hold"}
+    if kind is OpKind.RW_WRLOCK:
+        return {(op.target.name, None): "free"}
+    return {}
+
+
+#: Role pairs that cannot coexist on one mutex: a (valid) release requires
+#: the hold, an acquire requires the mutex free, and an exclusive hold
+#: excludes every other holder.  ``rw_hold``/``rw_hold`` is absent: two
+#: readers of one rwlock may both be poised to unlock it.
+_EXCLUSIVE_ROLES = frozenset(
+    {
+        ("hold", "hold"),
+        ("hold", "free"),
+        ("free", "hold"),
+        ("hold", "rw_hold"),
+        ("rw_hold", "hold"),
+        ("rw_hold", "free"),
+        ("free", "rw_hold"),
+    }
+)
+
+
+def never_co_enabled(a: Op, b: Op) -> bool:
+    """Whether two ops can never be simultaneously poised to execute.
+
+    Classic DPOR's race candidates must be *dependent and may be
+    co-enabled*: a mutex release and an acquire of the same mutex are
+    dependent, but their order is dictated by the lock protocol (the
+    acquire is enabled only while the mutex is free, the release only
+    while its thread holds it), not by a scheduling choice — the
+    reversible race, if any, sits at an earlier acquire/acquire point.
+    (This engine *schedules* an unowned UNLOCK and contains it as a
+    misuse abort, so such an execution produces no terminal schedule —
+    treating the pair as never co-enabled stays sound for coverage.)
+    """
+    roles_a = _mutex_roles(a)
+    if not roles_a:
+        return False
+    roles_b = _mutex_roles(b)
+    for key, role_a in roles_a.items():
+        role_b = roles_b.get(key)
+        if role_b is not None and (role_a, role_b) in _EXCLUSIVE_ROLES:
+            return True
+    return False
+
+
 # ---------------------------------------------------------------------------
 # Vector clocks (local lightweight variant keyed by tid)
 # ---------------------------------------------------------------------------
@@ -303,6 +368,25 @@ def _steps_dependent(a: "_Point", b: "_Point") -> bool:
     if b.writes & a.reads:
         return True
     return False
+
+
+def _reversible_race(prev: "_Point", point: "_Point") -> bool:
+    """Whether the (prev, point) conflict is a race a scheduling choice
+    at ``prev`` could reverse.
+
+    Data-footprint conflicts always are.  A conflict carried solely by
+    the visible ops is not when the pair can never be co-enabled
+    (:func:`never_co_enabled` — e.g. a mutex release vs an acquire of
+    the same mutex): no choice at ``prev`` swaps them, so the backtrack
+    walk must continue to the earlier step that actually races.
+    Registering here instead used to *stop* the walk and lose whole
+    trace classes (an acquire/acquire race hidden behind the release).
+    """
+    if prev.writes & (point.reads | point.writes) or point.writes & prev.reads:
+        return True
+    if not dependent(prev.op, point.op):
+        return False
+    return not never_co_enabled(prev.op, point.op)
 
 
 class _PrunedBranch(Exception):
@@ -525,13 +609,18 @@ class DPORExplorer(Explorer):
 
         Runs every execution (backtrack-set union is idempotent).  Walks
         every dependent, non-happens-before predecessor from the most
-        recent backwards; at the first point where the stepping thread was
-        enabled, scheduling it there reverses the race — record it and
-        stop.  At points where it was blocked (e.g. the predecessor is the
-        mutex release that re-enabled it) the add-all-enabled fallback is
-        a no-op, so keep walking: this is what makes lock-order deadlocks
-        reachable (the acquire/acquire race registers at the earlier
-        acquire, not at the release)."""
+        recent backwards; at the first *reversible* race point
+        (:func:`_reversible_race`) where the stepping thread was enabled,
+        scheduling it there reverses the race — record it and stop.
+        Dependent pairs that can never be co-enabled (a mutex release vs
+        an acquire of the same mutex) join the clock but register
+        nothing: the order-determining race sits at an earlier
+        acquire/acquire point, and stopping at the release used to lose
+        the trace class whose critical sections run in the other order.
+        At points where the stepping thread was blocked the
+        add-all-enabled fallback is a no-op, so keep walking — together
+        these rules are what make lock-order deadlocks (and both orders
+        of two critical sections) reachable."""
         stack = self._stack
         point = stack[j]
         if point.clock:
@@ -549,7 +638,11 @@ class DPORExplorer(Explorer):
             if not _steps_dependent(prev, point):
                 continue
             clock = _join(clock, prev.clock)
-            if not registered and not _leq(prev.clock, base):
+            if (
+                not registered
+                and not _leq(prev.clock, base)
+                and _reversible_race(prev, point)
+            ):
                 if q in prev.enabled:
                     prev.backtrack.add(q)
                     registered = True

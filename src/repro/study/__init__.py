@@ -20,6 +20,7 @@ from .report import (
     headline_findings,
     resource_usage_summary,
     status_summary,
+    store_overview,
 )
 from .supervisor import (
     CellSupervisor,
@@ -31,10 +32,21 @@ from .compare import RunDiff, diff_runs
 from .config import derive_seed
 from .faults import FaultPlan, FaultSpec
 from .parallel import ParallelStudyRunner, StudyInterrupted, run_study_parallel
+from .store import (
+    JournalBackend,
+    StoreBackend,
+    StoreLockedError,
+    StudyStore,
+    list_runs,
+    load_run,
+    open_backend,
+    read_journal,
+)
 from . import taxonomy
 from .runner import (
     BenchmarkResult,
     StudyResult,
+    assemble_study,
     run_benchmark,
     run_cell,
     run_study,
@@ -53,6 +65,15 @@ __all__ = [
     "run_study_parallel",
     "ParallelStudyRunner",
     "StudyInterrupted",
+    "StudyStore",
+    "StoreBackend",
+    "JournalBackend",
+    "StoreLockedError",
+    "open_backend",
+    "read_journal",
+    "list_runs",
+    "load_run",
+    "assemble_study",
     "FaultPlan",
     "FaultSpec",
     "taxonomy",
@@ -78,6 +99,7 @@ __all__ = [
     "engine_cost_summary",
     "resource_usage_summary",
     "status_summary",
+    "store_overview",
     "CellSupervisor",
     "StudySupervisor",
     "DegradationController",

@@ -169,7 +169,43 @@ def main(argv=None) -> int:
              "for subsequent cells — go-slower knobs only, never part of "
              "the fingerprint)",
     )
+    parser.add_argument(
+        "--store", action=argparse.BooleanOptionalAction, default=True,
+        help="checkpoint backend: the crash-consistent SQLite store "
+             "(study.sqlite under --checkpoint-dir; WAL mode, per-cell "
+             "durable commits, single-writer lease) — the default.  "
+             "--no-store uses the v2 JSONL journal instead; a journal "
+             "run is migrated into the store on its next store-backed "
+             "resume.  Pure storage, never part of the fingerprint",
+    )
+    parser.add_argument(
+        "--list-runs", action="store_true",
+        help="list every run in the store under --checkpoint-dir (cells "
+             "by status, lease state) and exit",
+    )
+    parser.add_argument(
+        "--report-run", default=None, metavar="RUN_ID",
+        help="rebuild the full report for a completed/partial run from "
+             "the store (no cells are executed) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_runs:
+        from .report import store_overview
+
+        print(store_overview(args.checkpoint_dir))
+        return 0
+
+    if args.report_run:
+        from .store import load_run
+
+        try:
+            study = load_run(args.checkpoint_dir, args.report_run)
+        except (KeyError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(full_report(study))
+        return 0
 
     if args.quick:
         config = quick_config()
@@ -189,6 +225,7 @@ def main(argv=None) -> int:
     config.min_free_disk = args.min_free_disk
     config.auto_degrade = args.auto_degrade
     config.supervise_dir = args.checkpoint_dir
+    config.store = args.store
 
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
     t0 = time.time()

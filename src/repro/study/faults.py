@@ -29,7 +29,16 @@ Kinds:
     the ``diverged`` classification.
 ``corrupt-journal``
     The cell runs normally, but its journal line is written garbled —
-    exercises CRC detection and mid-file recovery on resume.
+    exercises CRC detection and mid-file recovery on resume.  Under the
+    SQLite store backend the row's digest is garbled instead (same
+    detect-and-re-run semantics on read).
+``store-kill``
+    The cell runs normally, but the *parent* process SIGKILLs itself
+    after executing the store INSERT and before the COMMIT — the
+    sharpest possible mid-transaction crash.  Recovery must land on the
+    previous committed cell (the torn transaction never becomes
+    visible).  Store backend only; drills run the study in a
+    subprocess to survive the kill.
 ``oom``
     Allocates ``bytes`` (default 64 MiB) of real, touched memory and
     holds it for the rest of the cell — exercises the
@@ -70,8 +79,12 @@ CRASH_EXIT_CODE = 66
 #: Ballast held by an injected ``oom`` fault when the spec names no size.
 DEFAULT_OOM_BYTES = 64 * 1024 * 1024
 
-KINDS = ("crash", "hang", "diverge", "corrupt-journal", "oom", "orphan",
-         "disk-full")
+KINDS = ("crash", "hang", "diverge", "corrupt-journal", "store-kill", "oom",
+         "orphan", "disk-full")
+
+#: Kinds that fire at record-write time in the parent, not inside the
+#: cell — :meth:`FaultPlan.match` never returns them.
+WRITE_TIME_KINDS = frozenset({"corrupt-journal", "store-kill"})
 
 #: Ballast bytearrays held by fired ``oom`` faults (module global so the
 #: memory stays resident until :func:`clear_injected_state`).
@@ -171,10 +184,11 @@ class FaultPlan:
     def match(
         self, bench: str, technique: str, attempt: int
     ) -> Optional[FaultSpec]:
-        """The first in-cell fault armed for this attempt (excluding
-        journal corruption, which fires at write time, not run time)."""
+        """The first in-cell fault armed for this attempt (excluding the
+        write-time kinds, which fire when the record is stored, not when
+        the cell runs)."""
         for spec in self.specs:
-            if spec.kind != "corrupt-journal" and spec.matches(
+            if spec.kind not in WRITE_TIME_KINDS and spec.matches(
                 bench, technique, attempt
             ):
                 return spec
@@ -184,6 +198,16 @@ class FaultPlan:
         """Whether this cell's journal line should be written garbled."""
         return any(
             spec.kind == "corrupt-journal"
+            and spec.bench == bench
+            and spec.technique == technique
+            for spec in self.specs
+        )
+
+    def kills_store(self, bench: str, technique: str) -> bool:
+        """Whether this cell's store commit should SIGKILL the writer
+        mid-transaction (``store-kill``)."""
+        return any(
+            spec.kind == "store-kill"
             and spec.bench == bench
             and spec.technique == technique
             for spec in self.specs

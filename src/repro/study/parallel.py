@@ -3,17 +3,21 @@ tolerance.
 
 The study is a grid of independent (benchmark, technique) *cells* (see
 :func:`repro.study.runner.run_cell`).  :class:`ParallelStudyRunner` fans
-the grid out over a ``ProcessPoolExecutor`` and journals every completed
-cell as one JSON line under ``results/checkpoints/<run-id>.jsonl``:
+the grid out over a ``ProcessPoolExecutor`` and commits every completed
+cell to a checkpoint backend (:mod:`repro.study.store`):
 
-* line 1 is a header record binding the file to a
-  :meth:`StudyConfig.fingerprint`, so a resume with a different
-  configuration is rejected instead of silently mixing results;
-* each further line is one cell record, appended (and fsynced) the moment
-  the cell finishes, with a CRC32 of the line's own JSON (journal v2) so
-  *any* corrupted line — torn tail, bit rot, injected garbage mid-file —
-  is detected and skipped on read (that cell simply re-runs).  v1
-  journals (no CRC) are read transparently.
+* the default backend is the crash-consistent SQLite store
+  (``results/checkpoints/study.sqlite``, WAL mode, one durable commit
+  per cell, single-writer lease with heartbeat);
+* ``config.store = False`` (CLI ``--no-store``) selects the v2 JSONL
+  journal (``<run-id>.jsonl``): a fingerprint-bound header line plus one
+  fsynced CRC-tagged JSON line per cell.  A journal-only run is migrated
+  into the store transparently on its next store-backed resume.
+
+Either way a resume under a different configuration fingerprint is
+rejected instead of silently mixing results, and any corrupted record —
+torn tail, bit rot, injected garbage — is detected by its digest and
+skipped on read (that cell simply re-runs).
 
 Failure taxonomy (:mod:`repro.study.taxonomy`): a cell ends ``ok``,
 ``bug``, ``timeout`` (cooperative :class:`repro.core.budget.Budget`
@@ -43,17 +47,15 @@ pool — and produce results identical to :func:`repro.study.run_study`
 from __future__ import annotations
 
 import copy
-import json
 import os
 import signal
 import sys
 import threading
 import time
 import traceback
-import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Set, TextIO, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..engine.strategies import ReplayDivergence
 from ..sctbench import get as get_benchmark
@@ -67,8 +69,21 @@ from .runner import (
     BenchmarkResult,
     ProgressFn,
     StudyResult,
+    assemble_study,
     run_cell,
     study_benchmarks,
+)
+# The journal codec and both checkpoint backends live in the store
+# module; the names below are re-exported here for compatibility (tests
+# and scripts historically import them from ``repro.study.parallel``).
+from .store import (  # noqa: F401  (re-exports)
+    CHECKPOINT_VERSION,
+    JournalInfo,
+    StoreLockedError,
+    decode_journal_line,
+    encode_journal_line,
+    open_backend,
+    read_journal,
 )
 
 #: Default journal location, relative to the working directory.
@@ -80,8 +95,6 @@ MAX_ATTEMPTS = 2
 
 #: Pool breaks a cell may be in flight for before it is ``quarantined``.
 QUARANTINE_CRASHES = 2
-
-CHECKPOINT_VERSION = 2
 
 #: Main-loop poll interval: how often the pool loop checks signals,
 #: watchdog deadlines, and due retries (seconds).
@@ -198,108 +211,12 @@ def error_record(
     }
 
 
-# -- journal format ---------------------------------------------------------
-
-def encode_journal_line(record: dict) -> str:
-    """One v2 journal line: the record JSON with a ``crc`` field holding
-    the CRC32 (hex) of the record serialized *without* it.
-
-    Serialization is canonical (sorted keys, compact separators) on both
-    the write and the verify side, so the check is byte-exact.
-    """
-    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
-    rec = dict(record)
-    rec["crc"] = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
-    return json.dumps(rec, sort_keys=True, separators=(",", ":"))
-
-
-def decode_journal_line(line: str) -> Optional[dict]:
-    """Parse and verify one journal line; ``None`` for any corruption.
-
-    v1 lines carry no ``crc`` and are accepted as-is (read-compat); v2
-    lines must round-trip their CRC exactly.
-    """
-    try:
-        rec = json.loads(line)
-    except json.JSONDecodeError:
-        return None
-    if not isinstance(rec, dict):
-        return None
-    crc = rec.pop("crc", None)
-    if crc is not None:
-        body = json.dumps(rec, sort_keys=True, separators=(",", ":"))
-        expect = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
-        if crc != expect:
-            return None
-    return rec
-
-
-class JournalInfo:
-    """Everything one journal read learned (see :func:`read_journal`)."""
-
-    __slots__ = ("completed", "header", "corrupt_lines", "version")
-
-    def __init__(self) -> None:
-        #: Last record per cell key (a retried cell's newest record wins).
-        self.completed: Dict[CellKey, dict] = {}
-        self.header: Optional[dict] = None
-        #: 1-based line numbers that failed to parse or failed their CRC.
-        self.corrupt_lines: List[int] = []
-        self.version: Optional[int] = None
-
-
-def read_journal(path: str, config: Optional[StudyConfig] = None) -> JournalInfo:
-    """Read a checkpoint journal, skipping corrupted lines anywhere.
-
-    Raises ``ValueError`` when the journal belongs to a run with a
-    different configuration fingerprint (pass ``config=None`` to skip the
-    check), or when cell records exist but the header line is unreadable
-    — the fingerprint can then not be verified, so resuming would risk
-    mixing configurations.
-    """
-    info = JournalInfo()
-    if not os.path.exists(path):
-        return info
-    with open(path, "r", encoding="utf-8", errors="replace") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            rec = decode_journal_line(line)
-            if rec is None:
-                info.corrupt_lines.append(lineno)
-                continue
-            kind = rec.get("kind")
-            if kind == "header":
-                info.header = rec
-                info.version = rec.get("version")
-                if config is not None:
-                    theirs = rec.get("fingerprint")
-                    ours = config.fingerprint()
-                    if theirs != ours:
-                        raise ValueError(
-                            f"checkpoint {path} was produced under a "
-                            f"different study configuration (fingerprint "
-                            f"{theirs} != {ours}); use a new --run-id or "
-                            "delete the file"
-                        )
-            elif kind == "cell":
-                info.completed[(rec["bench"], rec["technique"])] = rec
-    if info.completed and info.header is None:
-        raise ValueError(
-            f"checkpoint {path} has cell records but no readable header "
-            "line — its configuration fingerprint cannot be verified; "
-            "use a new --run-id or delete the file"
-        )
-    return info
-
-
 def load_checkpoint(path: str, config: StudyConfig) -> Dict[CellKey, dict]:
-    """Completed cells recorded in ``path`` (empty dict if absent).
+    """Completed cells recorded in journal ``path`` (empty if absent).
 
-    Raises ``ValueError`` when the journal belongs to a run with a
-    different configuration fingerprint.  Corrupted lines *anywhere* in
-    the file — not just a torn tail — are skipped; those cells re-run.
+    Compatibility shim over :func:`repro.study.store.read_journal` —
+    raises ``ValueError`` on a fingerprint mismatch; corrupted lines
+    *anywhere* in the file are skipped (those cells re-run).
     """
     return read_journal(path, config).completed
 
@@ -378,46 +295,31 @@ class ParallelStudyRunner:
             for tech in self.config.techniques
         ]
 
-    # -- checkpoint journal ------------------------------------------------
+    # -- checkpoint backend ------------------------------------------------
 
-    def _open_journal(self) -> Optional[TextIO]:
-        path = self.checkpoint_path
-        if path is None:
-            return None
-        os.makedirs(self.checkpoint_dir, exist_ok=True)
-        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
-        fh = open(path, "a", encoding="utf-8")
-        if fresh:
-            header = {
-                "kind": "header",
-                "version": CHECKPOINT_VERSION,
-                "run_id": self.run_id,
-                "fingerprint": self.config.fingerprint(),
-                "ts": round(time.time(), 3),
-            }
-            fh.write(encode_journal_line(header) + "\n")
-            fh.flush()
-        return fh
+    def _open_backend(self):
+        """The run's checkpoint backend (store or journal), opened with
+        its lease held — or ``None`` when checkpointing is disabled."""
+        return open_backend(
+            self.config,
+            self.run_id,
+            self.checkpoint_dir,
+            fault_plan=self._fault_plan,
+            log=self.progress,
+        )
 
     def _record(
         self,
         completed: Dict[CellKey, dict],
-        journal: Optional[TextIO],
+        backend,
         record: dict,
     ) -> None:
         completed[(record["bench"], record["technique"])] = record
         # Degradation watches the record stream: an ``oom`` cell may turn
         # off snapshots / halve shards for every cell submitted after it.
         self._degrade.observe(record, self._effective)
-        if journal is not None:
-            line = encode_journal_line(record)
-            if self._fault_plan and self._fault_plan.corrupts_journal(
-                record["bench"], record["technique"]
-            ):
-                line = faults_mod.corrupt_line(line)
-            journal.write(line + "\n")
-            journal.flush()
-            os.fsync(journal.fileno())
+        if backend is not None:
+            backend.append(record)
         if self.progress:
             status = taxonomy.status_of(record)
             if taxonomy.is_success(status):
@@ -513,8 +415,16 @@ class ParallelStudyRunner:
     def run(self) -> StudyResult:
         config = self.config
         grid = self.cells()
-        path = self.checkpoint_path
-        completed = load_checkpoint(path, config) if path else {}
+        # Opening the backend first (before reading completed cells)
+        # acquires the store's writer lease, so two resumes of the same
+        # run cannot both observe "cell X pending" and race to run it.
+        backend = self._open_backend()
+        try:
+            completed = backend.load() if backend is not None else {}
+        except BaseException:
+            if backend is not None:
+                backend.close()  # release the lease; nothing ran
+            raise
         retried: List[CellKey] = []
         if self.retry_errors:
             retried = [
@@ -554,39 +464,26 @@ class ParallelStudyRunner:
                     )
             self.progress(msg)
 
-        journal = self._open_journal()
         uninstall = self._install_signals()
         try:
             if self.jobs == 1:
-                self._run_serial(pending, completed, journal)
+                self._run_serial(pending, completed, backend)
             else:
-                self._run_pool(pending, completed, journal)
+                self._run_pool(pending, completed, backend)
         finally:
             uninstall()
             supervision = self._supervision_summary()
-            if journal is not None:
+            if backend is not None:
                 if supervision is not None:
-                    rec = dict(supervision)
-                    rec["kind"] = "supervision"
-                    rec["ts"] = round(time.time(), 3)
-                    journal.write(encode_journal_line(rec) + "\n")
-                    journal.flush()
-                journal.close()
+                    backend.append_supervision(supervision)
+                # Closing commits the run (store: closed_ts + lease
+                # release, WAL folded back into the main file).
+                backend.close()
 
         if self._interrupted():
             self._raise_interrupted(completed)
 
-        results = []
-        for info in study_benchmarks(config):
-            records = [
-                completed[(info.name, tech)]
-                for tech in config.techniques
-                if (info.name, tech) in completed
-            ]
-            results.append(BenchmarkResult.from_cells(info, records, config))
-        study = StudyResult(config, results)
-        study.supervision = supervision
-        return study
+        return assemble_study(config, completed, supervision)
 
     def _supervision_summary(self) -> Optional[dict]:
         """What supervision had to do this run, or ``None`` when nothing
@@ -614,11 +511,13 @@ class ParallelStudyRunner:
         self,
         pending: List[CellKey],
         completed: Dict[CellKey, dict],
-        journal: Optional[TextIO],
+        backend,
     ) -> None:
         for bench, tech in pending:
             if self._interrupted():
                 return
+            if backend is not None:
+                backend.heartbeat()
             attempt = 0
             record = _cell_worker(bench, tech, self._effective, attempt)
             while (
@@ -635,13 +534,13 @@ class ParallelStudyRunner:
                 if delay > 0:
                     time.sleep(delay)
                 record = _cell_worker(bench, tech, self._effective, attempt)
-            self._record(completed, journal, record)
+            self._record(completed, backend, record)
 
     def _run_pool(
         self,
         pending: List[CellKey],
         completed: Dict[CellKey, dict],
-        journal: Optional[TextIO],
+        backend,
     ) -> None:
         config = self._effective
         hard_limit = config.hard_timeout_for()
@@ -703,7 +602,7 @@ class ParallelStudyRunner:
                 self._degrade.observe(record, self._effective)
                 requeue(key)
             else:
-                self._record(completed, journal, record)
+                self._record(completed, backend, record)
 
         def worker_exit_codes() -> List[int]:
             """Exit codes of the dead pool workers (best effort)."""
@@ -744,7 +643,7 @@ class ParallelStudyRunner:
                     overdue.discard(k)
                     self._record(
                         completed,
-                        journal,
+                        backend,
                         error_record(
                             k[0],
                             k[1],
@@ -770,7 +669,7 @@ class ParallelStudyRunner:
                             # an engine bug — classify it as such.
                             self._record(
                                 completed,
-                                journal,
+                                backend,
                                 error_record(
                                     k[0],
                                     k[1],
@@ -784,7 +683,7 @@ class ParallelStudyRunner:
                         else:
                             self._record(
                                 completed,
-                                journal,
+                                backend,
                                 error_record(
                                     k[0],
                                     k[1],
@@ -805,7 +704,7 @@ class ParallelStudyRunner:
                     backlog.clear()
                     ready.clear()
                     suspects.clear()
-                    self._drain(in_flight, completed, journal)
+                    self._drain(in_flight, completed, backend)
                     return
                 now = time.monotonic()
                 if backlog:
@@ -913,7 +812,7 @@ class ParallelStudyRunner:
         self,
         in_flight: Dict[object, CellKey],
         completed: Dict[CellKey, dict],
-        journal: Optional[TextIO],
+        backend,
     ) -> None:
         """Graceful-stop path: cancel what never started, give running
         cells a short grace window, journal whatever finishes, then tear
@@ -929,7 +828,7 @@ class ParallelStudyRunner:
                     record = fut.result()
                 except BaseException:
                     continue
-                self._record(completed, journal, record)
+                self._record(completed, backend, record)
         pool = self._pool
         self._pool = None
         if pool is None:

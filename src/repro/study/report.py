@@ -383,3 +383,34 @@ def full_report(study: StudyResult) -> str:
     ):
         parts += ["", "## Resource usage", resource_usage_summary(study)]
     return "\n".join(parts)
+
+
+def store_overview(checkpoint_dir: str) -> str:
+    """One line per run in the directory's study store (``--list-runs``).
+
+    Backed by :func:`repro.study.store.list_runs`, whose status counts
+    come from indexed SQL over the latest attempt per cell — no JSONL
+    scan, no record payloads parsed.
+    """
+    from .store import list_runs, store_path_for
+
+    runs = list_runs(checkpoint_dir)
+    if not runs:
+        return f"no store under {checkpoint_dir}"
+    lines = [f"store: {store_path_for(checkpoint_dir)}"]
+    for run in runs:
+        statuses = ", ".join(
+            f"{n} {st}" for st, n in sorted(run["statuses"].items())
+        ) or "empty"
+        state = (
+            "closed"
+            if run["closed_ts"] is not None
+            else ("LIVE" if run["lease"] else "unclosed")
+        )
+        origin = " (imported from journal)" if run["imported_from"] else ""
+        lines.append(
+            f"  {run['run_id']}: {run['cells']} cell record(s) "
+            f"[{statuses}] fingerprint={run['fingerprint']} "
+            f"{state}{origin}"
+        )
+    return "\n".join(lines)

@@ -555,6 +555,32 @@ def run_cell(bench_name: str, technique: str, config: StudyConfig) -> dict:
     return record
 
 
+def assemble_study(
+    config: StudyConfig,
+    completed: Dict[Tuple[str, str], dict],
+    supervision: Optional[dict] = None,
+) -> StudyResult:
+    """Assemble a :class:`StudyResult` from per-cell records.
+
+    ``completed`` maps ``(benchmark name, technique)`` to the cell's
+    record dict (see :func:`run_cell`) — the shape both checkpoint
+    backends (:mod:`repro.study.store`) hand back on load/resume, so the
+    parallel runner and the store's read path build byte-identical
+    results through this one function.
+    """
+    results = []
+    for info in study_benchmarks(config):
+        records = [
+            completed[(info.name, tech)]
+            for tech in config.techniques
+            if (info.name, tech) in completed
+        ]
+        results.append(BenchmarkResult.from_cells(info, records, config))
+    study = StudyResult(config, results)
+    study.supervision = supervision
+    return study
+
+
 def run_benchmark(
     info: BenchmarkInfo,
     config: StudyConfig,

@@ -4,11 +4,11 @@ import heapq
 from types import SimpleNamespace
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import DFSExplorer
-from repro.core.dpor import DPORExplorer, dependent
+from repro.core.dpor import DPORExplorer, dependent, never_co_enabled
 from repro.engine import ExecutionObserver, ReplayStrategy, execute
 from repro.runtime import CondVar, Mutex, Program, SharedArray, SharedVar
 from repro.runtime.context import ThreadContext
@@ -332,8 +332,75 @@ def _canon_trace(steps):
     return tuple(out)
 
 
+class TestCoEnabledness:
+    """The 'may be co-enabled' half of DPOR's race condition: a mutex
+    release and an acquire of the same mutex are dependent, but no
+    scheduling choice can reverse them — treating that pair as a race
+    stopped the backtrack walk before the real acquire/acquire race."""
+
+    def setup_method(self):
+        self.ctx = ThreadContext(0)
+        self.m = Mutex("m")
+        self.m2 = Mutex("m2")
+        self.cv = CondVar("cv")
+        self.x = SharedVar(0, "x")
+
+    def test_release_vs_acquire_same_mutex(self):
+        assert never_co_enabled(self.ctx.unlock(self.m), self.ctx.lock(self.m))
+        assert never_co_enabled(self.ctx.lock(self.m), self.ctx.unlock(self.m))
+
+    def test_release_vs_release_same_mutex(self):
+        assert never_co_enabled(self.ctx.unlock(self.m), self.ctx.unlock(self.m))
+
+    def test_cond_wait_releases_its_mutex(self):
+        wait = self.ctx.cond_wait(self.cv, self.m)
+        assert never_co_enabled(wait, self.ctx.lock(self.m))
+        assert never_co_enabled(wait, self.ctx.unlock(self.m))
+
+    def test_different_mutexes_unconstrained(self):
+        assert not never_co_enabled(self.ctx.unlock(self.m), self.ctx.lock(self.m2))
+
+    def test_acquire_vs_acquire_may_be_co_enabled(self):
+        assert not never_co_enabled(self.ctx.lock(self.m), self.ctx.lock(self.m))
+
+    def test_trylock_always_enabled(self):
+        assert not never_co_enabled(self.ctx.unlock(self.m), self.ctx.trylock(self.m))
+
+    def test_data_ops_unconstrained(self):
+        assert not never_co_enabled(self.ctx.store(self.x, 1), self.ctx.load(self.x))
+
+    def test_pinned_lock_handoff_regression(self):
+        """The pre-fix falsifying example (reproduced at d3b35a9): one
+        thread with a bare critical section, one with a load then a
+        critical section.  Registering the 'race' at the unlock/lock
+        handoff stopped the walk, so the class with the critical
+        sections reversed was never explored."""
+        threads = [[("lock_unlock", 0)], [("load", 0), ("lock_unlock", 0)]]
+        program = build_rich_program(threads)
+        brute = [
+            r for r in brute_force(program) if r.outcome.is_terminal_schedule
+        ]
+        dfs_scheds = {tuple(r.schedule) for r in brute}
+        log = []
+        dpor = DPORExplorer(state_cache=False)
+        dpor._run_log = log
+        stats = dpor.explore(program, 50_000)
+        assert stats.completed
+        dpor_scheds = {
+            tuple(r.schedule)
+            for r in log
+            if r is not None and r.outcome.is_terminal_schedule
+        }
+        assert dpor_scheds <= dfs_scheds
+        canon_dfs = {_canon_trace(_trace_steps(program, s)) for s in dfs_scheds}
+        canon_dpor = {_canon_trace(_trace_steps(program, s)) for s in dpor_scheds}
+        assert len(canon_dfs) == 2  # the two critical-section orders
+        assert canon_dpor == canon_dfs
+
+
 class TestTraceCoverageProperty:
     @given(threads=rich_program_st)
+    @example(threads=[[("lock_unlock", 0)], [("load", 0), ("lock_unlock", 0)]])
     @settings(
         max_examples=25,
         deadline=None,

@@ -34,6 +34,9 @@ def small_config(limit=60, techniques=None):
     config = quick_config(limit=limit)
     config.benchmarks = list(SMALL_SET)
     config.retry_backoff = 0.0  # keep retry tests fast
+    # Journal-backend suite: these tests assert .jsonl contents
+    # (test_store.py covers the SQLite store's equivalents).
+    config.store = False
     if techniques is not None:
         config.techniques = list(techniques)
     return config
@@ -440,7 +443,7 @@ class TestGracefulInterrupt:
                 sys.executable, "-m", "repro.study", "--quick",
                 "--benchmarks", *SMALL_SET,
                 "--jobs", "4", "--run-id", "sig",
-                "--checkpoint-dir", str(ckpt),
+                "--checkpoint-dir", str(ckpt), "--no-store",
             ],
             env=env,
             stdout=subprocess.PIPE,

@@ -22,6 +22,9 @@ SMALL_SET = ["CS.lazy01_bad", "CS.din_phil2_sat", "splash2.lu"]
 def small_config(limit=60):
     config = quick_config(limit=limit)
     config.benchmarks = list(SMALL_SET)
+    # This file exercises the JSONL journal backend's mechanics end to
+    # end (the SQLite store has its own suite in test_store.py).
+    config.store = False
     return config
 
 

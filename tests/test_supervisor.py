@@ -75,6 +75,7 @@ def small_config(**kw) -> StudyConfig:
     cfg.benchmarks = [BENCH]
     cfg.techniques = kw.pop("techniques", ["Rand"])
     cfg.retry_backoff = 0.0
+    cfg.store = False  # journal-backend assertions (see test_store.py)
     for key, value in kw.items():
         setattr(cfg, key, value)
     return cfg
