@@ -1,6 +1,6 @@
-"""Search-overhead benchmark: replay elimination across three layers.
+"""Search-overhead benchmark: replay elimination across four layers.
 
-Three sections, all landing in ``BENCH_search.json``:
+Four sections, all landing in ``BENCH_search.json``:
 
 **frontier** — restart-per-bound vs frontier resumption.  For each
 subject the script runs iterative bounding twice — the classic restart
@@ -23,9 +23,18 @@ account twin, whose schedule tree hangs below a ~768-step single-threaded
 warm-up with real per-step computation.  Exhaustive DFS re-walks that
 prefix once per schedule; snapshots resume forked live images instead and
 must cut wall-clock by >= 2x with byte-identical stats (enforced unless
-``--no-check``).  The IPB row is recorded *without* a floor: iterative
-bounding re-roots each frontier subtree from step 0, so snapshots only
-eliminate intra-subtree replay there (~1.1x — honest, architectural).
+``--no-check``).
+
+**frontier_snapshots** — the same deep-prelude subject under iterative
+bounding (IPB and IDB).  This used to be the honest ~1.0x control row:
+the frontier backend re-rooted every bound-``c+1`` subtree from step 0,
+so snapshots only removed intra-subtree replay.  Cross-bound parked
+holders close that gap — bound-pruned frontier entries keep a live COW
+image and later bounds resume from it with zero prefix replay — so both
+techniques are now gated: wall-clock ratio >= 2x, byte-identical stats,
+and ``replayed_steps`` driven to (near) zero with the eliminated share
+accounted as ``snapshot_restored_steps`` (enforced unless
+``--no-check``).
 
 **vclock** — the batched (SWAR-packed big-int)
 :class:`~repro.racedetect.vectorclock.VectorClock` vs the sparse
@@ -37,7 +46,8 @@ batching win grows with thread count.
 
 Run:  PYTHONPATH=src python benchmarks/bench_search_overhead.py
       [--limit N] [--out BENCH_search.json] [--subjects a,b,...]
-      [--techniques IPB,IDB] [--sections frontier,snapshots,vclock]
+      [--techniques IPB,IDB]
+      [--sections frontier,snapshots,frontier_snapshots,vclock]
       [--no-check]
 
 Exit status is non-zero when any equivalence check fails or a gated
@@ -109,9 +119,12 @@ def run_cell(name: str, factory, technique: str, limit: int) -> dict:
 
 
 #: Snapshot end-to-end subjects: (technique, gated?).  DFS is the headline
-#: (one tree — snapshots eliminate *all* prefix replay); IPB is the honest
-#: control (frontier subtrees re-root from step 0, so the win is small).
-SNAPSHOT_TECHNIQUES = (("DFS", True), ("IPB", False))
+#: single-tree case — snapshots eliminate *all* prefix replay.
+SNAPSHOT_TECHNIQUES = (("DFS", True),)
+
+#: Iterative-bounding subjects for the cross-bound holder path; both are
+#: gated now that frontier entries resume from parked live images.
+FRONTIER_SNAPSHOT_TECHNIQUES = (("IPB", True), ("IDB", True))
 
 
 def run_snapshot_cell(technique: str, gated: bool, limit: int) -> dict:
@@ -120,6 +133,7 @@ def run_snapshot_cell(technique: str, gated: bool, limit: int) -> dict:
     makers = {
         "DFS": lambda **kw: DFSExplorer(max_steps=4000, counters=True, **kw),
         "IPB": lambda **kw: make_ipb(max_steps=4000, counters=True, **kw),
+        "IDB": lambda **kw: make_idb(max_steps=4000, counters=True, **kw),
     }
     make = makers[technique]
     t0 = time.perf_counter()
@@ -197,8 +211,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--techniques", default="IPB,IDB")
     parser.add_argument(
-        "--sections", default="frontier,snapshots,vclock",
-        help="comma-separated subset of: frontier, snapshots, vclock",
+        "--sections", default="frontier,snapshots,frontier_snapshots,vclock",
+        help="comma-separated subset of: frontier, snapshots, "
+             "frontier_snapshots, vclock",
     )
     parser.add_argument(
         "--no-check", action="store_true",
@@ -256,6 +271,47 @@ def main(argv=None) -> int:
         else:
             print("snapshots: os.fork unavailable, section skipped")
 
+    frontier_snapshot_cells = []
+    if "frontier_snapshots" in sections:
+        if snapshot_mod.fork_available():
+            for technique, gated in FRONTIER_SNAPSHOT_TECHNIQUES:
+                cell = run_snapshot_cell(technique, gated, args.limit)
+                frontier_snapshot_cells.append(cell)
+                tag = f"{cell['subject']} {technique} frontier-snapshots"
+                snap_counters = cell["snapshots"]["counters"]
+                print(
+                    f"{tag:32s} schedules={cell['schedules']:>5} "
+                    f"wall {cell['serial']['seconds']:>7.3f}s -> "
+                    f"{cell['snapshots']['seconds']:>7.3f}s "
+                    f"(x{cell['wall_clock_ratio']:.2f}, replayed "
+                    f"{cell['serial']['counters']['replayed_steps']} -> "
+                    f"{snap_counters['replayed_steps']})"
+                )
+                if not cell["stats_identical"]:
+                    failures.append(f"{tag}: as_dict() diverged")
+                if gated and not args.no_check:
+                    if cell["wall_clock_ratio"] < 2.0:
+                        failures.append(
+                            f"{tag}: wall-clock ratio "
+                            f"{cell['wall_clock_ratio']:.2f} < 2.0"
+                        )
+                    serial_replayed = cell["serial"]["counters"][
+                        "replayed_steps"
+                    ]
+                    if (
+                        snap_counters["snapshot_restored_steps"] == 0
+                        or snap_counters["replayed_steps"]
+                        > 0.05 * max(1, serial_replayed)
+                    ):
+                        failures.append(
+                            f"{tag}: prefix replay not eliminated "
+                            f"({snap_counters['replayed_steps']} replayed, "
+                            f"{snap_counters['snapshot_restored_steps']} "
+                            "restored)"
+                        )
+        else:
+            print("frontier_snapshots: os.fork unavailable, section skipped")
+
     vclock = None
     if "vclock" in sections:
         vclock = run_vclock_cell()
@@ -280,19 +336,27 @@ def main(argv=None) -> int:
     gated_snapshot_ratios = [
         c["wall_clock_ratio"] for c in snapshot_cells if c["gated"]
     ]
+    gated_frontier_ratios = [
+        c["wall_clock_ratio"] for c in frontier_snapshot_cells if c["gated"]
+    ]
     payload = {
         "bench": "search_overhead",
         "limit": args.limit,
         "cells": cells,
         "snapshot_cells": snapshot_cells,
+        "frontier_snapshot_cells": frontier_snapshot_cells,
         "vector_clock": vclock,
         "summary": {
             "subjects": len({c["subject"] for c in cells}),
             "all_stats_identical": all(c["stats_identical"] for c in cells)
-            and all(c["stats_identical"] for c in snapshot_cells),
+            and all(c["stats_identical"] for c in snapshot_cells)
+            and all(c["stats_identical"] for c in frontier_snapshot_cells),
             "min_exhaustive_ratio": min(exhaustive_ratios, default=None),
             "max_exhaustive_ratio": max(exhaustive_ratios, default=None),
             "min_gated_snapshot_ratio": min(gated_snapshot_ratios, default=None),
+            "min_gated_frontier_snapshot_ratio": min(
+                gated_frontier_ratios, default=None
+            ),
             "vclock_speedups": None if vclock is None else {
                 t: row["speedup"] for t, row in vclock["threads"].items()
             },

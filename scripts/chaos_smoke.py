@@ -23,7 +23,13 @@ With ``--snapshots`` the systematic techniques additionally run under
 fork-based COW prefix snapshots (:mod:`repro.engine.snapshot`) with the
 fork threshold forced low, so every adversarial cell exercises holder
 forking, the woken-child containment paths, and (with
-``REPRO_ENGINE_CHECK=1``) the post-restore shared-state audit.
+``REPRO_ENGINE_CHECK=1``) the post-restore shared-state audit.  The
+iterative-bounding cells (IPB/IDB) then run on
+:class:`~repro.engine.snapshot.SnapshotFrontierSearch`, so bound-pruned
+edges park cross-bound holders and the next bound resumes from their
+live images; the smoke fails if no cross-bound resume fires across the
+whole corpus — the fork-safety leg must actually cover that path, not
+just plain prefix replay.
 
 Exit status 0 means the engine shrugged off the whole corpus; any
 violation prints the (program, technique) cell and exits 1.
@@ -31,6 +37,7 @@ violation prints the (program, technique) cell and exits 1.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 import traceback
@@ -50,12 +57,27 @@ MAX_STEPS = 400
 LIMIT = 30
 
 SNAPSHOTS = "--snapshots" in sys.argv[1:]
+CROSS_RESUMES = {"count": 0}
 if SNAPSHOTS:
     # Force forking on the short adversarial programs so every cell
     # actually exercises the snapshot holder/containment machinery.
     import repro.engine.snapshot as _snapshot_mod
 
     _snapshot_mod.DEFAULT_MIN_FORK_STEPS = 1
+
+    # Tally cross-bound resumes across the whole corpus: the IPB/IDB
+    # cells run on SnapshotFrontierSearch, and the fork-safety contract
+    # only means something if bound c+1 really does adopt parked holder
+    # images instead of replaying from step 0.
+    _orig_resume = _snapshot_mod.CrossBoundRegistry.resume
+
+    def _counted_resume(self, handle, bound):
+        batch = _orig_resume(self, handle, bound)
+        if batch is not None:
+            CROSS_RESUMES["count"] += 1
+        return batch
+
+    _snapshot_mod.CrossBoundRegistry.resume = _counted_resume
 
 _SNAP = {"snapshots": True} if SNAPSHOTS else {}
 
@@ -111,6 +133,18 @@ def main() -> int:
                 print(f"  [ok]   {cell}: {expected}")
     elapsed = time.monotonic() - t0
     cells = len(ADVERSARIAL) * len(EXPLORERS)
+    if SNAPSHOTS and hasattr(os, "fork"):
+        if CROSS_RESUMES["count"] == 0:
+            failures.append(
+                "cross-bound: no iterative cell resumed from a parked "
+                "holder image; the --snapshots leg is not covering the "
+                "cross-bound path"
+            )
+        else:
+            print(
+                f"  [ok]   cross-bound: {CROSS_RESUMES['count']} "
+                "resumes from parked holder images"
+            )
     if failures:
         print(f"\nchaos smoke FAILED: {len(failures)}/{cells} cells ({elapsed:.1f}s)")
         for f in failures:

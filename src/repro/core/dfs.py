@@ -150,6 +150,7 @@ class PrunedEdge:
         "cost_after",
         "cp",
         "maxen",
+        "holder",
         "_order_path",
         "_schedule",
     )
@@ -172,6 +173,12 @@ class PrunedEdge:
         #: Width statistics of the prefix (see ``_ChoicePoint.cp_after``).
         self.cp = cp
         self.maxen = maxen
+        #: Optional cross-bound snapshot handle ``(holder_id, index)``
+        #: (engine/snapshot.py): a parked COW process owns the live image
+        #: at this edge's pruning point, so a later bound can resume the
+        #: subtree without replaying the prefix.  Pure acceleration: the
+        #: edge stays fully replayable without it.
+        self.holder = None
         self._order_path: Optional[Tuple[int, ...]] = None
         self._schedule: Optional[List[int]] = None
 
@@ -209,13 +216,16 @@ class PrunedEdge:
         it can cross a process boundary without dragging the parent chain
         (and the whole search tree) along.
         """
-        return {
+        payload = {
             "schedule": list(self.schedule),
             "order_path": list(self.order_path),
             "cost_after": self.cost_after,
             "cp": self.cp,
             "maxen": self.maxen,
         }
+        if self.holder is not None:
+            payload["holder"] = list(self.holder)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PrunedEdge":
@@ -229,7 +239,7 @@ class PrunedEdge:
         parent = None
         for i in range(len(sched) - 1):
             parent = _PathNode(parent, path[i], sched[i])
-        return cls(
+        edge = cls(
             parent,
             path[-1],
             sched[-1],
@@ -237,6 +247,10 @@ class PrunedEdge:
             payload["cp"],
             payload["maxen"],
         )
+        handle = payload.get("holder")
+        if handle is not None:
+            edge.holder = (handle[0], handle[1])
+        return edge
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -338,26 +352,42 @@ class _DFSStrategy(SchedulerStrategy):
         candidates: List[int] = []
         increments: List[int] = []
         positions: List[int] = []
+        pruned_here: Optional[List[PrunedEdge]] = None
+        prune_hook = dfs._prune_hook
         for pos, tid in enumerate(ordered):
             inc = all_increments[pos]
             if bound is not None and cost_before + inc > bound:
                 dfs._pruned_this_run = True
                 frontier = dfs._frontier
                 if frontier is not None:
-                    frontier.append(
-                        PrunedEdge(
-                            parent_link,
-                            pos,
-                            tid,
-                            cost_before + inc,
-                            cp_here,
-                            maxen_here,
-                        )
+                    edge = PrunedEdge(
+                        parent_link,
+                        pos,
+                        tid,
+                        cost_before + inc,
+                        cp_here,
+                        maxen_here,
                     )
+                    frontier.append(edge)
+                    if prune_hook is not None:
+                        if pruned_here is None:
+                            pruned_here = [edge]
+                        else:
+                            pruned_here.append(edge)
                 continue
             candidates.append(tid)
             increments.append(inc)
             positions.append(pos)
+        if pruned_here is not None:
+            resumed = prune_hook(pruned_here, step_index, kernel)
+            if resumed is not None:
+                # Freshly woken cross-bound holder (engine/snapshot.py):
+                # the hook re-rooted this search at one of the edges just
+                # recorded, so execute its pruned candidate as the new
+                # root's final step and stop replaying — the rest of the
+                # run explores the resumed subtree.
+                self.replay_len = 0
+                return resumed
         if not candidates:
             # The default round-robin continuation always has cost 0, so
             # this cannot happen; guard for future cost models.
@@ -453,6 +483,17 @@ class BoundedDFS:
         #: called right after a *new* multi-candidate choice point is
         #: pushed, on any run.
         self._fork_hook = None
+        #: Optional cross-bound snapshot hook ``(pruned_edges, step_index,
+        #: kernel) -> Optional[int]``, armed by engine/snapshot.py when a
+        #: frontier sink is active: called with every edge the bound just
+        #: cut off at one choice point, *before* the point is pushed.  In
+        #: the calling process it parks a forked holder owning the edges
+        #: and returns ``None``; in a freshly woken holder child it
+        #: re-roots this search at the resumed edge and returns that
+        #: edge's tid (the step the strategy must now execute).
+        self._prune_hook = None
+        #: Width-stat re-seed base of the in-flight run (set per run).
+        self._reseed = (0, 0)
         self._order_cache: OrderCache = order_cache if order_cache is not None else {}
         if root is not None:
             self._root_schedule = list(root.schedule)
@@ -483,6 +524,16 @@ class BoundedDFS:
             self._pruned_this_run = False
             strategy = _DFSStrategy(self, replay_len)
             cut = self._root_len + replay_len if self.fast_replay else 0
+            # The re-seed base (cumulative width stats of the replayed
+            # prefix) is fixed before the run starts, so compute it now:
+            # a cross-bound holder forked mid-execute clears the stack
+            # when it wakes, but its correct base is exactly the one its
+            # parent computed here (the paths share the replayed prefix).
+            if replay_len > 0:
+                pre = self._stack[replay_len - 1]
+                self._reseed = (pre.cp_after, pre.maxen_after)
+            else:
+                self._reseed = (self._root_cp, self._root_maxen)
             result = execute(
                 self.program,
                 strategy,
@@ -497,11 +548,7 @@ class BoundedDFS:
                 # Re-seed the width stats the skipped prefix would have
                 # contributed; every path's cumulative stats live on its
                 # deepest replayed choice point (or the root edge).
-                if replay_len > 0:
-                    pre = self._stack[replay_len - 1]
-                    cp0, maxen0 = pre.cp_after, pre.maxen_after
-                else:
-                    cp0, maxen0 = self._root_cp, self._root_maxen
+                cp0, maxen0 = self._reseed
                 result.choice_points += cp0
                 if maxen0 > result.max_enabled:
                     result.max_enabled = maxen0

@@ -645,6 +645,24 @@ class DPORExplorer(Explorer):
             ):
                 if q in prev.enabled:
                     prev.backtrack.add(q)
+                    if q in prev.sleep and q not in prev.done:
+                        # q inherited prev's sleep set, so the candidate is
+                        # sleep-filtered there and the reversal would be
+                        # lost.  Flanagan-Godefroid's rule allows *any*
+                        # member of E — the enabled threads with an event
+                        # in (i, j] in the racing step's causal past — and
+                        # the sleep invariant only covers members that are
+                        # themselves asleep; register the awake witnesses
+                        # (e.g. the writer whose step wakes q up).
+                        for k in range(i + 1, j):
+                            other = stack[k]
+                            if (
+                                other.tid in prev.enabled
+                                and other.tid != q
+                                and other.tid not in prev.sleep
+                                and _leq(other.clock, clock)
+                            ):
+                                prev.backtrack.add(other.tid)
                     registered = True
                 else:
                     prev.backtrack.update(prev.enabled)

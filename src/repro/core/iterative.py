@@ -97,6 +97,9 @@ class RestartSearch:
         schedule space extends beyond it)."""
         return self._pruned
 
+    def close(self) -> None:
+        """Uniform backend cleanup hook (nothing to release here)."""
+
 
 class FrontierSearch:
     """Frontier-resuming backend: never re-executes an enumerated subtree.
@@ -175,6 +178,10 @@ class FrontierSearch:
 
     def pruned_at_bound(self) -> bool:
         return bool(self._frontier)
+
+    def close(self) -> None:
+        """Uniform backend cleanup hook (the snapshot subclass kills its
+        cross-bound holders here)."""
 
 
 class DFSExplorer(Explorer):
@@ -400,7 +407,10 @@ class IterativeBoundingExplorer(Explorer):
                     spurious_wakeups=self.spurious_wakeups,
                     budget=self.budget,
                 )
-                return self._drain(search, stats, limit)
+                try:
+                    return self._drain(search, stats, limit)
+                finally:
+                    search.close()
         backend = FrontierSearch if self.resume_frontier else RestartSearch
         search = backend(
             program,

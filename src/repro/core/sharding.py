@@ -303,6 +303,7 @@ def _subtree_worker(
     split_runs: Optional[int],
     want_frontier: bool,
     program: Optional[Program] = None,
+    cross=None,
 ):
     """Explore one shard descriptor's subtree; the pool entry point.
 
@@ -313,7 +314,32 @@ def _subtree_worker(
     ``split_runs`` budget ran out, and ``exhausted`` whether the subtree
     was fully enumerated.  ``program`` short-circuits source resolution
     for inline (in-process) execution.
+
+    ``cross`` (inline mode only — fds don't cross the pool boundary) is
+    the search's :class:`repro.engine.snapshot.CrossBoundRegistry`: if
+    the descriptor carries a live holder handle the whole subtree is
+    adopted from the parked process image — zero prefix replay — and new
+    deep pruned points park fresh holders for the next bound.  Pool
+    workers get ``cross=None`` and replay classically; the merged stream
+    is byte-identical either way.
     """
+    if cross is not None:
+        handle = root_payload.get("holder")
+        if handle is not None:
+            from ..engine import snapshot as snapshot_mod
+
+            sub = cross.resume((handle[0], handle[1]), bound)
+            if sub is not None:
+                runs = [
+                    (rec.result, rec.cost, bool(rec.pruned_any))
+                    for rec in snapshot_mod._decode_batch(
+                        sub, root_payload["schedule"]
+                    )
+                ]
+                # A holder batch is all-or-nothing (its records have no
+                # edge descriptors left to split), same as the snapshot
+                # runner's mid-batch overrun of the split budget.
+                return runs, sub["frontier"], [], sub["exhausted"]
     if program is None:
         program = _cached_program(spec.program_source)
     frontier: Optional[List[PrunedEdge]] = [] if want_frontier else None
@@ -337,7 +363,8 @@ def _subtree_worker(
             # The worker is single-subtree, so holders stay lazy
             # (procs=1): pure replay elimination, no oversubscription of
             # the pool's cores.
-            runner = snapshot_mod.SnapshotRunner(search, procs=1)
+            runner = snapshot_mod.SnapshotRunner(search, procs=1,
+                                                 cross=cross)
             search = runner
     runs: List[Tuple[RunSummary, int, bool]] = []
     leftovers: List[dict] = []
@@ -499,6 +526,9 @@ class ShardedSearchBase:
         )
         self._order_cache: OrderCache = {}
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Cross-bound snapshot registry (inline frontier search only);
+        #: created by :class:`ShardedFrontierSearch` when snapshots are on.
+        self._cross = None
 
     @property
     def inline(self) -> bool:
@@ -517,11 +547,15 @@ class ShardedSearchBase:
         return self._pool
 
     def close(self) -> None:
-        """Release the worker pool (idempotent)."""
+        """Release the worker pool and any parked cross-bound holders
+        (idempotent)."""
         pool = self._pool
         self._pool = None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        cross = self._cross
+        if cross is not None:
+            cross.close()
 
     def _local_dfs(self, bound: Optional[int], frontier) -> BoundedDFS:
         return BoundedDFS(
@@ -548,6 +582,7 @@ class ShardedSearchBase:
                 self.split_runs,
                 want_frontier,
                 self.program,
+                self._cross,
             )
         return pool.submit(
             _subtree_worker, self.spec, bound, payload, self.split_runs,
@@ -691,6 +726,15 @@ class ShardedFrontierSearch(ShardedSearchBase):
         super().__init__(program, cost_model, **kwargs)
         self._frontier: List[dict] = []
         self._started = False
+        if self.spec.snapshots and self.inline:
+            from ..engine import snapshot as snapshot_mod
+
+            if snapshot_mod.fork_available():
+                # Inline shard tasks run in this process, so frontier
+                # entries can resume from cross-bound parked holders
+                # (engine/snapshot.py).  Pool workers can't adopt fds;
+                # they keep the classic replay path.
+                self._cross = snapshot_mod.CrossBoundRegistry()
 
     def _absorb_frontier(self, payloads: List[dict]) -> None:
         self._frontier.extend(payloads)

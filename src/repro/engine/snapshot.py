@@ -76,9 +76,10 @@ import atexit
 import os
 import pickle
 import signal
+import socket
 import struct
 import traceback
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.bounds import NoBoundCost
 from ..core.dfs import BoundedDFS, PrunedEdge, RunRecord, _PathNode
@@ -102,6 +103,15 @@ DEFAULT_MIN_FORK_STEPS = 256
 #: is one sleeping child process).  Deeper points past the ceiling are
 #: explored by classic backtrack+replay in-process.
 DEFAULT_MAX_HOLDERS = 64
+
+#: Ceiling on *cross-bound* parked holders registered with the frontier
+#: search (children sleeping across a bound transition so the next bound
+#: resumes their subtree with zero prefix replay).  Past the ceiling the
+#: registry evicts the holder whose edges unlock latest (ties: the
+#: shallowest, which loses the least replay); evicted edges fall back to
+#: plain replayable descriptors.  Sized to the per-bound frontier of the
+#: deep-prefix subjects this path targets.
+DEFAULT_MAX_CROSS_HOLDERS = 512
 
 
 def default_procs() -> int:
@@ -454,6 +464,265 @@ class _Holder:
         self.reap(registry)
 
 
+# -- cross-bound holders -----------------------------------------------------
+
+
+class _CrossHolder:
+    """Root-side handle to one holder parked *across bound transitions*.
+
+    ``costs`` maps each owned frontier-edge index to its ``cost_after``
+    (the smallest bound that unlocks it); ``depth`` is the fork step —
+    the prefix length a live resume saves.  The pid may be a grandchild
+    (forked by another holder and registered over the fd-passing socket),
+    so ``waitpid`` failures are expected and the kill is the contract.
+    """
+
+    __slots__ = ("pid", "go_w", "res_r", "costs", "depth")
+
+    def __init__(self, pid: int, go_w: int, res_r: int,
+                 costs: Dict[int, int], depth: int) -> None:
+        self.pid = pid
+        self.go_w = go_w
+        self.res_r = res_r
+        self.costs = costs
+        self.depth = depth
+
+    def reap(self) -> None:
+        for attr in ("go_w", "res_r"):
+            fd = getattr(self, attr)
+            if fd >= 0:
+                setattr(self, attr, -1)
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        try:
+            os.waitpid(self.pid, 0)
+        except (ChildProcessError, OSError):
+            pass
+        _unregister_child(self.pid)
+
+    def destroy(self) -> None:
+        try:
+            os.kill(self.pid, signal.SIGKILL)
+        except OSError:
+            pass
+        self.reap()
+
+
+class CrossBoundRegistry:
+    """Root-owned registry of holders parked across bound transitions.
+
+    One instance lives on a :class:`SnapshotFrontierSearch` (or a sharded
+    inline search) and is shared — by reference in the root, by COW image
+    in every forked descendant — with every :class:`SnapshotRunner` the
+    search creates.  Whichever process records a deep bound-pruned point
+    forks one parked holder owning *all* of that point's pruned edges and
+    registers it here; frontier entries carry ``(holder_id, index)``
+    handles, and :meth:`resume` wakes the holder when a later bound
+    unlocks one of its edges.
+
+    Registration is race-free across processes: the root keeps both ends
+    of an ``AF_UNIX``/``SOCK_DGRAM`` socketpair, descendants inherit the
+    *send* end, and a child ships ``(meta, [go_w, res_r])`` datagrams via
+    ``SCM_RIGHTS`` **at fork time — before any result batch is written**,
+    so by the time the root has consumed the batch that mentions a handle
+    the registration is already queued; :meth:`resume` drains the queue
+    before every lookup.  A full queue (``EAGAIN``) fails the
+    registration and the caller kills the fresh holder — the edges stay
+    plain replayable descriptors, never dangling handles.
+
+    Failure is always graceful: a missing/evicted/dead holder makes
+    :meth:`resume` return ``None`` and the frontier search re-explores
+    the edge by classic prefix replay.
+    """
+
+    def __init__(self, max_holders: Optional[int] = None) -> None:
+        self.max_holders = (
+            DEFAULT_MAX_CROSS_HOLDERS if max_holders is None else max_holders
+        )
+        self.owner_pid = os.getpid()
+        self.holders: Dict[str, _CrossHolder] = {}
+        self.evicted = 0
+        self.resumed = 0
+        self._counter = 0
+        #: Per-process fork-storm guard for *descendants* (the root is
+        #: governed by the live cap + eviction instead): each forked
+        #: process may register at most this many holders.
+        self._quota = self.max_holders
+        self._closed = False
+        self._recv, self._send = socket.socketpair(
+            socket.AF_UNIX, socket.SOCK_DGRAM
+        )
+        for sock in (self._recv, self._send):
+            sock.setblocking(False)
+            for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, opt, 1 << 20)
+                except OSError:  # pragma: no cover - platform quirk
+                    pass
+
+    # -- any process ---------------------------------------------------------
+
+    def next_id(self) -> str:
+        self._counter += 1
+        return "%d.%d" % (os.getpid(), self._counter)
+
+    def may_fork(self) -> bool:
+        if self._closed:
+            return False
+        if os.getpid() == self.owner_pid:
+            return len(self.holders) < self.max_holders
+        return self._quota > 0
+
+    def register(self, hid: str, pid: int, go_w: int, res_r: int,
+                 costs: Dict[int, int], depth: int) -> bool:
+        """Register a freshly forked parked holder.  In the root this is
+        a direct table insert; in a descendant the fds travel to the root
+        over the socket.  ``False`` means the holder could not be
+        registered and the caller must kill it (and close the fds)."""
+        if os.getpid() == self.owner_pid:
+            _register_child(pid)
+            self.holders[hid] = _CrossHolder(pid, go_w, res_r, costs, depth)
+            self._evict_over_cap()
+            return True
+        self._quota -= 1
+        meta = pickle.dumps((hid, pid, costs, depth),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            socket.send_fds(self._send, [meta], [go_w, res_r])
+        except OSError:
+            return False
+        for fd in (go_w, res_r):
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover
+                pass
+        return True
+
+    def on_child(self) -> None:
+        """Called on the child side of every fork: drop the inherited
+        root-side state (holder fds and the receive end), keep only the
+        send end for registrations.  Idempotent — chain forks call it
+        again with everything already closed."""
+        for holder in self.holders.values():
+            for fd in (holder.go_w, holder.res_r):
+                if fd >= 0:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+        self.holders = {}
+        try:
+            self._recv.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- root only -----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Adopt every queued registration (non-blocking; root only)."""
+        if os.getpid() != self.owner_pid:
+            return
+        while True:
+            try:
+                msg, fds, _flags, _addr = socket.recv_fds(
+                    self._recv, 1 << 16, 2
+                )
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:  # pragma: no cover - socket torn down
+                break
+            if not msg:  # pragma: no cover - senders never write empty
+                break
+            hid, pid, costs, depth = pickle.loads(msg)
+            stale = self.holders.pop(hid, None)
+            if stale is not None:  # pragma: no cover - ids never collide
+                stale.destroy()
+            _register_child(pid)
+            self.holders[hid] = _CrossHolder(pid, fds[0], fds[1], costs,
+                                             depth)
+        self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        while len(self.holders) > self.max_holders:
+            hid = max(
+                self.holders,
+                key=lambda h: (
+                    min(self.holders[h].costs.values()),
+                    -self.holders[h].depth,
+                ),
+            )
+            self.holders.pop(hid).destroy()
+            self.evicted += 1
+
+    def resume(self, handle, bound: int):
+        """Wake the holder owning ``handle`` and return its subtree batch
+        (the ``{"segments"/"runs", "frontier", "exhausted"}`` payload), or
+        ``None`` if the subtree must be re-explored by classic replay
+        (no such holder, evicted, dead, or it raised — re-exploration
+        reproduces a deterministic exception exactly)."""
+        if handle is None or self._closed:
+            return None
+        self.drain()
+        hid, idx = handle
+        holder = self.holders.get(hid)
+        if holder is None or idx not in holder.costs:
+            return None
+        del self.holders[hid]
+        self.resumed += 1
+        try:
+            _write_msg(holder.go_w, (bound, idx))
+            msg = _read_msg(holder.res_r)
+        except OSError:
+            msg = None
+        holder.reap()
+        # The woken child chain-forked a follow-on holder for its other
+        # edges and re-registered before writing the batch: adopt it now
+        # so the next unlocked sibling finds its handle live.
+        self.drain()
+        if msg is None:
+            return None
+        status, value = msg
+        if status == "ok":
+            return value
+        if status == "invariant":
+            raise EngineInvariantError(value)
+        return None  # "err": inline replay reproduces the failure
+
+    def close(self) -> None:
+        """Kill and reap every registered holder, including registrations
+        still queued in the socket (idempotent; root only kills)."""
+        if self._closed:
+            return
+        self._closed = True
+        if os.getpid() == self.owner_pid:
+            self.drain()
+            for holder in self.holders.values():
+                holder.destroy()
+            self.holders = {}
+        for sock in (self._recv, self._send):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def _decode_batch(sub: dict, base_schedule: List[int]) -> Iterator[RunRecord]:
+    """Decode a cross-bound holder batch into the run stream.
+
+    Same delta decoding as :meth:`SnapshotRunner._emit_holder`, except the
+    first summary's elided prefix is the *resumed frontier entry's* own
+    schedule (the woken child re-rooted there), not the previous run in
+    the parent's stream."""
+    last = list(base_schedule)
+    for summary, cost, pruned_any in _payload_runs(sub):
+        if summary.restored_steps:
+            summary.schedule = last[:summary.restored_steps] + summary.schedule
+        last = summary.schedule
+        yield RunRecord(summary, cost, pruned_any)
+
+
 class SnapshotRunner:
     """Drive a :class:`BoundedDFS` with fork-based prefix snapshots.
 
@@ -471,9 +740,19 @@ class SnapshotRunner:
         procs: int = 1,
         min_fork_steps: Optional[int] = None,
         max_holders: Optional[int] = None,
+        cross: Optional[CrossBoundRegistry] = None,
     ) -> None:
         self.dfs = dfs
         self.procs = max(1, procs)
+        #: Cross-bound holder registry shared with the owning frontier
+        #: search; when set (and the search has a frontier sink), deep
+        #: bound-pruned points fork holders that park across bound
+        #: transitions instead of dying with this subtree.
+        self._cross = cross
+        #: Result-pipe fd of the batch this process is currently draining
+        #: (holder side).  Cross-bound children forked mid-drain must drop
+        #: their inherited copy or the root would never see its EOF.
+        self._active_res_w: Optional[int] = None
         # ``None`` resolves the module constants at construction time so
         # tests/benchmarks can tune the fork heuristic globally.
         self.min_fork_steps = (
@@ -522,6 +801,8 @@ class SnapshotRunner:
         with collected holder batches, in exact serial DFS order."""
         dfs = self.dfs
         dfs._fork_hook = self._hook
+        if self._cross is not None and dfs._frontier is not None:
+            dfs._prune_hook = self._cross_hook
         gen = dfs.runs()
         try:
             while True:
@@ -544,6 +825,7 @@ class SnapshotRunner:
                 yield from self._emit_holder(len(self._holders) == 1)
         finally:
             dfs._fork_hook = None
+            dfs._prune_hook = None
             self.close()
 
     def split_remaining(self) -> List[PrunedEdge]:
@@ -653,11 +935,7 @@ class SnapshotRunner:
                 os.close(fd)
             except OSError:
                 pass
-        _reset_child_registry()
-        self._registry.close_all_in_child()
-        self._holders = []
-        self._woke = None
-        self._complete = False
+        self._drop_inherited()
         try:
             wake = os.read(go_r, 1)
         except OSError:  # pragma: no cover - pipe failure
@@ -723,6 +1001,229 @@ class SnapshotRunner:
             "frontier_base": 0 if frontier is None else len(frontier),
         }
 
+    def _drop_inherited(self) -> None:
+        """Child side of any holder fork: drop every inherited parent-side
+        resource — registered pids, pipe ends, cross-bound holder fds and
+        the registry's receive socket, and the (ancestor's) active result
+        pipe — so fd EOF semantics and child accounting stay exact."""
+        _reset_child_registry()
+        self._registry.close_all_in_child()
+        self._holders = []
+        if self._cross is not None:
+            self._cross.on_child()
+        if self._active_res_w is not None:
+            try:
+                os.close(self._active_res_w)
+            except OSError:  # pragma: no cover
+                pass
+            self._active_res_w = None
+        self._woke = None
+        self._complete = False
+
+    # -- cross-bound fork site -----------------------------------------------
+
+    def _cross_hook(self, edges, step_index: int, kernel) -> Optional[int]:
+        """``BoundedDFS._prune_hook``: called right after the bound cut
+        off ``edges`` (that choice point's pruned candidates, already in
+        the frontier sink).  Parent side: fork one parked holder owning
+        the live image, tag the edges with its handle, return ``None``.
+        In a freshly *woken* child the call instead returns the resumed
+        edge's tid — the hook has re-rooted the search at that edge and
+        the inherited ``execute()`` continues by running it as the new
+        root's final step."""
+        cross = self._cross
+        if (
+            self._fork_broken
+            or step_index < self.min_fork_steps
+            or not cross.may_fork()
+        ):
+            return None
+        digest = (
+            objects_snapshot(kernel.naming.objects)
+            if engine_check_enabled()
+            else None
+        )
+        return self._cross_fork(edges, step_index, kernel, digest)
+
+    def _cross_fork(self, edges, step_index: int, kernel,
+                    digest) -> Optional[int]:
+        cross = self._cross
+        hid = cross.next_id()
+        try:
+            go_r, go_w = os.pipe()
+            res_r, res_w = os.pipe()
+        except OSError:
+            self._fork_broken = True
+            return None
+        try:
+            pid = os.fork()
+        except OSError:
+            for fd in (go_r, go_w, res_r, res_w):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            self._fork_broken = True
+            return None
+        if pid == 0:
+            return self._cross_park(
+                go_r, go_w, res_r, res_w, list(enumerate(edges)),
+                step_index, kernel, digest, hid,
+            )
+        os.close(go_r)
+        os.close(res_w)
+        costs = {j: edge.cost_after for j, edge in enumerate(edges)}
+        if cross.register(hid, pid, go_w, res_r, costs, step_index):
+            for j, edge in enumerate(edges):
+                edge.holder = (hid, j)
+        else:
+            # Registration channel full or gone: kill the fresh holder;
+            # the edges stay plain replayable descriptors.
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover
+                pass
+            for fd in (go_w, res_r):
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover
+                    pass
+            try:
+                os.waitpid(pid, 0)
+            except (ChildProcessError, OSError):  # pragma: no cover
+                pass
+        return None
+
+    def _cross_park(self, go_r, go_w, res_r, res_w, owned, step_index,
+                    kernel, digest, hid) -> int:
+        """Child side of a cross-bound fork: park on the live image until
+        the frontier search unlocks one of ``owned`` at a later bound,
+        then re-root the inherited search at that edge and return its tid
+        (the woken ``choose`` executes it as the new root's final step).
+        ``owned`` is ``[(frontier_index, edge), ...]`` with indices stable
+        across chain forks so every outstanding handle stays valid."""
+        for fd in (go_w, res_r):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._drop_inherited()
+        self._fork_broken = False
+        msg = _read_msg(go_r)
+        try:
+            os.close(go_r)
+        except OSError:  # pragma: no cover
+            pass
+        if msg is None:
+            os._exit(2)  # search finished or died without unlocking us
+        new_bound, j = msg
+        edge = None
+        remaining = []
+        for i, e in owned:
+            if i == j:
+                edge = e
+            else:
+                remaining.append((i, e))
+        if edge is None:  # pragma: no cover - registry never sends these
+            os._exit(2)
+        if remaining:
+            # Chain-fork a follow-on holder for the edges not resumed
+            # now, *before* the re-root below mutates inherited state;
+            # it re-registers under the same holder id (datagram queued
+            # before this child's batch, so the root adopts it in time).
+            # The digest carries over: nothing has stepped since the
+            # original fork.
+            chained = self._cross_chain(remaining, step_index, kernel,
+                                        digest, hid, res_w)
+            if chained is not None:
+                return chained  # we are the follow-on, freshly re-rooted
+        budget = self.dfs.budget
+        if budget is not None:
+            budget.fork_reanchor()
+        if digest is not None:
+            state = objects_snapshot(kernel.naming.objects)
+            if state != digest:
+                changed = sorted(
+                    k for k in set(digest) | set(state)
+                    if digest.get(k) != state.get(k)
+                )
+                try:
+                    _write_msg(res_w, (
+                        "invariant",
+                        "cross-bound restore audit failed: shared-object "
+                        f"state at wake (step {step_index}) differs from "
+                        f"the fork-time digest; changed: {changed}",
+                    ))
+                finally:
+                    os._exit(3)
+        # Re-root the inherited search at the resumed edge: the schedule
+        # executed so far *is* ``edge.schedule`` minus its final entry,
+        # and the pruned candidate (the tid returned below) becomes the
+        # new root's last step.  Width stats for the run in flight were
+        # fixed before it started (``BoundedDFS._reseed``) and cover the
+        # shared prefix exactly, so only tree state is swapped here.
+        dfs = self.dfs
+        dfs.bound = new_bound
+        dfs._root_schedule = list(edge.schedule)
+        dfs._root_len = len(dfs._root_schedule)
+        dfs._root_node = edge
+        dfs._root_cost = edge.cost_after
+        dfs._root_cp = edge.cp
+        dfs._root_maxen = edge.maxen
+        dfs._stack = []
+        dfs._exhausted = False
+        dfs._pruned_this_run = False
+        dfs._frontier = []
+        self._woke = {"res_w": res_w, "restored": step_index,
+                      "frontier_base": 0}
+        return edge.tid
+
+    def _cross_chain(self, remaining, step_index, kernel, digest, hid,
+                     parent_res_w) -> Optional[int]:
+        """Fork the follow-on cross-bound holder for ``remaining``.
+        Returns ``None`` on the (woken) parent side; in the follow-on
+        child it parks, and on *its* wake returns the resumed tid."""
+        cross = self._cross
+        try:
+            go_r, go_w = os.pipe()
+            res_r, res_w = os.pipe()
+        except OSError:
+            return None  # no follow-on: those edges fall back to replay
+        try:
+            pid = os.fork()
+        except OSError:
+            for fd in (go_r, go_w, res_r, res_w):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            return None
+        if pid == 0:
+            try:
+                os.close(parent_res_w)
+            except OSError:  # pragma: no cover
+                pass
+            return self._cross_park(go_r, go_w, res_r, res_w, remaining,
+                                    step_index, kernel, digest, hid)
+        os.close(go_r)
+        os.close(res_w)
+        costs = {i: e.cost_after for i, e in remaining}
+        if not cross.register(hid, pid, go_w, res_r, costs, step_index):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover
+                pass
+            for fd in (go_w, res_r):
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover
+                    pass
+            try:
+                os.waitpid(pid, 0)
+            except (ChildProcessError, OSError):  # pragma: no cover
+                pass
+        return None
+
     # -- child containment ---------------------------------------------------
 
     def _next(self, gen) -> RunRecord:
@@ -783,6 +1284,7 @@ class SnapshotRunner:
         crossing a deep holder chain is pickled exactly once no matter
         how many hops it takes to reach the root."""
         dfs = self.dfs
+        self._active_res_w = info["res_w"]
         segments: List[bytes] = []
         cur: List[Tuple[RunSummary, int, bool]] = []
         out_frontier: List[dict] = []
@@ -918,6 +1420,10 @@ class SnapshotRunner:
             for holder in self._holders[-self.procs:]:
                 holder.wake(self._registry)
         sub = self._reap_holder(self._holders.pop())
+        if self._cross is not None:
+            # Keep the registration queue shallow: adopt (and cap) the
+            # cross-bound holders this batch's subtree just parked.
+            self._cross.drain()
         sink = self.dfs._frontier
         if sink is not None and sub["frontier"]:
             sink.extend(PrunedEdge.from_payload(p) for p in sub["frontier"])
@@ -977,12 +1483,24 @@ def snapshot_dfs(
 class SnapshotFrontierSearch(FrontierSearch):
     """Frontier-resuming backend whose per-subtree searches fork COW
     holders: ``snapshots=`` under IPB/IDB.  Same enumerated set, order,
-    and frontier as :class:`~repro.core.iterative.FrontierSearch`."""
+    and frontier as :class:`~repro.core.iterative.FrontierSearch`.
+
+    Beyond the per-subtree (intra-bound) holders, deep bound-pruned
+    points park **cross-bound** holders in a :class:`CrossBoundRegistry`:
+    when a later bound unlocks such an edge, :meth:`runs_at_bound`
+    resumes the subtree from the holder's live image instead of replaying
+    the whole prefix from step 0 — the iterative-bounding analogue of the
+    plain-DFS snapshot win.  Any miss (evicted, dead, fork-unavailable)
+    falls back to the classic replayed ``_subtree`` with identical
+    records in identical order.
+    """
 
     def __init__(self, program, cost_model, *, procs: Optional[int] = None,
                  min_fork_steps: Optional[int] = None,
-                 max_holders: Optional[int] = None, **kwargs) -> None:
+                 max_holders: Optional[int] = None,
+                 max_cross_holders: Optional[int] = None, **kwargs) -> None:
         super().__init__(program, cost_model, **kwargs)
+        self._cross = CrossBoundRegistry(max_cross_holders)
         self._snapshot_opts = dict(
             procs=default_procs() if procs is None else procs,
             min_fork_steps=min_fork_steps,
@@ -994,5 +1512,32 @@ class SnapshotFrontierSearch(FrontierSearch):
         # the consumer stops mid-stream, so the base-class enumeration
         # needs no extra cleanup.
         return SnapshotRunner(
-            super()._subtree(bound, root), **self._snapshot_opts
+            FrontierSearch._subtree(self, bound, root),
+            cross=self._cross,
+            **self._snapshot_opts,
         )
+
+    def runs_at_bound(self, bound: int) -> Iterator[RunRecord]:
+        if not self._started:
+            yield from super().runs_at_bound(bound)
+            return
+        unlocked = [e for e in self._frontier if e.cost_after <= bound]
+        if not unlocked:
+            return
+        self._frontier = [e for e in self._frontier if e.cost_after > bound]
+        unlocked.sort(key=lambda e: e.order_path)
+        for entry in unlocked:
+            sub = self._cross.resume(entry.holder, bound)
+            if sub is None:
+                # No live image for this edge — classic prefix replay.
+                yield from self._subtree(bound, entry).runs()
+                continue
+            if sub["frontier"]:
+                self._frontier.extend(
+                    PrunedEdge.from_payload(p) for p in sub["frontier"]
+                )
+            yield from _decode_batch(sub, entry.schedule)
+
+    def close(self) -> None:
+        """Kill every cross-bound holder still parked (idempotent)."""
+        self._cross.close()

@@ -170,12 +170,24 @@ def pids_in_groups(pgids: Iterable[int]) -> List[int]:
     Catches what a parent-link walk cannot: descendants that were
     reparented to init when their forker died.  Enrolled cell workers
     are group leaders, so group membership survives any ancestor death.
+    Zombies are skipped: they hold no resources, cannot be signalled
+    away, and only their (possibly init) parent can reap them — listing
+    them would make a clean group kill look like it left survivors.
     """
     wanted = set(pgids)
     out = []
     for pid in _all_pids():
-        fields = _read_stat_fields(pid)
-        if fields is not None and fields[1] in wanted:
+        try:
+            with open(f"/proc/{pid}/stat", "rb") as fh:
+                data = fh.read()
+        except OSError:
+            continue
+        try:
+            rest = data[data.rindex(b")") + 2:].split()
+            state, pgid = rest[0], int(rest[2])
+        except (ValueError, IndexError):
+            continue
+        if pgid in wanted and state != b"Z":
             out.append(pid)
     return out
 
@@ -183,13 +195,26 @@ def pids_in_groups(pgids: Iterable[int]) -> List[int]:
 def tree_sample(root: int) -> Optional[Tuple[int, int, int]]:
     """(tree RSS bytes, tree fd count, process count) over ``root`` and
     its descendants; ``None`` when /proc is unavailable or ``root`` is
-    gone.  Processes that exit mid-sample contribute nothing."""
+    gone.  Processes that exit mid-sample contribute nothing.
+
+    When ``root`` leads its own process group (an enrolled cell worker),
+    group members are included too: a parked snapshot holder whose
+    forker already exited is reparented to init and invisible to the
+    parent-link walk, but it stays in the group — the same membership
+    :func:`kill_tree` and :meth:`StudySupervisor.sweep` rely on, so
+    ``peak_procs`` counts exactly what a group kill would take."""
     rss = read_rss(root)
     if rss is None:
         return None
     fds = read_fd_count(root) or 0
     procs = 1
-    for pid in descendant_pids(root):
+    pids = set(descendant_pids(root))
+    fields = _read_stat_fields(root)
+    if fields is not None and fields[1] == root:
+        own = os.getpgid(0) if hasattr(os, "getpgid") else -1
+        if root != own:
+            pids.update(p for p in pids_in_groups([root]) if p != root)
+    for pid in sorted(pids):
         sub = read_rss(pid)
         if sub is None:
             continue

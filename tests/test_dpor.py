@@ -369,6 +369,40 @@ class TestCoEnabledness:
     def test_data_ops_unconstrained(self):
         assert not never_co_enabled(self.ctx.store(self.x, 1), self.ctx.load(self.x))
 
+    def test_pinned_sleep_blocked_witness_regression(self):
+        """The pre-fix falsifying example (reproduced at 1095ee3): a
+        writer racing two readers of one cell, one of which later
+        reads a second cell the other writes.  The aload/aload
+        independence kept the second reader asleep at the point after
+        the first, so registering only the racing thread there
+        sleep-filtered the reversal; the fix also registers the awake
+        E-witness (the writer) whose step wakes the sleeper."""
+        threads = [
+            [("astore", 0)],
+            [("aload", 0), ("aload", 1)],
+            [("aload", 0), ("astore", 1)],
+        ]
+        program = build_rich_program(threads)
+        brute = [
+            r for r in brute_force(program) if r.outcome.is_terminal_schedule
+        ]
+        dfs_scheds = {tuple(r.schedule) for r in brute}
+        log = []
+        dpor = DPORExplorer(state_cache=False)
+        dpor._run_log = log
+        stats = dpor.explore(program, 50_000)
+        assert stats.completed
+        dpor_scheds = {
+            tuple(r.schedule)
+            for r in log
+            if r is not None and r.outcome.is_terminal_schedule
+        }
+        assert dpor_scheds <= dfs_scheds
+        canon_dfs = {_canon_trace(_trace_steps(program, s)) for s in dfs_scheds}
+        canon_dpor = {_canon_trace(_trace_steps(program, s)) for s in dpor_scheds}
+        assert len(canon_dfs) == 8
+        assert canon_dpor == canon_dfs
+
     def test_pinned_lock_handoff_regression(self):
         """The pre-fix falsifying example (reproduced at d3b35a9): one
         thread with a bare critical section, one with a load then a
@@ -401,6 +435,13 @@ class TestCoEnabledness:
 class TestTraceCoverageProperty:
     @given(threads=rich_program_st)
     @example(threads=[[("lock_unlock", 0)], [("load", 0), ("lock_unlock", 0)]])
+    @example(
+        threads=[
+            [("astore", 0)],
+            [("aload", 0), ("aload", 1)],
+            [("aload", 0), ("astore", 1)],
+        ]
+    )
     @settings(
         max_examples=25,
         deadline=None,

@@ -203,6 +203,85 @@ def test_bounded_run_streams_identical_in_order(factory, cost_model):
     assert serial_done == snapped_done
 
 
+@needs_fork
+@pytest.mark.parametrize("shards", [1, 3])
+@pytest.mark.parametrize("name", ["IPB", "IDB"])
+@pytest.mark.parametrize("factory", SMALL_GRID)
+def test_iterative_matrix_serial_vs_snapshots_vs_shards(factory, name, shards):
+    # The full cross-bound matrix: serial vs snapshots vs snapshots x
+    # shards must agree byte-for-byte whether frontier entries resume
+    # from parked holders, are adopted by inline shard workers, or are
+    # re-derived by classic replay in pool workers.
+    make = MAKERS[name]
+    serial = _explore(make, factory)
+    snapped = _explore(make, factory, snapshots=True, shards=shards)
+    assert serial.as_dict() == snapped.as_dict()
+
+
+@needs_fork
+@pytest.mark.parametrize("shards", [1, 3])
+@pytest.mark.parametrize("factory", SMALL_GRID)
+def test_ibpor_matrix_serial_vs_snapshots_vs_shards(factory, shards):
+    serial = IterativeBPORExplorer().explore(factory(), 10_000)
+    snapped = IterativeBPORExplorer(snapshots=True, shards=shards).explore(
+        factory(), 10_000
+    )
+    assert serial.as_dict() == snapped.as_dict()
+
+
+# -- cross-bound holders: resume, eviction, fallback -------------------------
+
+
+def _enumerate_bounds(search, max_bound=9):
+    out, done = [], False
+    try:
+        for bound in range(max_bound):
+            out.extend(
+                (bound, entry)
+                for entry in _stream(search.runs_at_bound(bound), cap=10_000)
+            )
+            if not search.pruned_at_bound():
+                done = True
+                break
+    finally:
+        close = getattr(search, "close", None)
+        if close is not None:
+            close()
+    return out, done
+
+
+@needs_fork
+def test_cross_bound_resume_fires_and_streams_identically():
+    factory = lambda: unsafe_counter(workers=3, increments=1)
+    serial, serial_done = _enumerate_bounds(FrontierSearch(factory(), PREEMPTION))
+    search = snap.SnapshotFrontierSearch(factory(), PREEMPTION)
+    snapped, snapped_done = _enumerate_bounds(search)
+    assert serial == snapped
+    assert serial_done == snapped_done
+    # The fast path actually engaged: later bounds woke parked holders.
+    assert search._cross.resumed > 0
+
+
+@needs_fork
+@pytest.mark.parametrize("cap", [0, 1, 3])
+def test_holder_eviction_falls_back_to_replay(cap):
+    # A tiny holder-pool cap forces eviction (cap 0 disables cross-bound
+    # forking entirely); evicted edges fall back to classic prefix
+    # replay with an identical record stream.
+    factory = lambda: unsafe_counter(workers=3, increments=1)
+    serial, serial_done = _enumerate_bounds(FrontierSearch(factory(), PREEMPTION))
+    search = snap.SnapshotFrontierSearch(
+        factory(), PREEMPTION, max_cross_holders=cap
+    )
+    snapped, snapped_done = _enumerate_bounds(search)
+    assert serial == snapped
+    assert serial_done == snapped_done
+    if cap == 0:
+        assert search._cross.resumed == 0
+    else:
+        assert search._cross.evicted > 0
+
+
 # -- counters and fallback ---------------------------------------------------
 
 
@@ -214,6 +293,21 @@ def test_counters_account_restored_prefix_steps():
     assert serial.counters.snapshot_restored_steps == 0
     # Forked children resume live instead of re-walking the prefix: the
     # replayed share drops and reappears as restored snapshot steps.
+    assert snapped.counters.snapshot_restored_steps > 0
+    assert snapped.counters.replayed_steps < serial.counters.replayed_steps
+    assert serial.as_dict() == snapped.as_dict()
+
+
+@needs_fork
+def test_iterative_counters_account_cross_bound_restores():
+    # Under iterative bounding the frontier entries resume from parked
+    # cross-bound holders: the prefix replay that used to dominate
+    # (re-rooting every subtree from step 0) reappears as restored
+    # snapshot steps, with total steps conserved exactly.
+    factory = lambda: unsafe_counter(workers=3, increments=1)
+    serial = _explore(MAKERS["IPB"], factory)
+    snapped = _explore(MAKERS["IPB"], factory, snapshots=True)
+    assert serial.counters.snapshot_restored_steps == 0
     assert snapped.counters.snapshot_restored_steps > 0
     assert snapped.counters.replayed_steps < serial.counters.replayed_steps
     assert serial.as_dict() == snapped.as_dict()

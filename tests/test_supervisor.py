@@ -448,6 +448,69 @@ class TestSnapshotChildRegistry:
             snap._unregister_child(parent_pid)
 
 
+class TestCrossBoundSupervision:
+    """Satellite regression: cross-bound parked holders must be visible
+    to the supervision stack — counted by the /proc tree sampler (what
+    ``peak_procs`` reads), taken by ``kill_worker_tree``'s group kill,
+    and invisible to the post-pool ``sweep()`` afterwards."""
+
+    def test_parked_cross_holders_counted_killed_and_swept(self):
+        r, w = os.pipe()
+        worker = os.fork()
+        if worker == 0:
+            try:
+                os.setpgid(0, 0)
+                os.close(r)
+                from repro.core.bounds import PREEMPTION
+                from repro.engine import snapshot as snap
+
+                from .programs import unsafe_counter
+
+                search = snap.SnapshotFrontierSearch(
+                    unsafe_counter(3, 1), PREEMPTION,
+                    procs=1, min_fork_steps=1,
+                )
+                for _ in search.runs_at_bound(0):
+                    pass
+                search._cross.drain()
+                pids = [h.pid for h in search._cross.holders.values()]
+                os.write(w, (json.dumps(pids) + "\n").encode())
+                time.sleep(60)
+            finally:
+                os._exit(0)
+        try:
+            os.setpgid(worker, worker)
+        except OSError:
+            pass
+        os.close(w)
+        with os.fdopen(r) as fh:
+            holder_pids = json.loads(fh.readline())
+        assert holder_pids, "bound-0 search parked no cross-bound holders"
+        # Counted: the sampler behind CellSupervisor's peak_procs sees
+        # every holder via the worker's group — including any whose
+        # forker already exited (reparented to init, invisible to the
+        # parent-link walk).
+        assert set(holder_pids) <= set(sup.pids_in_groups([worker]))
+        assert sup.tree_sample(worker)[2] >= 1 + len(holder_pids)
+        # Killed: one group kill on the worker takes every parked holder.
+        ss = StudySupervisor()
+        ss.register_worker(worker)
+        ss.kill_worker_tree(worker)
+        os.waitpid(worker, 0)
+        assert ss.tree_kills == 1
+        # The SIGKILLs are asynchronous: give the holders a moment to
+        # actually die (production's sweep runs post-pool, well after
+        # the kill has settled).
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(_alive(p) for p in holder_pids):
+                break
+            time.sleep(0.01)
+        assert not any(_alive(p) for p in holder_pids)
+        # Swept: the post-pool sweep finds zero survivors.
+        assert ss.sweep() == 0
+
+
 class TestCellEndToEnd:
     def test_oom_fault_yields_oom_status_with_partial_stats(self):
         # Faults fire in the pool's cell wrapper; here we hold the
